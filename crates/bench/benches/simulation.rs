@@ -1,0 +1,65 @@
+//! Criterion benches for the substrates: simulation cost per benchmark
+//! (the quantity regression modeling amortizes away), trace generation,
+//! and cache lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use udse_sim::{MachineConfig, SetAssocCache, Simulator};
+use udse_trace::{Benchmark, Trace};
+
+const BENCH_TRACE_LEN: usize = 20_000;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_20k_insts");
+    group.throughput(Throughput::Elements(BENCH_TRACE_LEN as u64));
+    for b in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Ammp] {
+        let trace = Trace::generate(b, BENCH_TRACE_LEN, 1);
+        let sim = Simulator::new(MachineConfig::power4_baseline());
+        group.bench_with_input(BenchmarkId::from_parameter(b.name()), &trace, |bch, t| {
+            bch.iter(|| sim.run(t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_trace_20k");
+    group.throughput(Throughput::Elements(BENCH_TRACE_LEN as u64));
+    for b in [Benchmark::Gzip, Benchmark::Mcf] {
+        group.bench_function(BenchmarkId::from_parameter(b.name()), |bch| {
+            let mut seed = 0u64;
+            bch.iter(|| {
+                seed += 1;
+                Trace::generate(b, BENCH_TRACE_LEN, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("dl1_32k_2way_10k_hits", |bch| {
+        let mut cache = SetAssocCache::new(32, 2);
+        for blk in 0..128u64 {
+            cache.access(blk);
+        }
+        bch.iter(|| {
+            let mut hits = 0u32;
+            for i in 0..10_000u64 {
+                if cache.access(i % 128) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_simulation, bench_trace_generation, bench_cache
+}
+criterion_main!(benches);

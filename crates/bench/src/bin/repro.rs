@@ -1,0 +1,223 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] <artifact>...
+//!
+//! artifacts:
+//!   space     Table 1 design space summary
+//!   baseline  Table 3 baseline machine
+//!   fig1      validation error boxplots
+//!   fig2      design space characterization
+//!   fig3      pareto frontiers, predicted vs simulated
+//!   fig4      frontier error distributions
+//!   table2    per-benchmark bips^3/w optima
+//!   fig5a     depth study: original line + enhanced boxplots
+//!   fig5b     D-L1 distribution of top designs per depth
+//!   fig6      depth study validation (efficiency)
+//!   fig7      depth study validation (bips & watts)
+//!   table4    K=4 compromise architectures
+//!   fig8      optima vs compromises scatter
+//!   fig9      heterogeneity gains vs cluster count
+//!   search    heuristic search vs exhaustive prediction (paper §8)
+//!   stalls    per-benchmark bottleneck attribution on the baseline
+//!   assoc     cache-associativity extension (paper §8) + significance
+//!   inorder   in-order vs out-of-order execution (paper §8)
+//!   workloads synthetic-workload characterization diagnostics
+//!   residuals residual analysis of the power model (paper §3)
+//!   significance  coefficient t-tests for one fitted model
+//!   ablations knots/interactions/transforms/sample-size ablations
+//!   all       everything above
+//! ```
+//!
+//! `--quick` uses reduced samples and short traces (smoke test); the
+//! default is the paper-scale configuration (1,000 training samples,
+//! exhaustive 262,500-point evaluation).
+
+use std::process::ExitCode;
+
+use udse_bench::{ablations, csv_export, depth_figs, extensions, figures, hetero_figs, plot_export, Context};
+use udse_core::report::format_table;
+use udse_core::space::DesignSpace;
+use udse_sim::MachineConfig;
+
+fn print_space() -> String {
+    let rows = vec![
+        vec!["S1 depth (FO4)".into(), "9::3::36".into(), "10".into()],
+        vec![
+            "S2 width (decode/LSQ/SQ/FU)".into(),
+            "(2,15,14,1) (4,30,28,2) (8,45,42,4)".into(),
+            "3".into(),
+        ],
+        vec![
+            "S3 registers (GPR/FPR/SPR)".into(),
+            "40::10::130 / 40::8::112 / 42::6::96".into(),
+            "10".into(),
+        ],
+        vec![
+            "S4 reservations (BR/FX/FP)".into(),
+            "6::1::15 / 10::2::28 / 5::1::14".into(),
+            "10".into(),
+        ],
+        vec!["S5 I-L1 (KB)".into(), "16::2x::256".into(), "5".into()],
+        vec!["S6 D-L1 (KB)".into(), "8::2x::128".into(), "5".into()],
+        vec!["S7 L2 (MB)".into(), "0.25::2x::4".into(), "5".into()],
+    ];
+    format!(
+        "Table 1: design space ({} sampling points, {} exploration points)\n\n{}",
+        DesignSpace::paper().len(),
+        DesignSpace::exploration().len(),
+        format_table(&["set", "range", "|Si|"], &rows)
+    )
+}
+
+fn print_baseline() -> String {
+    let cfg = MachineConfig::power4_baseline();
+    let t = cfg.timing();
+    format!(
+        "Table 3: POWER4-like baseline\n\n\
+         depth: {} FO4/stage ({:.2} GHz, {} front-end stages)\n\
+         width: {}-decode / {}-dispatch, {} units per class\n\
+         registers: {} GPR, {} FPR, {} SPR\n\
+         reservations: BR {}, FX {}, FP {}; LSQ {}, SQ {}\n\
+         caches: I-L1 {} KB ({}-way), D-L1 {} KB ({}-way), L2 {} KB ({}-way)\n\
+         latencies (cycles): L1D {}, L2 {}, memory {}\n\
+         predictor: {} x 1-bit BHT; ROB {}\n",
+        cfg.fo4_per_stage,
+        t.frequency_ghz,
+        t.front_stages,
+        cfg.decode_width,
+        cfg.dispatch_width(),
+        cfg.units_per_class,
+        cfg.gpr,
+        cfg.fpr,
+        cfg.spr,
+        cfg.resv_br,
+        cfg.resv_fx,
+        cfg.resv_fp,
+        cfg.lsq_entries,
+        cfg.store_queue_entries,
+        cfg.il1_kb,
+        cfg.il1_assoc,
+        cfg.dl1_kb,
+        cfg.dl1_assoc,
+        cfg.l2_kb,
+        cfg.l2_assoc,
+        t.dl1_latency,
+        t.l2_latency,
+        t.memory_latency,
+        cfg.bht_entries,
+        cfg.rob_entries,
+    )
+}
+
+fn run(artifact: &str, ctx: &Context) -> Result<(), String> {
+    let out = match artifact {
+        "space" => print_space(),
+        "baseline" => print_baseline(),
+        "fig1" => figures::fig1(ctx),
+        "fig2" => figures::fig2(ctx),
+        "fig3" => figures::fig3(ctx),
+        "fig4" => figures::fig4(ctx),
+        "table2" => figures::table2(ctx),
+        "fig5a" => depth_figs::fig5a(ctx),
+        "fig5b" => depth_figs::fig5b(ctx),
+        "fig6" => depth_figs::fig6(ctx),
+        "fig7" => depth_figs::fig7(ctx),
+        "table4" => hetero_figs::table4(ctx),
+        "fig8" => hetero_figs::fig8(ctx),
+        "fig9" => hetero_figs::fig9(ctx),
+        "search" => extensions::search(ctx),
+        "stalls" => extensions::stalls(ctx),
+        "assoc" => extensions::associativity(ctx),
+        "inorder" => extensions::inorder(ctx),
+        "workloads" => extensions::workloads(ctx),
+        "residuals" => extensions::residuals(ctx),
+        "significance" => extensions::significance(ctx),
+        "ablations" => format!(
+            "{}\n{}\n{}\n{}",
+            ablations::knots(ctx),
+            ablations::interactions(ctx),
+            ablations::transforms(ctx),
+            ablations::sample_size(ctx)
+        ),
+        other => return Err(format!("unknown artifact `{other}` (try --help)")),
+    };
+    println!("{out}");
+    Ok(())
+}
+
+const ALL: [&str; 22] = [
+    "space", "baseline", "fig1", "fig2", "fig3", "fig4", "table2", "fig5a", "fig5b", "fig6",
+    "fig7", "table4", "fig8", "fig9", "search", "stalls", "assoc", "inorder", "workloads",
+    "residuals", "significance", "ablations",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // --csv <dir>: also export tabular series next to the text output.
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let mut skip_next = false;
+    let mut artifacts: Vec<&str> = Vec::new();
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--csv" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            artifacts.push(a.as_str());
+        }
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") || artifacts.is_empty() {
+        eprintln!("usage: repro [--quick] [--csv <dir>] <artifact>...\nartifacts: {} all", ALL.join(" "));
+        return if artifacts.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+    if artifacts.contains(&"all") {
+        artifacts = ALL.to_vec();
+    }
+    let ctx = Context::new(quick);
+    let t0 = std::time::Instant::now();
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create csv directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for artifact in artifacts {
+        println!("==================== {artifact} ====================");
+        if let Err(e) = run(artifact, &ctx) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(dir) = &csv_dir {
+            match csv_export::export(&ctx, artifact, dir) {
+                Ok(Some(path)) => eprintln!("[csv] wrote {}", path.display()),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: csv export for {artifact}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match plot_export::export(artifact, dir) {
+                Ok(Some(path)) => eprintln!("[gp] wrote {}", path.display()),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: gnuplot export for {artifact}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    eprintln!("[repro] completed in {:.1}s", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,102 @@
+//! Shared experiment context: one oracle, one trained model suite.
+
+use std::cell::RefCell;
+
+use udse_core::studies::depth::DepthStudy;
+use udse_core::studies::{StudyConfig, TrainedSuite};
+use udse_core::{CachedOracle, SimOracle};
+
+/// Lazily trains the nine benchmark model pairs once and shares them
+/// across all experiment drivers, mirroring the paper's "formulated once,
+/// used in multiple studies" workflow (§7).
+#[derive(Debug)]
+pub struct Context {
+    oracle: CachedOracle<SimOracle>,
+    config: StudyConfig,
+    suite: RefCell<Option<TrainedSuite>>,
+    depth: RefCell<Option<DepthStudy>>,
+}
+
+/// Trace length used in quick mode (tests, smoke runs).
+const QUICK_TRACE_LEN: usize = 20_000;
+
+impl Context {
+    /// Creates a context. `quick` selects reduced sample counts and short
+    /// traces for smoke runs; otherwise the paper-scale configuration is
+    /// used (1,000 training samples, exhaustive evaluation).
+    pub fn new(quick: bool) -> Self {
+        let (oracle, config) = if quick {
+            (SimOracle::with_trace_len(QUICK_TRACE_LEN), StudyConfig::quick())
+        } else {
+            (SimOracle::new(), StudyConfig::paper())
+        };
+        Context {
+            oracle: CachedOracle::new(oracle),
+            config,
+            suite: RefCell::new(None),
+            depth: RefCell::new(None),
+        }
+    }
+
+    /// The ground-truth oracle (memoized: studies that revisit the same
+    /// designs pay for each simulation once).
+    pub fn oracle(&self) -> &CachedOracle<SimOracle> {
+        &self.oracle
+    }
+
+    /// The underlying simulation oracle (trace access, warmup length).
+    pub fn sim_oracle(&self) -> &SimOracle {
+        self.oracle.inner()
+    }
+
+    /// The study configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Returns the trained suite, training it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if model fitting fails (cannot happen for the paper spec on
+    /// well-formed samples; indicates a configuration error).
+    pub fn suite(&self) -> TrainedSuite {
+        if self.suite.borrow().is_none() {
+            let t0 = std::time::Instant::now();
+            let suite = TrainedSuite::train(&self.oracle, &self.config)
+                .expect("paper-standard models fit on UAR samples");
+            eprintln!(
+                "[context] trained 9 benchmark model pairs on {} samples in {:.1}s",
+                self.config.train_samples,
+                t0.elapsed().as_secs_f64()
+            );
+            *self.suite.borrow_mut() = Some(suite);
+        }
+        self.suite.borrow().as_ref().expect("just trained").clone()
+    }
+
+    /// Returns the §5 depth study, computing it on first use (four
+    /// figures consume it).
+    pub fn depth_study(&self) -> DepthStudy {
+        if self.depth.borrow().is_none() {
+            let study = DepthStudy::run(&self.suite(), &self.config);
+            *self.depth.borrow_mut() = Some(study);
+        }
+        self.depth.borrow().as_ref().expect("just computed").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_context_trains() {
+        let ctx = Context::new(true);
+        let suite = ctx.suite();
+        assert_eq!(suite.all_models().len(), 9);
+        // Second call reuses the cached suite (cheap).
+        let again = ctx.suite();
+        assert_eq!(again.training_samples().len(), suite.training_samples().len());
+    }
+}

@@ -1,0 +1,101 @@
+//! Gnuplot script generation for the exported CSV series.
+//!
+//! `repro --csv <dir>` writes `<artifact>.csv`; this module adds a
+//! matching `<artifact>.gp` so `gnuplot <artifact>.gp` regenerates a
+//! figure visually comparable to the paper's. Scripts are deliberately
+//! plain (pngcairo terminal, default styles) and reference the CSV by
+//! relative path so the directory is self-contained.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Returns the gnuplot script text for an artifact, or `None` when no
+/// plot is defined for it.
+pub fn script(artifact: &str) -> Option<String> {
+    let body = match artifact {
+        "fig1" => "\
+set title 'Figure 1: median prediction error per benchmark'\n\
+set ylabel 'median |obs-pred|/pred'\n\
+set style data histogram\n\
+set style histogram clustered\n\
+set style fill solid 0.7\n\
+set yrange [0:*]\n\
+plot 'fig1.csv' using 2:xtic(1) title 'performance', \
+     '' using 5 title 'power'\n",
+        "fig3" => "\
+set title 'Figure 3: pareto frontier, predicted vs simulated'\n\
+set xlabel 'delay (s per 10^9 instructions)'\n\
+set ylabel 'power (W)'\n\
+plot 'fig3.csv' using 2:3 with points pt 7 title 'predicted', \
+     '' using 4:5 with points pt 6 title 'simulated'\n",
+        "fig5a" => "\
+set title 'Figure 5a: efficiency vs pipeline depth'\n\
+set xlabel 'FO4 per stage'\n\
+set ylabel 'relative bips^3/w'\n\
+set key bottom\n\
+plot 'fig5a.csv' using 1:4:3:7 with yerrorbars title 'enhanced (q1..q3 around median)', \
+     '' using 1:2 with linespoints lw 2 title 'original analysis', \
+     '' using 1:8 with linespoints title 'bound architecture'\n",
+        "fig5b" => "\
+set title 'Figure 5b: D-L1 sizes among top designs per depth'\n\
+set xlabel 'FO4 per stage'\n\
+set ylabel 'fraction of 95th-percentile designs'\n\
+set key outside\n\
+plot for [kb in '8 16 32 64 128'] \
+'<awk -F, -v k='.kb.' \"$2==k\" fig5b.csv' using 1:3 \
+with linespoints title kb.' KB'\n",
+        "fig9" => "\
+set title 'Figure 9: efficiency gain vs heterogeneity (cluster count)'\n\
+set xlabel 'clusters (K)'\n\
+set ylabel 'bips^3/w gain vs baseline'\n\
+set key left\n\
+plot 'fig9.csv' using 1:3 with points pt 7 ps 0.5 title 'per-benchmark predicted', \
+     '' using 1:4 with points pt 6 ps 0.5 title 'per-benchmark simulated'\n",
+        _ => return None,
+    };
+    Some(format!(
+        "set terminal pngcairo size 900,600\nset output '{artifact}.png'\nset datafile separator ','\nset key autotitle columnheader\n{body}"
+    ))
+}
+
+/// Writes the gnuplot script for an artifact into `dir`, next to its CSV.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn export(artifact: &str, dir: &Path) -> io::Result<Option<PathBuf>> {
+    match script(artifact) {
+        None => Ok(None),
+        Some(text) => {
+            let path = dir.join(format!("{artifact}.gp"));
+            let mut f = std::fs::File::create(&path)?;
+            f.write_all(text.as_bytes())?;
+            Ok(Some(path))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_reference_their_csv_and_output() {
+        for a in ["fig1", "fig3", "fig5a", "fig5b", "fig9"] {
+            let s = script(a).expect("plot defined");
+            assert!(s.contains(&format!("{a}.csv")), "{a} must read its csv");
+            assert!(s.contains(&format!("{a}.png")), "{a} must set its output");
+            assert!(s.contains("set datafile separator ','"));
+        }
+        assert!(script("baseline").is_none());
+    }
+
+    #[test]
+    fn export_writes_file() {
+        let dir = std::env::temp_dir().join("udse_gp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = export("fig5a", &dir).unwrap().unwrap();
+        assert!(std::fs::read_to_string(&p).unwrap().contains("Figure 5a"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,146 @@
+/// Min-max normalization to `[0, 1]` per dimension, fit on a point set
+/// and applicable to new points (e.g. centroids mapped back for
+/// inspection via [`MinMaxScaler::inverse`]).
+///
+/// Constant dimensions map to 0.5 so they contribute nothing to
+/// distances without producing NaN.
+///
+/// # Examples
+///
+/// ```
+/// use udse_cluster::MinMaxScaler;
+///
+/// let pts = vec![vec![10.0, 1.0], vec![20.0, 3.0]];
+/// let s = MinMaxScaler::fit(&pts);
+/// assert_eq!(s.transform(&pts[0]), vec![0.0, 0.0]);
+/// assert_eq!(s.transform(&pts[1]), vec![1.0, 1.0]);
+/// let mid = s.inverse(&[0.5, 0.5]);
+/// assert_eq!(mid, vec![15.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Learns per-dimension ranges from a non-empty point set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or ragged.
+    pub fn fit(points: &[Vec<f64>]) -> Self {
+        assert!(!points.is_empty(), "cannot fit scaler on empty point set");
+        let dim = points[0].len();
+        let mut min = vec![f64::INFINITY; dim];
+        let mut max = vec![f64::NEG_INFINITY; dim];
+        for p in points {
+            assert_eq!(p.len(), dim, "ragged point set");
+            for (d, &v) in p.iter().enumerate() {
+                min[d] = min[d].min(v);
+                max[d] = max[d].max(v);
+            }
+        }
+        MinMaxScaler { min, max }
+    }
+
+    /// Dimensionality of the fitted space.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Maps a point into `[0, 1]` per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn transform(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.dim(), "dimensionality mismatch");
+        point
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let range = self.max[d] - self.min[d];
+                if range == 0.0 {
+                    0.5
+                } else {
+                    (v - self.min[d]) / range
+                }
+            })
+            .collect()
+    }
+
+    /// Transforms every point in a set.
+    pub fn transform_all(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        points.iter().map(|p| self.transform(p)).collect()
+    }
+
+    /// Maps a normalized point back to the original scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn inverse(&self, normalized: &[f64]) -> Vec<f64> {
+        assert_eq!(normalized.len(), self.dim(), "dimensionality mismatch");
+        normalized
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let range = self.max[d] - self.min[d];
+                if range == 0.0 {
+                    self.min[d]
+                } else {
+                    self.min[d] + v * range
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let pts = vec![vec![1.0, 100.0, 7.0], vec![3.0, 300.0, 7.0], vec![2.0, 150.0, 7.0]];
+        let s = MinMaxScaler::fit(&pts);
+        for p in &pts {
+            let back = s.inverse(&s.transform(p));
+            for (a, b) in back.iter().zip(p) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_neutral() {
+        let pts = vec![vec![1.0, 5.0], vec![2.0, 5.0]];
+        let s = MinMaxScaler::fit(&pts);
+        assert_eq!(s.transform(&pts[0])[1], 0.5);
+        assert_eq!(s.transform(&pts[1])[1], 0.5);
+        assert_eq!(s.inverse(&[0.0, 0.5])[1], 5.0);
+    }
+
+    #[test]
+    fn values_clamp_to_unit_interval_for_seen_data() {
+        let pts = vec![vec![-5.0], vec![5.0], vec![0.0]];
+        let s = MinMaxScaler::fit(&pts);
+        for p in &pts {
+            let t = s.transform(p)[0];
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_fit_panics() {
+        let _ = MinMaxScaler::fit(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

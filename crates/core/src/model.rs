@@ -1,0 +1,234 @@
+//! The paper-standard performance and power regression models (§3).
+
+use udse_regress::{Dataset, FittedModel, ModelSpec, RegressError, ResponseTransform, TermSpec};
+use udse_trace::Benchmark;
+
+use crate::oracle::{Metrics, Oracle};
+use crate::space::DesignPoint;
+
+/// Predictor column indices produced by [`DesignPoint::predictors`].
+mod var {
+    pub const DEPTH: usize = 0;
+    pub const WIDTH: usize = 1;
+    pub const GPR: usize = 2;
+    pub const RESV: usize = 3;
+    pub const IL1: usize = 4;
+    pub const DL1: usize = 5;
+    pub const L2: usize = 6;
+}
+
+/// Builds the paper's §3.3 term set: restricted cubic splines with 4
+/// knots on the predictors most correlated with the response (pipeline
+/// depth, register file size) and 3 knots on the weaker ones (width,
+/// reservation stations, cache sizes), plus the §3.2 domain-knowledge
+/// interactions (depth x cache levels, width x registers, adjacent cache
+/// levels).
+pub fn paper_terms() -> Vec<TermSpec> {
+    vec![
+        TermSpec::Spline { var: var::DEPTH, knots: 4 },
+        TermSpec::Spline { var: var::WIDTH, knots: 3 },
+        TermSpec::Spline { var: var::GPR, knots: 4 },
+        TermSpec::Spline { var: var::RESV, knots: 3 },
+        TermSpec::Spline { var: var::IL1, knots: 3 },
+        TermSpec::Spline { var: var::DL1, knots: 3 },
+        TermSpec::Spline { var: var::L2, knots: 3 },
+        TermSpec::Interaction(var::DEPTH, var::L2),
+        TermSpec::Interaction(var::DEPTH, var::DL1),
+        TermSpec::Interaction(var::WIDTH, var::GPR),
+        TermSpec::Interaction(var::WIDTH, var::RESV),
+        TermSpec::Interaction(var::IL1, var::L2),
+        TermSpec::Interaction(var::DL1, var::L2),
+    ]
+}
+
+/// The paper's performance model specification: `sqrt(bips)` response
+/// over the spline + interaction terms.
+pub fn performance_spec() -> ModelSpec {
+    ModelSpec::new(ResponseTransform::Sqrt).with_terms(paper_terms())
+}
+
+/// The paper's power model specification: `log(watts)` response over the
+/// same terms.
+pub fn power_spec() -> ModelSpec {
+    ModelSpec::new(ResponseTransform::Log).with_terms(paper_terms())
+}
+
+/// A per-benchmark pair of fitted models predicting performance (bips)
+/// and power (watts) for any design point.
+///
+/// # Examples
+///
+/// ```no_run
+/// use udse_core::model::PaperModels;
+/// use udse_core::oracle::SimOracle;
+/// use udse_core::space::DesignSpace;
+/// use udse_trace::Benchmark;
+///
+/// let oracle = SimOracle::with_trace_len(20_000);
+/// let samples = DesignSpace::paper().sample_uar(300, 1);
+/// let models = PaperModels::train(&oracle, Benchmark::Ammp, &samples).unwrap();
+/// let p = DesignSpace::exploration().decode(0).unwrap();
+/// let eff = models.predict_efficiency(&p);
+/// assert!(eff > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PaperModels {
+    benchmark: Benchmark,
+    performance: FittedModel,
+    power: FittedModel,
+}
+
+impl PaperModels {
+    /// Trains the performance and power models for one benchmark from a
+    /// set of sampled designs, simulating each via the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors (rank deficiency, too few samples).
+    pub fn train<O: Oracle + ?Sized>(
+        oracle: &O,
+        benchmark: Benchmark,
+        samples: &[DesignPoint],
+    ) -> Result<Self, RegressError> {
+        let responses: Vec<Metrics> =
+            samples.iter().map(|p| oracle.evaluate(benchmark, p)).collect();
+        Self::train_from_observations(benchmark, samples, &responses)
+    }
+
+    /// Trains from pre-simulated observations (used when the same sample
+    /// set feeds many model variants, e.g. the ablation benches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates fitting errors.
+    pub fn train_from_observations(
+        benchmark: Benchmark,
+        samples: &[DesignPoint],
+        observations: &[Metrics],
+    ) -> Result<Self, RegressError> {
+        let data = design_dataset(samples)?;
+        let bips: Vec<f64> = observations.iter().map(|m| m.bips).collect();
+        let watts: Vec<f64> = observations.iter().map(|m| m.watts).collect();
+        let performance = performance_spec().fit(&data, &bips)?;
+        let power = power_spec().fit(&data, &watts)?;
+        Ok(PaperModels { benchmark, performance, power })
+    }
+
+    /// The benchmark these models describe.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// Predicted performance in bips.
+    pub fn predict_bips(&self, point: &DesignPoint) -> f64 {
+        self.performance
+            .predict_row(&point.predictors())
+            .expect("predictor vector matches training width")
+    }
+
+    /// Predicted power in watts.
+    pub fn predict_watts(&self, point: &DesignPoint) -> f64 {
+        self.power
+            .predict_row(&point.predictors())
+            .expect("predictor vector matches training width")
+    }
+
+    /// Predicted `(bips, watts)` pair.
+    pub fn predict_metrics(&self, point: &DesignPoint) -> Metrics {
+        Metrics { bips: self.predict_bips(point), watts: self.predict_watts(point) }
+    }
+
+    /// Predicted delay in seconds per billion instructions.
+    pub fn predict_delay(&self, point: &DesignPoint) -> f64 {
+        self.predict_metrics(point).delay_seconds()
+    }
+
+    /// Predicted `bips^3 / w` efficiency.
+    pub fn predict_efficiency(&self, point: &DesignPoint) -> f64 {
+        self.predict_metrics(point).bips_cubed_per_watt()
+    }
+
+    /// The underlying performance model.
+    pub fn performance_model(&self) -> &FittedModel {
+        &self.performance
+    }
+
+    /// The underlying power model.
+    pub fn power_model(&self) -> &FittedModel {
+        &self.power
+    }
+}
+
+/// Expands design points into the regression dataset.
+///
+/// # Errors
+///
+/// Returns [`RegressError::MalformedDataset`] when `samples` is empty.
+pub fn design_dataset(samples: &[DesignPoint]) -> Result<Dataset, RegressError> {
+    Dataset::new(
+        DesignPoint::predictor_names(),
+        samples.iter().map(DesignPoint::predictors).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimOracle;
+    use crate::space::DesignSpace;
+    use udse_stats::median_abs_rel_error;
+
+    /// A fast fake oracle with a known smooth response surface.
+    struct FakeOracle;
+
+    impl Oracle for FakeOracle {
+        fn evaluate(&self, _b: Benchmark, p: &DesignPoint) -> Metrics {
+            let v = p.predictors();
+            let bips = (8.0 / v[0]) * (1.0 + 0.2 * v[1].ln()) * (1.0 + 0.002 * v[2])
+                + 0.05 * v[6];
+            let watts = (1.5 + 30.0 / v[0] + 0.8 * v[1] + 0.4 * v[6]).exp().ln() * 6.0 + 4.0;
+            Metrics { bips, watts }
+        }
+    }
+
+    #[test]
+    fn models_fit_smooth_surface_accurately() {
+        let space = DesignSpace::paper();
+        let samples = space.sample_uar(400, 5);
+        let models = PaperModels::train(&FakeOracle, Benchmark::Gzip, &samples).unwrap();
+        let validation = space.sample_uar(50, 99);
+        let (mut obs_b, mut pred_b) = (Vec::new(), Vec::new());
+        for p in &validation {
+            obs_b.push(FakeOracle.evaluate(Benchmark::Gzip, p).bips);
+            pred_b.push(models.predict_bips(p));
+        }
+        let err = median_abs_rel_error(&obs_b, &pred_b);
+        assert!(err < 0.05, "median error {err} too high for smooth surface");
+    }
+
+    #[test]
+    fn train_on_simulator_produces_reasonable_models() {
+        let space = DesignSpace::paper();
+        let oracle = SimOracle::with_trace_len(4_000);
+        let samples = space.sample_uar(120, 11);
+        let models = PaperModels::train(&oracle, Benchmark::Gzip, &samples).unwrap();
+        assert!(models.performance_model().r_squared() > 0.7);
+        assert!(models.power_model().r_squared() > 0.8);
+        let p = space.decode(1000).unwrap();
+        assert!(models.predict_bips(&p) > 0.0);
+        assert!(models.predict_watts(&p) > 0.0);
+        assert_eq!(models.benchmark(), Benchmark::Gzip);
+    }
+
+    #[test]
+    fn spec_shapes() {
+        assert_eq!(paper_terms().len(), 13);
+        assert_eq!(performance_spec().transform(), ResponseTransform::Sqrt);
+        assert_eq!(power_spec().transform(), ResponseTransform::Log);
+    }
+
+    #[test]
+    fn empty_samples_rejected() {
+        assert!(design_dataset(&[]).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Ground-truth evaluation of design points ("simulation" in the paper).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use udse_sim::Simulator;
+use udse_trace::{Benchmark, Trace};
+
+use crate::space::DesignPoint;
+
+/// The two responses the paper models for every design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Performance in billions of instructions per second.
+    pub bips: f64,
+    /// Chip power in watts.
+    pub watts: f64,
+}
+
+impl Metrics {
+    /// Execution delay in seconds for the reference one-billion
+    /// instruction workload (the paper's delay axis).
+    pub fn delay_seconds(&self) -> f64 {
+        1.0 / self.bips
+    }
+
+    /// The paper's `bips^3 / w` efficiency metric.
+    pub fn bips_cubed_per_watt(&self) -> f64 {
+        self.bips.powi(3) / self.watts
+    }
+}
+
+/// Anything that can produce ground-truth `(bips, watts)` for a design
+/// point running a benchmark: the detailed simulator in this
+/// reproduction, a cluster of Turandot instances in the paper.
+pub trait Oracle {
+    /// Evaluates one design for one benchmark.
+    fn evaluate(&self, benchmark: Benchmark, point: &DesignPoint) -> Metrics;
+
+    /// Evaluates one design for every benchmark in the suite, in
+    /// [`Benchmark::ALL`] order.
+    fn evaluate_suite(&self, point: &DesignPoint) -> Vec<Metrics> {
+        Benchmark::ALL.iter().map(|&b| self.evaluate(b, point)).collect()
+    }
+}
+
+/// The detailed-simulation oracle: generates (and caches) one synthetic
+/// trace per benchmark and runs the cycle simulator with a warmup
+/// fraction discarded from statistics.
+///
+/// Evaluation is deterministic: the same `(benchmark, point)` always
+/// yields the same metrics.
+///
+/// # Examples
+///
+/// ```
+/// use udse_core::oracle::{Oracle, SimOracle};
+/// use udse_core::space::DesignSpace;
+/// use udse_trace::Benchmark;
+///
+/// let oracle = SimOracle::with_trace_len(5_000);
+/// let p = DesignSpace::paper().decode(1234).unwrap();
+/// let m = oracle.evaluate(Benchmark::Gzip, &p);
+/// assert!(m.bips > 0.0 && m.watts > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimOracle {
+    trace_len: usize,
+    warmup_frac: f64,
+    seed: u64,
+    traces: RefCell<HashMap<Benchmark, Rc<Trace>>>,
+}
+
+/// Default trace length for study-quality runs; long enough that L2-scale
+/// reuse distances and predictor training are exercised past warmup.
+pub const DEFAULT_TRACE_LEN: usize = 200_000;
+
+impl SimOracle {
+    /// Creates an oracle with the default study-quality trace length.
+    pub fn new() -> Self {
+        Self::with_trace_len(DEFAULT_TRACE_LEN)
+    }
+
+    /// Creates an oracle with a custom trace length (tests use short
+    /// traces for speed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_len < 100`.
+    pub fn with_trace_len(trace_len: usize) -> Self {
+        assert!(trace_len >= 100, "trace length too short to be meaningful");
+        SimOracle {
+            trace_len,
+            warmup_frac: 0.25,
+            seed: 0x5EED,
+            traces: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the trace seed (for sensitivity experiments).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.traces = RefCell::new(HashMap::new());
+        self
+    }
+
+    /// The configured trace length.
+    pub fn trace_len(&self) -> usize {
+        self.trace_len
+    }
+
+    /// Returns the cached trace for a benchmark, generating it on first
+    /// use.
+    pub fn trace(&self, benchmark: Benchmark) -> Rc<Trace> {
+        if let Some(t) = self.traces.borrow().get(&benchmark) {
+            return Rc::clone(t);
+        }
+        let t = Rc::new(Trace::generate(benchmark, self.trace_len, self.seed));
+        self.traces.borrow_mut().insert(benchmark, Rc::clone(&t));
+        t
+    }
+
+    /// Number of instructions discarded as warmup.
+    pub fn warmup_insts(&self) -> usize {
+        (self.trace_len as f64 * self.warmup_frac) as usize
+    }
+}
+
+impl Default for SimOracle {
+    fn default() -> Self {
+        SimOracle::new()
+    }
+}
+
+impl Oracle for SimOracle {
+    fn evaluate(&self, benchmark: Benchmark, point: &DesignPoint) -> Metrics {
+        let trace = self.trace(benchmark);
+        let result =
+            Simulator::new(point.to_machine_config()).run_with_warmup(&trace, self.warmup_insts());
+        Metrics { bips: result.bips, watts: result.watts }
+    }
+}
+
+/// A memoizing wrapper around any oracle: repeated evaluations of the
+/// same `(benchmark, point)` pair are served from a cache. Useful when
+/// several studies re-visit the same designs (frontier validation, depth
+/// validation, heterogeneity gains all simulate overlapping sets).
+///
+/// # Examples
+///
+/// ```
+/// use udse_core::oracle::{CachedOracle, Oracle, SimOracle};
+/// use udse_core::space::DesignSpace;
+/// use udse_trace::Benchmark;
+///
+/// let oracle = CachedOracle::new(SimOracle::with_trace_len(2_000));
+/// let p = DesignSpace::paper().decode(7).unwrap();
+/// let a = oracle.evaluate(Benchmark::Gcc, &p); // simulated
+/// let b = oracle.evaluate(Benchmark::Gcc, &p); // cached
+/// assert_eq!(a, b);
+/// assert_eq!(oracle.hits(), 1);
+/// ```
+#[derive(Debug)]
+pub struct CachedOracle<O> {
+    inner: O,
+    cache: RefCell<HashMap<(Benchmark, DesignPoint), Metrics>>,
+    hits: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
+impl<O: Oracle> CachedOracle<O> {
+    /// Wraps an oracle with an unbounded memoization cache.
+    pub fn new(inner: O) -> Self {
+        CachedOracle {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+            hits: std::cell::Cell::new(0),
+            misses: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Number of evaluations served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Number of evaluations delegated to the inner oracle.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+}
+
+impl<O: Oracle> Oracle for CachedOracle<O> {
+    fn evaluate(&self, benchmark: Benchmark, point: &DesignPoint) -> Metrics {
+        let key = (benchmark, *point);
+        if let Some(m) = self.cache.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return *m;
+        }
+        let m = self.inner.evaluate(benchmark, point);
+        self.misses.set(self.misses.get() + 1);
+        self.cache.borrow_mut().insert(key, m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignSpace;
+
+    #[test]
+    fn cached_oracle_memoizes() {
+        let oracle = CachedOracle::new(SimOracle::with_trace_len(1_000));
+        let p = DesignSpace::paper().decode(99).unwrap();
+        let a = oracle.evaluate(Benchmark::Mesa, &p);
+        assert_eq!(oracle.misses(), 1);
+        let b = oracle.evaluate(Benchmark::Mesa, &p);
+        assert_eq!(oracle.hits(), 1);
+        assert_eq!(a, b);
+        // A different benchmark is a different key.
+        let _ = oracle.evaluate(Benchmark::Gzip, &p);
+        assert_eq!(oracle.misses(), 2);
+    }
+
+    #[test]
+    fn deterministic_evaluation() {
+        let oracle = SimOracle::with_trace_len(2_000);
+        let p = DesignSpace::paper().decode(42).unwrap();
+        let a = oracle.evaluate(Benchmark::Twolf, &p);
+        let b = oracle.evaluate(Benchmark::Twolf, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traces_are_cached() {
+        let oracle = SimOracle::with_trace_len(2_000);
+        let t1 = oracle.trace(Benchmark::Gcc);
+        let t2 = oracle.trace(Benchmark::Gcc);
+        assert!(Rc::ptr_eq(&t1, &t2));
+    }
+
+    #[test]
+    fn suite_order_matches_benchmark_all() {
+        let oracle = SimOracle::with_trace_len(1_000);
+        let p = DesignSpace::paper().decode(7).unwrap();
+        let suite = oracle.evaluate_suite(&p);
+        assert_eq!(suite.len(), 9);
+        let direct = oracle.evaluate(Benchmark::Ammp, &p);
+        assert_eq!(suite[0], direct);
+    }
+
+    #[test]
+    fn metrics_derived_quantities() {
+        let m = Metrics { bips: 2.0, watts: 16.0 };
+        assert_eq!(m.delay_seconds(), 0.5);
+        assert_eq!(m.bips_cubed_per_watt(), 0.5);
+    }
+
+    #[test]
+    fn different_seeds_change_results() {
+        let p = DesignSpace::paper().decode(42).unwrap();
+        let a = SimOracle::with_trace_len(2_000).evaluate(Benchmark::Jbb, &p);
+        let b = SimOracle::with_trace_len(2_000).with_seed(99).evaluate(Benchmark::Jbb, &p);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn tiny_trace_panics() {
+        let _ = SimOracle::with_trace_len(10);
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain-text table and CSV helpers for the experiment harnesses.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Renders an aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use udse_core::report::format_table;
+///
+/// let s = format_table(
+///     &["bench", "bips"],
+///     &[vec!["mcf".into(), "0.25".into()], vec!["gzip".into(), "1.31".into()]],
+/// );
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("mcf"));
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header count");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    write_row(&mut out, &header_cells);
+    let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Writes rows as CSV (comma-separated, no quoting — cells must not
+/// contain commas).
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+///
+/// # Panics
+///
+/// Panics if any cell contains a comma or a row width mismatches.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width must match header count");
+        assert!(row.iter().all(|c| !c.contains(',')), "cells must not contain commas");
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Formats a float with a fixed number of decimals (table cell helper).
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a ratio as a signed percentage, e.g. `-3.9%` (Table 2 style).
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:+.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = format_table(&["a", "long_header"], &[vec!["x".into(), "y".into()]]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long_header"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("udse_report_test.csv");
+        write_csv(&dir, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(-0.039), "-3.9%");
+        assert_eq!(fmt_pct(0.052), "+5.2%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_table_panics() {
+        let _ = format_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

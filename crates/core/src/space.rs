@@ -1,0 +1,528 @@
+//! The paper's Table 1 design space.
+//!
+//! Seven parameter *groups* vary jointly: depth, width (decode bandwidth
+//! with load/store queue, store queue, and functional-unit counts),
+//! physical registers (GPR/FPR/SPR together), reservation stations
+//! (BR/FX/FP together), and the three cache sizes. The Cartesian product
+//! of the group cardinalities (10 x 3 x 10 x 10 x 5 x 5 x 5) gives the
+//! 375,000-point sampling space; restricting depth to 12–30 FO4 gives
+//! the 262,500-point exploration space of §3.5.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use udse_sim::MachineConfig;
+
+/// Depth values (FO4 per stage) in the full sampling space: 9::3::36.
+pub const DEPTH_VALUES: [u32; 10] = [9, 12, 15, 18, 21, 24, 27, 30, 33, 36];
+/// Depth values in the exploration space: 12::3::30 (§3.5 restricts the
+/// studied space so predictions never extrapolate in depth).
+pub const EXPLORATION_DEPTH_VALUES: [u32; 7] = [12, 15, 18, 21, 24, 27, 30];
+/// Width group: (decode width, LSQ entries, store-queue entries, units
+/// per class), varied jointly per Table 1.
+pub const WIDTH_VALUES: [(u32, u32, u32, u32); 3] =
+    [(2, 15, 14, 1), (4, 30, 28, 2), (8, 45, 42, 4)];
+/// Cardinality of the register group (GPR 40::10::130 etc.).
+pub const REGS_LEVELS: u8 = 10;
+/// Cardinality of the reservation-station group (BR 6::1::15 etc.).
+pub const RESV_LEVELS: u8 = 10;
+/// I-L1 sizes in KB: 16::2x::256.
+pub const IL1_VALUES: [u32; 5] = [16, 32, 64, 128, 256];
+/// D-L1 sizes in KB: 8::2x::128.
+pub const DL1_VALUES: [u32; 5] = [8, 16, 32, 64, 128];
+/// L2 sizes in KB: 0.25::2x::4 MB.
+pub const L2_VALUES: [u32; 5] = [256, 512, 1024, 2048, 4096];
+
+/// One point of the design space, stored as indices into the seven
+/// jointly-varied groups of Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use udse_core::space::{DesignPoint, DesignSpace};
+///
+/// let space = DesignSpace::paper();
+/// let p = space.decode(0).unwrap();
+/// assert_eq!(p.fo4(), 9);
+/// assert_eq!(p.decode_width(), 2);
+/// assert_eq!(p.gpr(), 40);
+/// let cfg = p.to_machine_config();
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DesignPoint {
+    /// Index into the space's depth value list.
+    pub depth_idx: u8,
+    /// Index into [`WIDTH_VALUES`].
+    pub width_idx: u8,
+    /// Index 0..10 into the register group.
+    pub regs_idx: u8,
+    /// Index 0..10 into the reservation-station group.
+    pub resv_idx: u8,
+    /// Index into [`IL1_VALUES`].
+    pub il1_idx: u8,
+    /// Index into [`DL1_VALUES`].
+    pub dl1_idx: u8,
+    /// Index into [`L2_VALUES`].
+    pub l2_idx: u8,
+    /// Depth list this point's `depth_idx` refers to (paper vs
+    /// exploration); stored as the FO4 value directly to keep the point
+    /// self-describing.
+    fo4: u32,
+}
+
+impl DesignPoint {
+    /// Pipeline depth in FO4 delays per stage.
+    pub fn fo4(&self) -> u32 {
+        self.fo4
+    }
+
+    /// Decode bandwidth in instructions per cycle.
+    pub fn decode_width(&self) -> u32 {
+        WIDTH_VALUES[self.width_idx as usize].0
+    }
+
+    /// Load/store queue entries (tied to width).
+    pub fn lsq_entries(&self) -> u32 {
+        WIDTH_VALUES[self.width_idx as usize].1
+    }
+
+    /// Store queue entries (tied to width).
+    pub fn store_queue_entries(&self) -> u32 {
+        WIDTH_VALUES[self.width_idx as usize].2
+    }
+
+    /// Functional units per class (tied to width).
+    pub fn units_per_class(&self) -> u32 {
+        WIDTH_VALUES[self.width_idx as usize].3
+    }
+
+    /// General-purpose physical registers: 40::10::130.
+    pub fn gpr(&self) -> u32 {
+        40 + 10 * self.regs_idx as u32
+    }
+
+    /// Floating-point physical registers: 40::8::112.
+    pub fn fpr(&self) -> u32 {
+        40 + 8 * self.regs_idx as u32
+    }
+
+    /// Special-purpose physical registers: 42::6::96.
+    pub fn spr(&self) -> u32 {
+        42 + 6 * self.regs_idx as u32
+    }
+
+    /// Branch reservation stations: 6::1::15.
+    pub fn resv_br(&self) -> u32 {
+        6 + self.resv_idx as u32
+    }
+
+    /// Fixed-point reservation stations: 10::2::28.
+    pub fn resv_fx(&self) -> u32 {
+        10 + 2 * self.resv_idx as u32
+    }
+
+    /// Floating-point reservation stations: 5::1::14.
+    pub fn resv_fp(&self) -> u32 {
+        5 + self.resv_idx as u32
+    }
+
+    /// I-L1 cache size in KB.
+    pub fn il1_kb(&self) -> u32 {
+        IL1_VALUES[self.il1_idx as usize]
+    }
+
+    /// D-L1 cache size in KB.
+    pub fn dl1_kb(&self) -> u32 {
+        DL1_VALUES[self.dl1_idx as usize]
+    }
+
+    /// L2 cache size in KB.
+    pub fn l2_kb(&self) -> u32 {
+        L2_VALUES[self.l2_idx as usize]
+    }
+
+    /// Materializes the full simulator configuration for this point,
+    /// inheriting the Table 3 structural constants (associativities,
+    /// predictor, ROB).
+    pub fn to_machine_config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::power4_baseline();
+        cfg.fo4_per_stage = self.fo4();
+        cfg.decode_width = self.decode_width();
+        cfg.lsq_entries = self.lsq_entries();
+        cfg.store_queue_entries = self.store_queue_entries();
+        cfg.units_per_class = self.units_per_class();
+        cfg.gpr = self.gpr();
+        cfg.fpr = self.fpr();
+        cfg.spr = self.spr();
+        cfg.resv_br = self.resv_br();
+        cfg.resv_fx = self.resv_fx();
+        cfg.resv_fp = self.resv_fp();
+        cfg.il1_kb = self.il1_kb();
+        cfg.dl1_kb = self.dl1_kb();
+        cfg.l2_kb = self.l2_kb();
+        cfg
+    }
+
+    /// Names of the regression predictor columns, matching
+    /// [`DesignPoint::predictors`].
+    pub fn predictor_names() -> Vec<String> {
+        ["depth_fo4", "width", "gpr", "resv_fx", "log2_il1", "log2_dl1", "log2_l2"]
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// The regression predictor vector for this point. One representative
+    /// per jointly-varied group (the other members are perfectly
+    /// collinear); cache sizes enter on a log2 scale.
+    pub fn predictors(&self) -> Vec<f64> {
+        vec![
+            self.fo4() as f64,
+            self.decode_width() as f64,
+            self.gpr() as f64,
+            self.resv_fx() as f64,
+            (self.il1_kb() as f64).log2(),
+            (self.dl1_kb() as f64).log2(),
+            (self.l2_kb() as f64).log2(),
+        ]
+    }
+
+    /// The raw design-parameter vector used for K-means clustering in the
+    /// heterogeneity study (one representative per group, linear scale).
+    pub fn cluster_vector(&self) -> Vec<f64> {
+        vec![
+            self.fo4() as f64,
+            self.decode_width() as f64,
+            self.gpr() as f64,
+            self.resv_fx() as f64,
+            (self.il1_kb() as f64).log2(),
+            (self.dl1_kb() as f64).log2(),
+            (self.l2_kb() as f64).log2(),
+        ]
+    }
+}
+
+/// The design space: the set of depth values crossed with the fixed
+/// Table 1 groups.
+///
+/// # Examples
+///
+/// ```
+/// use udse_core::space::DesignSpace;
+///
+/// assert_eq!(DesignSpace::paper().len(), 375_000);
+/// assert_eq!(DesignSpace::exploration().len(), 262_500);
+/// let samples = DesignSpace::paper().sample_uar(100, 7);
+/// assert_eq!(samples.len(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpace {
+    depths: &'static [u32],
+}
+
+impl DesignSpace {
+    /// The full 375,000-point sampling space (depths 9–36 FO4).
+    pub fn paper() -> Self {
+        DesignSpace { depths: &DEPTH_VALUES }
+    }
+
+    /// The 262,500-point exploration space (depths 12–30 FO4), a strict
+    /// subset of the sampling space so model queries never extrapolate
+    /// (§3.5).
+    pub fn exploration() -> Self {
+        DesignSpace { depths: &EXPLORATION_DEPTH_VALUES }
+    }
+
+    /// The depth values of this space.
+    pub fn depths(&self) -> &'static [u32] {
+        self.depths
+    }
+
+    /// Number of points in the space.
+    pub fn len(&self) -> u64 {
+        self.depths.len() as u64
+            * WIDTH_VALUES.len() as u64
+            * REGS_LEVELS as u64
+            * RESV_LEVELS as u64
+            * IL1_VALUES.len() as u64
+            * DL1_VALUES.len() as u64
+            * L2_VALUES.len() as u64
+    }
+
+    /// Whether the space is empty (never, for the provided constructors).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds a point from raw group indices, validating each against
+    /// its group's cardinality. Returns `None` when any index is out of
+    /// range.
+    pub fn point(&self, indices: [u8; 7]) -> Option<DesignPoint> {
+        let [depth_idx, width_idx, regs_idx, resv_idx, il1_idx, dl1_idx, l2_idx] = indices;
+        if depth_idx as usize >= self.depths.len()
+            || width_idx as usize >= WIDTH_VALUES.len()
+            || regs_idx >= REGS_LEVELS
+            || resv_idx >= RESV_LEVELS
+            || il1_idx as usize >= IL1_VALUES.len()
+            || dl1_idx as usize >= DL1_VALUES.len()
+            || l2_idx as usize >= L2_VALUES.len()
+        {
+            return None;
+        }
+        Some(DesignPoint {
+            depth_idx,
+            width_idx,
+            regs_idx,
+            resv_idx,
+            il1_idx,
+            dl1_idx,
+            l2_idx,
+            fo4: self.depths[depth_idx as usize],
+        })
+    }
+
+    /// The raw group indices of a point, in [`DesignSpace::point`] order.
+    pub fn indices(&self, p: &DesignPoint) -> [u8; 7] {
+        [p.depth_idx, p.width_idx, p.regs_idx, p.resv_idx, p.il1_idx, p.dl1_idx, p.l2_idx]
+    }
+
+    /// Per-dimension cardinalities, in [`DesignSpace::point`] order.
+    pub fn dimensions(&self) -> [u8; 7] {
+        [
+            self.depths.len() as u8,
+            WIDTH_VALUES.len() as u8,
+            REGS_LEVELS,
+            RESV_LEVELS,
+            IL1_VALUES.len() as u8,
+            DL1_VALUES.len() as u8,
+            L2_VALUES.len() as u8,
+        ]
+    }
+
+    /// Decodes a flat index into a design point.
+    ///
+    /// The index layout is row-major over
+    /// `(depth, width, regs, resv, il1, dl1, l2)`.
+    pub fn decode(&self, index: u64) -> Option<DesignPoint> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut rest = index;
+        let take = |rest: &mut u64, n: u64| {
+            let v = *rest % n;
+            *rest /= n;
+            v as u8
+        };
+        // Decode in reverse of the row-major order.
+        let l2_idx = take(&mut rest, L2_VALUES.len() as u64);
+        let dl1_idx = take(&mut rest, DL1_VALUES.len() as u64);
+        let il1_idx = take(&mut rest, IL1_VALUES.len() as u64);
+        let resv_idx = take(&mut rest, RESV_LEVELS as u64);
+        let regs_idx = take(&mut rest, REGS_LEVELS as u64);
+        let width_idx = take(&mut rest, WIDTH_VALUES.len() as u64);
+        let depth_idx = take(&mut rest, self.depths.len() as u64);
+        Some(DesignPoint {
+            depth_idx,
+            width_idx,
+            regs_idx,
+            resv_idx,
+            il1_idx,
+            dl1_idx,
+            l2_idx,
+            fo4: self.depths[depth_idx as usize],
+        })
+    }
+
+    /// Encodes a design point back to its flat index.
+    ///
+    /// Returns `None` when the point's depth is not part of this space
+    /// (e.g. a 9 FO4 sample encoded against the exploration space).
+    pub fn encode(&self, p: &DesignPoint) -> Option<u64> {
+        let depth_idx = self.depths.iter().position(|&d| d == p.fo4)? as u64;
+        let mut idx = depth_idx;
+        idx = idx * WIDTH_VALUES.len() as u64 + p.width_idx as u64;
+        idx = idx * REGS_LEVELS as u64 + p.regs_idx as u64;
+        idx = idx * RESV_LEVELS as u64 + p.resv_idx as u64;
+        idx = idx * IL1_VALUES.len() as u64 + p.il1_idx as u64;
+        idx = idx * DL1_VALUES.len() as u64 + p.dl1_idx as u64;
+        idx = idx * L2_VALUES.len() as u64 + p.l2_idx as u64;
+        Some(idx)
+    }
+
+    /// Iterates over every point of the space in index order.
+    pub fn iter(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        (0..self.len()).map(move |i| self.decode(i).expect("index in range"))
+    }
+
+    /// Draws `n` points uniformly at random (with replacement, as the
+    /// paper's UAR sampling does; at n = 1,000 out of 375,000 duplicates
+    /// are vanishingly rare).
+    pub fn sample_uar(&self, n: usize, seed: u64) -> Vec<DesignPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = self.len();
+        (0..n)
+            .map(|_| self.decode(rng.gen_range(0..len)).expect("index in range"))
+            .collect()
+    }
+
+    /// Returns the point of this space nearest to an arbitrary parameter
+    /// vector in [`DesignPoint::cluster_vector`] coordinates — used to
+    /// snap K-means centroids back onto valid designs.
+    pub fn nearest(&self, vector: &[f64]) -> DesignPoint {
+        assert_eq!(vector.len(), 7, "cluster vectors have 7 dimensions");
+        let snap = |target: f64, values: &mut dyn Iterator<Item = f64>| -> u8 {
+            let mut best = (0u8, f64::INFINITY);
+            for (i, v) in values.enumerate() {
+                let d = (v - target).abs();
+                if d < best.1 {
+                    best = (i as u8, d);
+                }
+            }
+            best.0
+        };
+        let depth_idx = snap(vector[0], &mut self.depths.iter().map(|&d| d as f64));
+        let width_idx = snap(vector[1], &mut WIDTH_VALUES.iter().map(|w| w.0 as f64));
+        let regs_idx = snap(vector[2], &mut (0..REGS_LEVELS).map(|i| 40.0 + 10.0 * i as f64));
+        let resv_idx = snap(vector[3], &mut (0..RESV_LEVELS).map(|i| 10.0 + 2.0 * i as f64));
+        let il1_idx = snap(vector[4], &mut IL1_VALUES.iter().map(|&v| (v as f64).log2()));
+        let dl1_idx = snap(vector[5], &mut DL1_VALUES.iter().map(|&v| (v as f64).log2()));
+        let l2_idx = snap(vector[6], &mut L2_VALUES.iter().map(|&v| (v as f64).log2()));
+        DesignPoint {
+            depth_idx,
+            width_idx,
+            regs_idx,
+            resv_idx,
+            il1_idx,
+            dl1_idx,
+            l2_idx,
+            fo4: self.depths[depth_idx as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_match_paper() {
+        assert_eq!(DesignSpace::paper().len(), 375_000);
+        assert_eq!(DesignSpace::exploration().len(), 262_500);
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let space = DesignSpace::paper();
+        for idx in [0u64, 1, 17, 374_999, 200_000, 123_456] {
+            let p = space.decode(idx).unwrap();
+            assert_eq!(space.encode(&p), Some(idx));
+        }
+        assert_eq!(space.decode(375_000), None);
+    }
+
+    #[test]
+    fn exploration_is_subset_of_paper() {
+        let paper = DesignSpace::paper();
+        let exp = DesignSpace::exploration();
+        let p = exp.decode(99_999).unwrap();
+        // The same physical design exists in the paper space.
+        let idx = paper.encode(&p).expect("depth 12..30 present in paper space");
+        assert_eq!(paper.decode(idx).unwrap().fo4(), p.fo4());
+    }
+
+    #[test]
+    fn parameter_ranges_match_table1() {
+        let space = DesignSpace::paper();
+        let first = space.decode(0).unwrap();
+        let last = space.decode(space.len() - 1).unwrap();
+        assert_eq!(first.gpr(), 40);
+        assert_eq!(last.gpr(), 130);
+        assert_eq!(first.fpr(), 40);
+        assert_eq!(last.fpr(), 112);
+        assert_eq!(first.spr(), 42);
+        assert_eq!(last.spr(), 96);
+        assert_eq!(first.resv_br(), 6);
+        assert_eq!(last.resv_br(), 15);
+        assert_eq!(first.resv_fx(), 10);
+        assert_eq!(last.resv_fx(), 28);
+        assert_eq!(first.resv_fp(), 5);
+        assert_eq!(last.resv_fp(), 14);
+        assert_eq!(first.il1_kb(), 16);
+        assert_eq!(last.il1_kb(), 256);
+        assert_eq!(first.dl1_kb(), 8);
+        assert_eq!(last.dl1_kb(), 128);
+        assert_eq!(first.l2_kb(), 256);
+        assert_eq!(last.l2_kb(), 4096);
+        assert_eq!(first.fo4(), 9);
+        assert_eq!(last.fo4(), 36);
+    }
+
+    #[test]
+    fn every_point_yields_valid_machine_config() {
+        // Spot-check a random sample (the full space is large).
+        for p in DesignSpace::paper().sample_uar(500, 3) {
+            p.to_machine_config().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_diverse() {
+        let space = DesignSpace::paper();
+        let a = space.sample_uar(50, 9);
+        let b = space.sample_uar(50, 9);
+        assert_eq!(a, b);
+        let depths: std::collections::HashSet<u32> = a.iter().map(|p| p.fo4()).collect();
+        assert!(depths.len() >= 5, "UAR sample should cover many depths");
+    }
+
+    #[test]
+    fn sampling_covers_parameter_ranges() {
+        let space = DesignSpace::paper();
+        let sample = space.sample_uar(1_000, 1);
+        // Each group's extreme values should appear in 1,000 draws.
+        assert!(sample.iter().any(|p| p.regs_idx == 0));
+        assert!(sample.iter().any(|p| p.regs_idx == 9));
+        assert!(sample.iter().any(|p| p.l2_idx == 0));
+        assert!(sample.iter().any(|p| p.l2_idx == 4));
+        assert!(sample.iter().any(|p| p.fo4() == 9));
+        assert!(sample.iter().any(|p| p.fo4() == 36));
+    }
+
+    #[test]
+    fn predictors_have_names() {
+        let p = DesignSpace::paper().decode(7).unwrap();
+        assert_eq!(p.predictors().len(), DesignPoint::predictor_names().len());
+    }
+
+    #[test]
+    fn nearest_snaps_to_valid_point() {
+        let space = DesignSpace::exploration();
+        let p = space.decode(1234).unwrap();
+        // Exact vector snaps to itself.
+        assert_eq!(space.nearest(&p.cluster_vector()), p);
+        // A perturbed vector still snaps to a valid point.
+        let mut v = p.cluster_vector();
+        v[0] += 1.4; // depth off-grid
+        v[6] += 0.4; // l2 off-grid
+        let q = space.nearest(&v);
+        assert!(space.encode(&q).is_some());
+    }
+
+    #[test]
+    fn iter_matches_len() {
+        // Use a reduced check: count a slice of the iterator lazily.
+        let space = DesignSpace::exploration();
+        assert_eq!(space.iter().take(10).count(), 10);
+        let total: u64 = space.len();
+        assert_eq!(total, 262_500);
+    }
+
+    #[test]
+    fn encode_rejects_foreign_depth() {
+        let paper = DesignSpace::paper();
+        let exp = DesignSpace::exploration();
+        let nine_fo4 = paper.decode(0).unwrap();
+        assert_eq!(nine_fo4.fo4(), 9);
+        assert_eq!(exp.encode(&nine_fo4), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's design space studies: model validation (Fig 1), pareto
+//! frontier analysis (§4), pipeline depth analysis (§5), and
+//! multiprocessor heterogeneity analysis (§6).
+
+pub mod depth;
+pub mod heterogeneity;
+pub mod pareto;
+pub mod validation;
+
+use udse_regress::RegressError;
+use udse_trace::Benchmark;
+
+use crate::model::PaperModels;
+use crate::oracle::Oracle;
+use crate::space::{DesignPoint, DesignSpace};
+
+/// Shared knobs for the study drivers.
+///
+/// The paper's settings are `train_samples = 1000`,
+/// `validation_samples = 100`, `eval_stride = 1` (exhaustive), and
+/// `delay_bins = 100`; tests shrink all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyConfig {
+    /// Number of UAR training samples drawn from the sampling space.
+    pub train_samples: usize,
+    /// Number of UAR validation samples.
+    pub validation_samples: usize,
+    /// Stride for "exhaustive" evaluation of the exploration space; 1
+    /// evaluates all 262,500 points, k > 1 evaluates every k-th point.
+    pub eval_stride: usize,
+    /// Delay bins for pareto frontier discretization (§4.2).
+    pub delay_bins: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+}
+
+impl StudyConfig {
+    /// The paper's full-scale settings.
+    pub fn paper() -> Self {
+        StudyConfig {
+            train_samples: 1_000,
+            validation_samples: 100,
+            eval_stride: 1,
+            delay_bins: 100,
+            seed: 2007,
+        }
+    }
+
+    /// Reduced settings for fast tests and examples.
+    pub fn quick() -> Self {
+        StudyConfig {
+            train_samples: 200,
+            validation_samples: 25,
+            eval_stride: 500,
+            delay_bins: 40,
+            seed: 2007,
+        }
+    }
+}
+
+/// The nine per-benchmark model pairs trained on one shared UAR sample
+/// of the full design space — the artifact every study consumes.
+///
+/// # Examples
+///
+/// ```no_run
+/// use udse_core::oracle::SimOracle;
+/// use udse_core::studies::{StudyConfig, TrainedSuite};
+///
+/// let oracle = SimOracle::new();
+/// let suite = TrainedSuite::train(&oracle, &StudyConfig::paper()).unwrap();
+/// println!("perf R^2 (ammp): {:.3}",
+///     suite.models(udse_trace::Benchmark::Ammp).performance_model().r_squared());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrainedSuite {
+    models: Vec<PaperModels>,
+    samples: Vec<DesignPoint>,
+}
+
+impl TrainedSuite {
+    /// Samples the design space once and trains all nine benchmark model
+    /// pairs against the oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fitting failure.
+    pub fn train<O: Oracle + ?Sized>(
+        oracle: &O,
+        config: &StudyConfig,
+    ) -> Result<Self, RegressError> {
+        let samples = DesignSpace::paper().sample_uar(config.train_samples, config.seed);
+        let models = Benchmark::ALL
+            .iter()
+            .map(|&b| PaperModels::train(oracle, b, &samples))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TrainedSuite { models, samples })
+    }
+
+    /// The models for one benchmark.
+    pub fn models(&self, benchmark: Benchmark) -> &PaperModels {
+        &self.models[benchmark.id() as usize]
+    }
+
+    /// All nine model pairs in [`Benchmark::ALL`] order.
+    pub fn all_models(&self) -> &[PaperModels] {
+        &self.models
+    }
+
+    /// The shared training sample.
+    pub fn training_samples(&self) -> &[DesignPoint] {
+        &self.samples
+    }
+}
+
+/// Iterates ~`len / stride` points of the space, spread across *all*
+/// parameter dimensions.
+///
+/// A naive `step_by(stride)` would alias the index radix: e.g. any stride
+/// divisible by 5 visits only a single L2 size (L2 is the innermost index
+/// digit). Instead the subset walks `index = k * G mod len` for a fixed
+/// multiplier `G` coprime to every possible space size, which visits
+/// distinct indices with low discrepancy in every dimension. `stride = 1`
+/// degenerates to exhaustive iteration in natural order.
+pub fn strided_points(
+    space: &DesignSpace,
+    stride: usize,
+) -> impl Iterator<Item = DesignPoint> + '_ {
+    // Prime, larger than any space, and not a factor of 2, 3, 5, or 7 —
+    // coprime to 375,000 = 2^3*3*5^6 and 262,500 = 2^2*3*5^5*7.
+    const G: u64 = 1_000_003;
+    let stride = stride.max(1) as u64;
+    let len = space.len();
+    let count = len.div_ceil(stride);
+    (0..count).map(move |k| {
+        let idx = if stride == 1 { k } else { (k.wrapping_mul(G)) % len };
+        space.decode(idx).expect("index in range")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Metrics;
+
+    pub(crate) struct TinyOracle;
+
+    impl Oracle for TinyOracle {
+        fn evaluate(&self, b: Benchmark, p: &DesignPoint) -> Metrics {
+            // Smooth, benchmark-dependent surface, cheap to evaluate.
+            let v = p.predictors();
+            let k = 1.0 + b.id() as f64 * 0.2;
+            let bips = k * (6.0 / v[0]) * (1.0 + 0.15 * v[1].ln()) + 0.02 * v[6];
+            let watts = 4.0 + k + 40.0 / v[0] + 1.2 * v[1] + 0.5 * v[6] + 0.01 * v[2];
+            Metrics { bips, watts }
+        }
+    }
+
+    #[test]
+    fn suite_trains_all_nine() {
+        let suite = TrainedSuite::train(&TinyOracle, &StudyConfig::quick()).unwrap();
+        assert_eq!(suite.all_models().len(), 9);
+        assert_eq!(suite.training_samples().len(), StudyConfig::quick().train_samples);
+        for b in Benchmark::ALL {
+            assert_eq!(suite.models(b).benchmark(), b);
+        }
+    }
+
+    #[test]
+    fn strided_iteration_counts() {
+        let space = DesignSpace::exploration();
+        let n = strided_points(&space, 500).count();
+        assert_eq!(n, 525); // ceil(262500 / 500)
+    }
+
+    #[test]
+    fn strided_subset_covers_every_dimension_level() {
+        // Regression test: a naive step_by(stride) with stride divisible
+        // by 5 would visit only one L2 size. The coprime walk must cover
+        // every level of every group.
+        let space = DesignSpace::exploration();
+        for stride in [200usize, 500, 1000] {
+            let pts: Vec<DesignPoint> = strided_points(&space, stride).collect();
+            for extract in [
+                |p: &DesignPoint| p.l2_idx,
+                |p: &DesignPoint| p.dl1_idx,
+                |p: &DesignPoint| p.il1_idx,
+                |p: &DesignPoint| p.width_idx,
+            ] {
+                let mut levels: Vec<u8> = pts.iter().map(extract).collect();
+                levels.sort_unstable();
+                levels.dedup();
+                assert!(levels.len() >= 3, "stride {stride} aliases a dimension");
+            }
+            let mut depths: Vec<u32> = pts.iter().map(|p| p.fo4()).collect();
+            depths.sort_unstable();
+            depths.dedup();
+            assert_eq!(depths.len(), 7, "stride {stride} misses depths");
+        }
+    }
+
+    #[test]
+    fn strided_subset_has_distinct_indices() {
+        let space = DesignSpace::exploration();
+        let mut idx: Vec<u64> =
+            strided_points(&space, 97).map(|p| space.encode(&p).unwrap()).collect();
+        let n = idx.len();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), n, "coprime walk must not repeat indices");
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(StudyConfig::paper().train_samples, 1_000);
+        assert!(StudyConfig::quick().eval_stride > 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Pareto frontier analysis (paper §4, Figures 2–4, Table 2).
+
+use udse_stats::ErrorSummary;
+use udse_trace::Benchmark;
+
+use crate::model::PaperModels;
+use crate::oracle::{Metrics, Oracle};
+use crate::pareto::ParetoFrontier;
+use crate::space::{DesignPoint, DesignSpace};
+use crate::studies::{strided_points, StudyConfig};
+
+/// One design with its regression-predicted delay and power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedDesign {
+    /// The design point.
+    pub point: DesignPoint,
+    /// Predicted metrics.
+    pub predicted: Metrics,
+}
+
+/// The Figure 2 artifact: the exhaustively predicted design space for one
+/// benchmark, with per-(depth, width) cluster summaries.
+#[derive(Debug, Clone)]
+pub struct Characterization {
+    /// The benchmark characterized.
+    pub benchmark: Benchmark,
+    /// Every evaluated design with predicted delay/power.
+    pub designs: Vec<PredictedDesign>,
+    /// Summary per (depth, width) cluster: FO4, width, delay range,
+    /// power range, count.
+    pub clusters: Vec<ClusterSummary>,
+}
+
+/// Delay/power envelope of one depth-width cluster of the space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterSummary {
+    /// Pipeline depth (FO4 per stage).
+    pub fo4: u32,
+    /// Decode width.
+    pub width: u32,
+    /// Minimum predicted delay in the cluster.
+    pub delay_min: f64,
+    /// Maximum predicted delay in the cluster.
+    pub delay_max: f64,
+    /// Minimum predicted power in the cluster.
+    pub power_min: f64,
+    /// Maximum predicted power in the cluster.
+    pub power_max: f64,
+    /// Designs in the cluster.
+    pub count: usize,
+}
+
+/// Exhaustively (or stride-sampled) evaluates the exploration space with
+/// the regression models — the paper's §4.1 "complete characterization".
+pub fn characterize(
+    models: &PaperModels,
+    space: &DesignSpace,
+    config: &StudyConfig,
+) -> Characterization {
+    let designs: Vec<PredictedDesign> = strided_points(space, config.eval_stride)
+        .map(|point| PredictedDesign { point, predicted: models.predict_metrics(&point) })
+        .collect();
+    // Cluster summaries keyed by (depth, width).
+    let mut clusters: Vec<ClusterSummary> = Vec::new();
+    for d in &designs {
+        let fo4 = d.point.fo4();
+        let width = d.point.decode_width();
+        let delay = d.predicted.delay_seconds();
+        let power = d.predicted.watts;
+        match clusters.iter_mut().find(|c| c.fo4 == fo4 && c.width == width) {
+            Some(c) => {
+                c.delay_min = c.delay_min.min(delay);
+                c.delay_max = c.delay_max.max(delay);
+                c.power_min = c.power_min.min(power);
+                c.power_max = c.power_max.max(power);
+                c.count += 1;
+            }
+            None => clusters.push(ClusterSummary {
+                fo4,
+                width,
+                delay_min: delay,
+                delay_max: delay,
+                power_min: power,
+                power_max: power,
+                count: 1,
+            }),
+        }
+    }
+    clusters.sort_by_key(|c| (c.fo4, c.width));
+    Characterization { benchmark: models.benchmark(), designs, clusters }
+}
+
+/// The Figure 3 artifact: the regression-predicted pareto frontier, with
+/// simulated ground truth for each frontier design.
+#[derive(Debug, Clone)]
+pub struct FrontierStudy {
+    /// The benchmark analyzed.
+    pub benchmark: Benchmark,
+    /// Frontier designs ordered by increasing predicted delay.
+    pub designs: Vec<DesignPoint>,
+    /// Model-predicted metrics per frontier design.
+    pub predicted: Vec<Metrics>,
+    /// Simulated metrics per frontier design.
+    pub simulated: Vec<Metrics>,
+}
+
+impl FrontierStudy {
+    /// Constructs the predicted frontier from a characterization and
+    /// simulates every frontier design (the paper's Fig 3 overlay).
+    pub fn run<O: Oracle + ?Sized>(
+        oracle: &O,
+        characterization: &Characterization,
+        config: &StudyConfig,
+    ) -> Self {
+        let pts: Vec<(f64, f64)> = characterization
+            .designs
+            .iter()
+            .map(|d| (d.predicted.delay_seconds(), d.predicted.watts))
+            .collect();
+        let frontier = ParetoFrontier::from_points(&pts, config.delay_bins);
+        let designs: Vec<DesignPoint> =
+            frontier.indices().iter().map(|&i| characterization.designs[i].point).collect();
+        let predicted: Vec<Metrics> =
+            frontier.indices().iter().map(|&i| characterization.designs[i].predicted).collect();
+        let simulated: Vec<Metrics> = designs
+            .iter()
+            .map(|p| oracle.evaluate(characterization.benchmark, p))
+            .collect();
+        FrontierStudy { benchmark: characterization.benchmark, designs, predicted, simulated }
+    }
+
+    /// The Figure 4 artifact: error distributions of the frontier
+    /// predictions, `(performance, power)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frontier is empty (cannot happen for frontiers built
+    /// by [`FrontierStudy::run`]).
+    pub fn errors(&self) -> (ErrorSummary, ErrorSummary) {
+        let obs_b: Vec<f64> = self.simulated.iter().map(|m| m.bips).collect();
+        let pred_b: Vec<f64> = self.predicted.iter().map(|m| m.bips).collect();
+        let obs_w: Vec<f64> = self.simulated.iter().map(|m| m.watts).collect();
+        let pred_w: Vec<f64> = self.predicted.iter().map(|m| m.watts).collect();
+        (ErrorSummary::from_pairs(&obs_b, &pred_b), ErrorSummary::from_pairs(&obs_w, &pred_w))
+    }
+}
+
+/// The Table 2 artifact: the `bips^3/w`-maximizing design for one
+/// benchmark, with prediction errors against simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct EfficiencyOptimum {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The predicted-optimal design.
+    pub point: DesignPoint,
+    /// Model-predicted metrics at the optimum.
+    pub predicted: Metrics,
+    /// Simulated metrics at the optimum.
+    pub simulated: Metrics,
+}
+
+impl EfficiencyOptimum {
+    /// Signed relative delay error `(obs - pred) / pred` (Table 2 signs).
+    pub fn delay_error(&self) -> f64 {
+        let pred = self.predicted.delay_seconds();
+        (self.simulated.delay_seconds() - pred) / pred
+    }
+
+    /// Signed relative power error.
+    pub fn power_error(&self) -> f64 {
+        (self.simulated.watts - self.predicted.watts) / self.predicted.watts
+    }
+}
+
+/// Finds the predicted `bips^3/w` optimum over the exploration space and
+/// validates it by simulation (one row of Table 2).
+pub fn efficiency_optimum<O: Oracle + ?Sized>(
+    oracle: &O,
+    models: &PaperModels,
+    space: &DesignSpace,
+    config: &StudyConfig,
+) -> EfficiencyOptimum {
+    let (point, predicted) = strided_points(space, config.eval_stride)
+        .map(|p| (p, models.predict_metrics(&p)))
+        .max_by(|a, b| {
+            a.1.bips_cubed_per_watt().total_cmp(&b.1.bips_cubed_per_watt())
+        })
+        .expect("exploration space is non-empty");
+    let simulated = oracle.evaluate(models.benchmark(), &point);
+    EfficiencyOptimum { benchmark: models.benchmark(), point, predicted, simulated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::tests::TinyOracle;
+    use crate::studies::TrainedSuite;
+
+    fn setup() -> (TrainedSuite, StudyConfig) {
+        let config = StudyConfig::quick();
+        (TrainedSuite::train(&TinyOracle, &config).unwrap(), config)
+    }
+
+    #[test]
+    fn characterization_covers_all_depth_width_clusters() {
+        let (suite, config) = setup();
+        let space = DesignSpace::exploration();
+        let ch = characterize(suite.models(Benchmark::Ammp), &space, &config);
+        // 7 depths x 3 widths = 21 clusters.
+        assert_eq!(ch.clusters.len(), 21);
+        let total: usize = ch.clusters.iter().map(|c| c.count).sum();
+        assert_eq!(total, ch.designs.len());
+        for c in &ch.clusters {
+            assert!(c.delay_min <= c.delay_max);
+            assert!(c.power_min <= c.power_max);
+        }
+    }
+
+    #[test]
+    fn frontier_predictions_are_non_dominated() {
+        let (suite, config) = setup();
+        let space = DesignSpace::exploration();
+        let ch = characterize(suite.models(Benchmark::Mcf), &space, &config);
+        let fs = FrontierStudy::run(&TinyOracle, &ch, &config);
+        assert!(!fs.designs.is_empty());
+        // Monotone skyline.
+        for w in fs.predicted.windows(2) {
+            assert!(w[0].delay_seconds() < w[1].delay_seconds());
+            assert!(w[0].watts > w[1].watts);
+        }
+        let (perf_err, power_err) = fs.errors();
+        // Smooth oracle: frontier errors should be small.
+        assert!(perf_err.median() < 0.1);
+        assert!(power_err.median() < 0.1);
+    }
+
+    #[test]
+    fn efficiency_optimum_is_at_least_as_good_as_random_points() {
+        let (suite, config) = setup();
+        let space = DesignSpace::exploration();
+        let models = suite.models(Benchmark::Gzip);
+        let opt = efficiency_optimum(&TinyOracle, models, &space, &config);
+        // The optimum is the argmax over the strided evaluation set, so it
+        // must beat every point of that same set.
+        for p in crate::studies::strided_points(&space, config.eval_stride).take(200) {
+            let eff = models.predict_efficiency(&p);
+            assert!(opt.predicted.bips_cubed_per_watt() >= eff - 1e-12);
+        }
+        // Errors are finite and defined.
+        assert!(opt.delay_error().is_finite());
+        assert!(opt.power_error().is_finite());
+    }
+}

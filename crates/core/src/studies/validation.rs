@@ -1,0 +1,128 @@
+//! Model validation on random designs (paper §3.4, Figure 1).
+//!
+//! Draws validation designs uniformly at random, simulates them, and
+//! summarizes the `|obs - pred| / pred` error distributions per benchmark
+//! for both the performance and the power model.
+
+use udse_stats::{median, ErrorSummary};
+use udse_trace::Benchmark;
+
+use crate::oracle::Oracle;
+use crate::space::DesignSpace;
+use crate::studies::{StudyConfig, TrainedSuite};
+
+/// Per-benchmark validation errors for one model kind.
+#[derive(Debug, Clone)]
+pub struct BenchmarkValidation {
+    /// The benchmark validated.
+    pub benchmark: Benchmark,
+    /// Performance-model error distribution.
+    pub performance: ErrorSummary,
+    /// Power-model error distribution.
+    pub power: ErrorSummary,
+}
+
+/// The Figure 1 artifact: error distributions per benchmark plus overall
+/// medians.
+#[derive(Debug, Clone)]
+pub struct ValidationStudy {
+    /// One entry per benchmark in [`Benchmark::ALL`] order.
+    pub per_benchmark: Vec<BenchmarkValidation>,
+    /// Median of all performance errors pooled across benchmarks.
+    pub overall_performance_median: f64,
+    /// Median of all power errors pooled across benchmarks.
+    pub overall_power_median: f64,
+}
+
+impl ValidationStudy {
+    /// Runs the validation: `config.validation_samples` UAR designs from
+    /// the *sampling* space, simulated for every benchmark and compared
+    /// against the trained models.
+    pub fn run<O: Oracle + ?Sized>(
+        oracle: &O,
+        suite: &TrainedSuite,
+        config: &StudyConfig,
+    ) -> Self {
+        // Offset seed so validation never reuses training designs.
+        let points =
+            DesignSpace::paper().sample_uar(config.validation_samples, config.seed ^ 0xA11D);
+        Self::run_on_points(oracle, suite, &points)
+    }
+
+    /// Runs the validation on an explicit point set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn run_on_points<O: Oracle + ?Sized>(
+        oracle: &O,
+        suite: &TrainedSuite,
+        points: &[crate::space::DesignPoint],
+    ) -> Self {
+        assert!(!points.is_empty(), "validation needs at least one point");
+        let mut per_benchmark = Vec::with_capacity(9);
+        let mut all_perf = Vec::new();
+        let mut all_power = Vec::new();
+        for &b in &Benchmark::ALL {
+            let models = suite.models(b);
+            let mut obs_bips = Vec::with_capacity(points.len());
+            let mut pred_bips = Vec::with_capacity(points.len());
+            let mut obs_watts = Vec::with_capacity(points.len());
+            let mut pred_watts = Vec::with_capacity(points.len());
+            for p in points {
+                let m = oracle.evaluate(b, p);
+                obs_bips.push(m.bips);
+                pred_bips.push(models.predict_bips(p));
+                obs_watts.push(m.watts);
+                pred_watts.push(models.predict_watts(p));
+            }
+            let performance = ErrorSummary::from_pairs(&obs_bips, &pred_bips);
+            let power = ErrorSummary::from_pairs(&obs_watts, &pred_watts);
+            all_perf.extend(
+                obs_bips.iter().zip(&pred_bips).map(|(o, p)| ((o - p) / p).abs()),
+            );
+            all_power.extend(
+                obs_watts.iter().zip(&pred_watts).map(|(o, p)| ((o - p) / p).abs()),
+            );
+            per_benchmark.push(BenchmarkValidation { benchmark: b, performance, power });
+        }
+        ValidationStudy {
+            per_benchmark,
+            overall_performance_median: median(&all_perf),
+            overall_power_median: median(&all_power),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::studies::tests::TinyOracle;
+
+    #[test]
+    fn validation_on_smooth_oracle_is_accurate() {
+        let config = StudyConfig::quick();
+        let suite = TrainedSuite::train(&TinyOracle, &config).unwrap();
+        let study = ValidationStudy::run(&TinyOracle, &suite, &config);
+        assert_eq!(study.per_benchmark.len(), 9);
+        // The fake surface is smooth, so spline models should nail it.
+        assert!(
+            study.overall_performance_median < 0.05,
+            "median perf error {}",
+            study.overall_performance_median
+        );
+        assert!(study.overall_power_median < 0.05);
+        for bv in &study.per_benchmark {
+            assert!(bv.performance.boxplot.n > 0);
+            assert!(bv.power.median() >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_panics() {
+        let config = StudyConfig::quick();
+        let suite = TrainedSuite::train(&TinyOracle, &config).unwrap();
+        let _ = ValidationStudy::run_on_points(&TinyOracle, &suite, &[]);
+    }
+}

@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        context: &'static str,
+        /// Dimensions of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// The matrix is rank deficient (or numerically so) and the requested
+    /// factorization or solve cannot proceed.
+    RankDeficient {
+        /// Index of the first pivot that collapsed to (near) zero.
+        pivot: usize,
+    },
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite {
+        /// Index of the failing diagonal entry.
+        index: usize,
+    },
+    /// The system has more unknowns than equations.
+    Underdetermined {
+        /// Number of equations (rows).
+        rows: usize,
+        /// Number of unknowns (columns).
+        cols: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { context, left, right } => write!(
+                f,
+                "dimension mismatch in {context}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::RankDeficient { pivot } => {
+                write!(f, "matrix is rank deficient at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite at diagonal index {index}")
+            }
+            LinalgError::Underdetermined { rows, cols } => {
+                write!(f, "underdetermined system: {rows} equations, {cols} unknowns")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            LinalgError::DimensionMismatch { context: "matmul", left: (2, 3), right: (4, 5) },
+            LinalgError::RankDeficient { pivot: 1 },
+            LinalgError::NotPositiveDefinite { index: 0 },
+            LinalgError::Underdetermined { rows: 2, cols: 5 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

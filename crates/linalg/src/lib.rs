@@ -1,0 +1,51 @@
+//! Dense numerical linear algebra for regression modeling.
+//!
+//! This crate provides the minimal, dependency-free linear algebra needed by
+//! the regression models of the design space exploration framework: a dense
+//! row-major [`Matrix`] type, Householder [`Qr`] factorization, [`Cholesky`]
+//! factorization, triangular solves, and a least-squares driver
+//! ([`lstsq`]).
+//!
+//! The implementation favours numerical robustness over raw speed: least
+//! squares is solved through a column-pivoted-free Householder QR (stable for
+//! the well-conditioned, centered design matrices produced by the regression
+//! crate) rather than normal equations, though a Cholesky-based path is also
+//! provided for cross-checking.
+//!
+//! # Examples
+//!
+//! Solve an overdetermined system in the least-squares sense:
+//!
+//! ```
+//! use udse_linalg::{Matrix, lstsq};
+//!
+//! // y ~= 2 + 3x sampled with no noise.
+//! let x = Matrix::from_rows(&[
+//!     vec![1.0, 0.0],
+//!     vec![1.0, 1.0],
+//!     vec![1.0, 2.0],
+//!     vec![1.0, 3.0],
+//! ]);
+//! let y = vec![2.0, 5.0, 8.0, 11.0];
+//! let beta = lstsq(&x, &y).unwrap();
+//! assert!((beta[0] - 2.0).abs() < 1e-10);
+//! assert!((beta[1] - 3.0).abs() < 1e-10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod matrix;
+mod qr;
+mod triangular;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use qr::{lstsq, Qr};
+pub use triangular::{solve_lower, solve_upper};
+
+/// Result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

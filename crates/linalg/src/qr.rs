@@ -1,0 +1,349 @@
+use crate::triangular::solve_upper;
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// The factorization is stored in compact form: the upper triangle of the
+/// working matrix holds `R`; the Householder reflector for column `k` is the
+/// vector whose head is `heads[k]` and whose tail occupies the
+/// strictly-lower part of column `k`, with scaling factor `betas[k]` such
+/// that `H_k = I - betas[k] * v v^T`.
+///
+/// # Examples
+///
+/// ```
+/// use udse_linalg::{Matrix, Qr};
+///
+/// let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]);
+/// let qr = Qr::new(&a).unwrap();
+/// let recon = qr.q().matmul(&qr.r()).unwrap();
+/// assert!(recon.sub(&a).unwrap().max_abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    packed: Matrix,
+    betas: Vec<f64>,
+    heads: Vec<f64>,
+    m: usize,
+    n: usize,
+}
+
+impl Qr {
+    /// Factorizes `a` as `Q R` using Householder reflections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Underdetermined`] if `a` has more columns than
+    /// rows.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        let mut w = a.clone();
+        let mut betas = vec![0.0; n];
+        let mut heads = vec![0.0; n];
+        for k in 0..n {
+            // Norm of column k below (and including) the diagonal.
+            let mut norm = 0.0f64;
+            for i in k..m {
+                norm = norm.hypot(w[(i, k)]);
+            }
+            if norm == 0.0 {
+                continue; // beta stays 0: identity reflector, R diagonal 0.
+            }
+            let alpha = if w[(k, k)] >= 0.0 { -norm } else { norm };
+            let vk = w[(k, k)] - alpha;
+            let mut vnorm2 = vk * vk;
+            for i in k + 1..m {
+                vnorm2 += w[(i, k)] * w[(i, k)];
+            }
+            if vnorm2 == 0.0 {
+                w[(k, k)] = alpha;
+                continue;
+            }
+            let beta = 2.0 / vnorm2;
+            // Apply H_k = I - beta v v^T to the trailing columns.
+            for j in k + 1..n {
+                let mut dot = vk * w[(k, j)];
+                for i in k + 1..m {
+                    dot += w[(i, k)] * w[(i, j)];
+                }
+                let s = beta * dot;
+                w[(k, j)] -= s * vk;
+                for i in k + 1..m {
+                    let vi = w[(i, k)];
+                    w[(i, j)] -= s * vi;
+                }
+            }
+            w[(k, k)] = alpha;
+            betas[k] = beta;
+            heads[k] = vk;
+            // The tail of v (rows k+1..m of column k) is left in place.
+        }
+        Ok(Qr { packed: w, betas, heads, m, n })
+    }
+
+    /// Number of rows of the factorized matrix.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of columns of the factorized matrix.
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Applies `Q^T` to a vector of length `m`, returning a vector of
+    /// length `m` whose first `n` entries feed the triangular solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != m`.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the Householder update math
+    pub fn q_transpose_apply(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.m {
+            return Err(LinalgError::DimensionMismatch {
+                context: "q_transpose_apply",
+                left: (self.m, self.n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        for k in 0..self.n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let vk = self.heads[k];
+            let mut dot = vk * y[k];
+            for i in k + 1..self.m {
+                dot += self.packed[(i, k)] * y[i];
+            }
+            let s = beta * dot;
+            y[k] -= s * vk;
+            for i in k + 1..self.m {
+                y[i] -= s * self.packed[(i, k)];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Returns the upper-triangular factor `R` as an `n x n` matrix.
+    pub fn r(&self) -> Matrix {
+        let mut r = Matrix::zeros(self.n, self.n);
+        for i in 0..self.n {
+            for j in i..self.n {
+                r[(i, j)] = self.packed[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Materializes the thin `m x n` orthogonal factor `Q`.
+    ///
+    /// This is O(m·n²) and intended for testing and diagnostics; solving
+    /// uses [`Qr::q_transpose_apply`] instead.
+    pub fn q(&self) -> Matrix {
+        // Q(thin) = H_0 H_1 ... H_{n-1} applied to the thin identity,
+        // reflectors applied in reverse order.
+        let mut q = Matrix::zeros(self.m, self.n);
+        for j in 0..self.n {
+            q[(j, j)] = 1.0;
+        }
+        for k in (0..self.n).rev() {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let vk = self.heads[k];
+            for j in 0..self.n {
+                let mut dot = vk * q[(k, j)];
+                for i in k + 1..self.m {
+                    dot += self.packed[(i, k)] * q[(i, j)];
+                }
+                let s = beta * dot;
+                q[(k, j)] -= s * vk;
+                for i in k + 1..self.m {
+                    let vi = self.packed[(i, k)];
+                    q[(i, j)] -= s * vi;
+                }
+            }
+        }
+        q
+    }
+
+    /// Solves the least-squares problem `min ||a x - b||_2` given this
+    /// factorization of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::RankDeficient`] if `R` has a numerically zero
+    /// diagonal entry, or [`LinalgError::DimensionMismatch`] for a
+    /// wrong-sized `b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = self.q_transpose_apply(b)?;
+        solve_upper(&self.r(), &y[..self.n])
+    }
+}
+
+/// Solves the least-squares problem `min ||x beta - y||_2` for `beta`.
+///
+/// This is the primary entry point used by the regression crate.
+///
+/// # Errors
+///
+/// Propagates factorization errors from [`Qr::new`] and solve errors from
+/// [`Qr::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use udse_linalg::{Matrix, lstsq};
+///
+/// let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]]);
+/// let beta = lstsq(&x, &[2.0, 3.0, 4.0]).unwrap();
+/// assert!((beta[0] - 1.0).abs() < 1e-10);
+/// assert!((beta[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    Qr::new(x)?.solve(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.5],
+            vec![1.0, 3.0, -2.0],
+            vec![0.0, 1.0, 4.0],
+            vec![-1.0, 0.5, 1.0],
+        ]);
+        let qr = Qr::new(&a).unwrap();
+        let recon = qr.q().matmul(&qr.r()).unwrap();
+        assert!(recon.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+        ]);
+        let q = Qr::new(&a).unwrap().q();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 10.0],
+            vec![1.0, 1.0, 1.0],
+        ]);
+        let r = Qr::new(&a).unwrap().r();
+        for i in 0..3 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_solve_square_system() {
+        // A x = b with A invertible: least squares gives the exact solution.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = lstsq(&a, &[5.0, 10.0]).unwrap();
+        // Solution of [2 1; 1 3] x = [5; 10] is x = [1, 3].
+        assert_close(x[0], 1.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations_result() {
+        // Overdetermined noisy fit; compare against solution computed by hand
+        // via normal equations for y = b0 + b1 x over x = 0..5 with
+        // y = [0, 1.1, 1.9, 3.2, 3.8, 5.1].
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [0.0, 1.1, 1.9, 3.2, 3.8, 5.1];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let x = Matrix::from_rows(&rows);
+        let beta = lstsq(&x, &ys).unwrap();
+        // Normal-equation solution: b1 = Sxy/Sxx, b0 = ybar - b1 xbar.
+        let xbar = 2.5;
+        let ybar: f64 = ys.iter().sum::<f64>() / 6.0;
+        let sxx: f64 = xs.iter().map(|x| (x - xbar) * (x - xbar)).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - xbar) * (y - ybar)).sum();
+        let b1 = sxy / sxx;
+        let b0 = ybar - b1 * xbar;
+        assert_close(beta[0], b0, 1e-10);
+        assert_close(beta[1], b1, 1e-10);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.5, 2.0],
+            vec![1.0, 1.5, 0.0],
+            vec![1.0, 2.5, 1.0],
+            vec![1.0, 3.5, 3.0],
+            vec![1.0, 4.5, 2.0],
+        ]);
+        let y = [1.0, 2.0, 1.5, 4.0, 3.0];
+        let beta = lstsq(&x, &y).unwrap();
+        let yhat = x.matvec(&beta).unwrap();
+        let resid: Vec<f64> = y.iter().zip(&yhat).map(|(a, b)| a - b).collect();
+        let xtr = x.tr_matvec(&resid).unwrap();
+        for v in xtr {
+            assert!(v.abs() < 1e-10, "residual not orthogonal: {v}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(Qr::new(&a), Err(LinalgError::Underdetermined { .. })));
+    }
+
+    #[test]
+    fn rank_deficient_solve_is_reported() {
+        // Two identical columns.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+        ]);
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::RankDeficient { .. })));
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let a = Matrix::identity(3);
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn zero_column_handled() {
+        let a = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![0.0, 2.0],
+            vec![0.0, 3.0],
+        ]);
+        let qr = Qr::new(&a).unwrap();
+        // R(0,0) is zero so solve must report rank deficiency rather than
+        // produce NaN.
+        assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::RankDeficient { .. })));
+    }
+}

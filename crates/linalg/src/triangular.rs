@@ -1,0 +1,126 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Solves the upper-triangular system `U x = b` by back substitution.
+///
+/// Only the upper triangle of `u` is read; entries below the diagonal are
+/// ignored, so a packed QR result can be passed directly.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `u` is not square or `b` has
+/// the wrong length, and [`LinalgError::RankDeficient`] if a diagonal entry is
+/// numerically zero.
+pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = u.rows();
+    if u.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "solve_upper",
+            left: u.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let tol = pivot_tolerance(n, (0..n).map(|i| u[(i, i)]));
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in i + 1..n {
+            s -= u[(i, j)] * x[j];
+        }
+        let d = u[(i, i)];
+        if d.abs() <= tol || !d.is_finite() {
+            return Err(LinalgError::RankDeficient { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves the lower-triangular system `L x = b` by forward substitution.
+///
+/// Only the lower triangle of `l` is read.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `l` is not square or `b` has
+/// the wrong length, and [`LinalgError::RankDeficient`] if a diagonal entry is
+/// numerically zero.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = l.rows();
+    if l.cols() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "solve_lower",
+            left: l.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let tol = pivot_tolerance(n, (0..n).map(|i| l[(i, i)]));
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let mut s = x[i];
+        for j in 0..i {
+            s -= l[(i, j)] * x[j];
+        }
+        let d = l[(i, i)];
+        if d.abs() <= tol || !d.is_finite() {
+            return Err(LinalgError::RankDeficient { pivot: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Relative pivot tolerance: a diagonal entry is treated as zero when it is
+/// smaller than `n * eps * max|diag|`, the conventional rank test for
+/// triangular factors.
+fn pivot_tolerance(n: usize, diag: impl Iterator<Item = f64>) -> f64 {
+    let max = diag.fold(0.0f64, |m, d| m.max(d.abs()));
+    (n as f64) * f64::EPSILON * max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_solve_known() {
+        // U = [[2, 1], [0, 4]], b = [4, 8] -> x = [1, 2]
+        let u = Matrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 4.0]]);
+        let x = solve_upper(&u, &[4.0, 8.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_solve_known() {
+        // L = [[2, 0], [1, 4]], b = [2, 9] -> x = [1, 2]
+        let l = Matrix::from_rows(&[vec![2.0, 0.0], vec![1.0, 4.0]]);
+        let x = solve_lower(&l, &[2.0, 9.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_diagonal_is_reported() {
+        let u = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 0.0]]);
+        assert_eq!(solve_upper(&u, &[1.0, 1.0]), Err(LinalgError::RankDeficient { pivot: 1 }));
+        let l = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        assert_eq!(solve_lower(&l, &[1.0, 1.0]), Err(LinalgError::RankDeficient { pivot: 0 }));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let u = Matrix::zeros(2, 3);
+        assert!(solve_upper(&u, &[1.0, 2.0]).is_err());
+        let l = Matrix::identity(2);
+        assert!(solve_lower(&l, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn strict_triangle_is_ignored() {
+        // Garbage below the diagonal must not affect solve_upper.
+        let u = Matrix::from_rows(&[vec![2.0, 1.0], vec![999.0, 4.0]]);
+        let x = solve_upper(&u, &[4.0, 8.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+use crate::RegressError;
+
+/// A rectangular table of predictor observations: one row per observed
+/// design, one column per predictor variable.
+///
+/// # Examples
+///
+/// ```
+/// use udse_regress::Dataset;
+///
+/// let d = Dataset::new(
+///     vec!["depth".into(), "width".into()],
+///     vec![vec![19.0, 4.0], vec![12.0, 8.0]],
+/// ).unwrap();
+/// assert_eq!(d.len(), 2);
+/// assert_eq!(d.column(1), vec![4.0, 8.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that every row has one value per
+    /// variable and at least one row exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressError::MalformedDataset`] for empty or ragged
+    /// input.
+    pub fn new(names: Vec<String>, rows: Vec<Vec<f64>>) -> Result<Self, RegressError> {
+        if names.is_empty() || rows.is_empty() {
+            return Err(RegressError::MalformedDataset);
+        }
+        if rows.iter().any(|r| r.len() != names.len()) {
+            return Err(RegressError::MalformedDataset);
+        }
+        Ok(Dataset { names, rows })
+    }
+
+    /// Variable names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of variables (columns).
+    pub fn width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of observations (rows).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no rows (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrows observation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Copies column `var` into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn column(&self, var: usize) -> Vec<f64> {
+        assert!(var < self.width(), "variable index out of range");
+        self.rows.iter().map(|r| r[var]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_ragged_and_empty() {
+        assert_eq!(
+            Dataset::new(vec!["a".into()], vec![]),
+            Err(RegressError::MalformedDataset)
+        );
+        assert_eq!(
+            Dataset::new(vec!["a".into()], vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(RegressError::MalformedDataset)
+        );
+        assert_eq!(Dataset::new(vec![], vec![vec![]]), Err(RegressError::MalformedDataset));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+        )
+        .unwrap();
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert_eq!(d.column(0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(d.names()[1], "b");
+    }
+}

@@ -1,0 +1,107 @@
+/// Goodness-of-fit summary computed on the transformed response scale.
+///
+/// # Examples
+///
+/// ```
+/// use udse_regress::FitDiagnostics;
+///
+/// let d = FitDiagnostics::compute(&[1.0, 2.0, 3.0], &[1.1, 1.9, 3.0], 2);
+/// assert!(d.r_squared > 0.97);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitDiagnostics {
+    /// Coefficient of determination `1 - SS_res / SS_tot`.
+    pub r_squared: f64,
+    /// R² penalized for model size: `1 - (1-R²)(n-1)/(n-p)`.
+    pub adjusted_r_squared: f64,
+    /// Residual standard error `sqrt(SS_res / (n - p))`.
+    pub residual_std_error: f64,
+    /// Largest absolute residual.
+    pub max_abs_residual: f64,
+    /// Observations used.
+    pub n: usize,
+    /// Coefficients estimated (including intercept).
+    pub p: usize,
+}
+
+impl FitDiagnostics {
+    /// Computes diagnostics from observed and fitted values (both on the
+    /// transformed scale) and the coefficient count `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are empty.
+    pub fn compute(z: &[f64], zhat: &[f64], p: usize) -> Self {
+        assert_eq!(z.len(), zhat.len(), "observed/fitted length mismatch");
+        assert!(!z.is_empty(), "diagnostics of empty fit");
+        let n = z.len();
+        let mean = z.iter().sum::<f64>() / n as f64;
+        let ss_tot: f64 = z.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let mut ss_res = 0.0;
+        let mut max_abs = 0.0f64;
+        for (a, b) in z.iter().zip(zhat) {
+            let r = a - b;
+            ss_res += r * r;
+            max_abs = max_abs.max(r.abs());
+        }
+        let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        let dof = (n.saturating_sub(p)).max(1) as f64;
+        let adjusted = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / dof
+        };
+        FitDiagnostics {
+            r_squared,
+            adjusted_r_squared: adjusted,
+            residual_std_error: (ss_res / dof).sqrt(),
+            max_abs_residual: max_abs,
+            n,
+            p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_r2_is_one() {
+        let z = [1.0, 2.0, 3.0];
+        let d = FitDiagnostics::compute(&z, &z, 2);
+        assert_eq!(d.r_squared, 1.0);
+        assert_eq!(d.residual_std_error, 0.0);
+        assert_eq!(d.max_abs_residual, 0.0);
+    }
+
+    #[test]
+    fn mean_only_fit_r2_is_zero() {
+        let z = [1.0, 2.0, 3.0];
+        let mean = [2.0, 2.0, 2.0];
+        let d = FitDiagnostics::compute(&z, &mean, 1);
+        assert!(d.r_squared.abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_response_degenerates_to_one() {
+        let z = [5.0, 5.0, 5.0];
+        let d = FitDiagnostics::compute(&z, &z, 1);
+        assert_eq!(d.r_squared, 1.0);
+    }
+
+    #[test]
+    fn adjusted_below_plain_r2() {
+        let z = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let zhat = [1.1, 1.8, 3.2, 3.9, 5.1];
+        let d = FitDiagnostics::compute(&z, &zhat, 3);
+        assert!(d.adjusted_r_squared < d.r_squared);
+        assert!(d.r_squared > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = FitDiagnostics::compute(&[1.0], &[1.0, 2.0], 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Coefficient inference: standard errors, t statistics, and p-values.
+//!
+//! The paper's model derivation (\[14], §3) applies *significance testing*
+//! to decide which predictors and interactions stay in the model. This
+//! module provides the classical OLS inference machinery: coefficient
+//! covariance `sigma^2 (X'X)^-1` obtained from the QR factor `R`,
+//! two-sided t-tests per coefficient, and a self-contained Student-t CDF
+//! (via the regularized incomplete beta function).
+
+use udse_linalg::{solve_upper, Matrix};
+
+pub use udse_stats::{ln_gamma, regularized_incomplete_beta, student_t_cdf, two_sided_t_pvalue};
+
+/// Inference results for one fitted coefficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoefficientStat {
+    /// Column label (e.g. `"depth_fo4[rcs1]"` or `"intercept"`).
+    pub name: String,
+    /// Point estimate.
+    pub estimate: f64,
+    /// Standard error.
+    pub std_error: f64,
+    /// t statistic (`estimate / std_error`).
+    pub t_value: f64,
+    /// Two-sided p-value under `t(n - p)`.
+    pub p_value: f64,
+}
+
+impl CoefficientStat {
+    /// Whether the coefficient is significant at the given level.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Computes per-coefficient inference from the fit's upper-triangular
+/// factor `r` (from the QR of the design matrix), the coefficient
+/// estimates, the residual variance `sigma^2 = SS_res / (n - p)`, and the
+/// residual degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or `r` is singular.
+pub fn coefficient_stats(
+    names: &[String],
+    beta: &[f64],
+    r: &Matrix,
+    sigma2: f64,
+    dof: usize,
+) -> Vec<CoefficientStat> {
+    let p = beta.len();
+    assert_eq!(r.rows(), p, "R factor must be p x p");
+    assert_eq!(r.cols(), p, "R factor must be p x p");
+    assert_eq!(names.len(), p, "one name per coefficient");
+    assert!(dof > 0, "residual degrees of freedom must be positive");
+    // Var(beta) = sigma^2 (R'R)^-1; diagonal entries are the squared
+    // row norms of R^-T, i.e. |R^-1 e_j| per column j of R^-1.
+    // Column j of R^-1 solves R x = e_j.
+    let mut stats = Vec::with_capacity(p);
+    // Precompute columns of R^{-1}.
+    let mut rinv_cols: Vec<Vec<f64>> = Vec::with_capacity(p);
+    for j in 0..p {
+        let mut e = vec![0.0; p];
+        e[j] = 1.0;
+        let col = solve_upper(r, &e).expect("R factor invertible");
+        rinv_cols.push(col);
+    }
+    for (j, name) in names.iter().enumerate() {
+        // (X'X)^-1[j][j] = sum_k Rinv[j][k]^2 = sum over columns k of
+        // (R^-1)_{j,k}^2; entry (j, k) of R^-1 is rinv_cols[k][j].
+        let mut diag = 0.0;
+        for col in rinv_cols.iter() {
+            diag += col[j] * col[j];
+        }
+        let se = (sigma2 * diag).sqrt();
+        let t = if se > 0.0 { beta[j] / se } else { f64::INFINITY };
+        let pv = two_sided_t_pvalue(t, dof as f64);
+        stats.push(CoefficientStat {
+            name: name.clone(),
+            estimate: beta[j],
+            std_error: se,
+            t_value: t,
+            p_value: pv,
+        });
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+
+
+
+    #[test]
+    fn coefficient_stats_flag_true_signal() {
+        use udse_linalg::Qr;
+        // y = 3 + 2 x1 + noise; x2 is pure noise.
+        let n = 60;
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 1234u64;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        };
+        for i in 0..n {
+            let x1 = i as f64 / 10.0;
+            let x2 = next();
+            rows.push(vec![1.0, x1, x2]);
+            y.push(3.0 + 2.0 * x1 + 0.3 * next());
+        }
+        let x = Matrix::from_rows(&rows);
+        let qr = Qr::new(&x).unwrap();
+        let beta = qr.solve(&y).unwrap();
+        let yhat = x.matvec(&beta).unwrap();
+        let ss_res: f64 = y.iter().zip(&yhat).map(|(a, b)| (a - b) * (a - b)).sum();
+        let dof = n - 3;
+        let sigma2 = ss_res / dof as f64;
+        let names: Vec<String> =
+            ["intercept", "x1", "x2"].iter().map(|s| s.to_string()).collect();
+        let stats = coefficient_stats(&names, &beta, &qr.r(), sigma2, dof);
+        assert!(stats[0].significant_at(0.001), "intercept should be significant");
+        assert!(stats[1].significant_at(0.001), "x1 should be significant");
+        assert!(!stats[2].significant_at(0.01), "noise column should not be significant");
+        assert!((stats[1].estimate - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "p x p")]
+    fn wrong_r_shape_panics() {
+        let r = Matrix::identity(2);
+        let _ = coefficient_stats(
+            &["a".into(), "b".into(), "c".into()],
+            &[1.0, 2.0, 3.0],
+            &r,
+            1.0,
+            5,
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Non-linear regression models for microarchitectural prediction.
+//!
+//! Implements the paper's §3 modeling methodology:
+//!
+//! - **Model form** (§3.1): `f(y) = β₀ + Σ βⱼ gⱼ(xⱼ) + e`, fit by least
+//!   squares ([`udse_linalg`] Householder QR).
+//! - **Predictor interaction** (§3.2): product terms between predictors
+//!   specified from domain knowledge.
+//! - **Non-linearity** (§3.3): square-root / log response transformations
+//!   ([`ResponseTransform`]) and *restricted cubic splines* on predictors
+//!   ([`spline_basis`]) — piecewise cubic polynomials constrained to be
+//!   linear beyond the boundary knots, with knots placed at fixed
+//!   quantiles of each predictor's observed distribution. Predictors
+//!   strongly correlated with the response get 4 knots, weaker ones 3.
+//!
+//! # Examples
+//!
+//! Fit `sqrt(y) ~ rcs(x, 3 knots)` and predict:
+//!
+//! ```
+//! use udse_regress::{Dataset, ModelSpec, ResponseTransform, TermSpec};
+//!
+//! let xs: Vec<f64> = (0..50).map(|i| i as f64 / 5.0).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| (1.0 + 2.0 * x) * (1.0 + 2.0 * x)).collect();
+//! let data = Dataset::new(vec!["x".into()], xs.iter().map(|&x| vec![x]).collect()).unwrap();
+//! let spec = ModelSpec::new(ResponseTransform::Sqrt)
+//!     .with_term(TermSpec::Spline { var: 0, knots: 3 });
+//! let model = spec.fit(&data, &ys).unwrap();
+//! let pred = model.predict_row(&[5.0]).unwrap();
+//! assert!((pred - 121.0).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crossval;
+mod dataset;
+mod diagnostics;
+mod error;
+mod fit;
+mod inference;
+mod residuals;
+mod screening;
+mod spec;
+mod spline;
+mod transform;
+
+pub use crossval::{k_fold_cv, CvResult};
+pub use dataset::Dataset;
+pub use diagnostics::FitDiagnostics;
+pub use error::RegressError;
+pub use fit::FittedModel;
+pub use inference::{
+    coefficient_stats, ln_gamma, regularized_incomplete_beta, student_t_cdf,
+    two_sided_t_pvalue, CoefficientStat,
+};
+pub use residuals::{residual_report, ResidualReport};
+pub use screening::{auto_spec, rank_predictors, redundancy_pairs, Association};
+pub use spec::{ModelSpec, ResolvedTerm, TermSpec};
+pub use spline::{knot_quantiles, spline_basis, spline_columns};
+pub use transform::ResponseTransform;

@@ -1,0 +1,209 @@
+//! Predictor screening: association analysis and automatic knot
+//! assignment.
+//!
+//! The paper's §3.3 rule — "the strength of a predictor's correlation
+//! with the response will determine the number of knots in the
+//! transformation" (4 knots for strong predictors such as depth and
+//! registers, 3 for weak ones) — is automated here: rank predictors by
+//! the absolute Spearman rank correlation of predictor against response
+//! and build a [`ModelSpec`] assigning knot counts by that strength.
+
+use udse_stats::spearman;
+
+use crate::dataset::Dataset;
+use crate::spec::{ModelSpec, TermSpec};
+use crate::transform::ResponseTransform;
+use crate::RegressError;
+
+/// Association of one predictor with the response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Association {
+    /// Predictor column index.
+    pub var: usize,
+    /// Predictor name.
+    pub name: String,
+    /// Spearman rank correlation against the response.
+    pub rho: f64,
+}
+
+/// Ranks every predictor by `|spearman(x_j, y)|`, strongest first.
+///
+/// # Errors
+///
+/// Returns [`RegressError::MalformedDataset`] if `y`'s length differs
+/// from the dataset's.
+pub fn rank_predictors(data: &Dataset, y: &[f64]) -> Result<Vec<Association>, RegressError> {
+    if y.len() != data.len() {
+        return Err(RegressError::MalformedDataset);
+    }
+    let mut out: Vec<Association> = (0..data.width())
+        .map(|var| Association {
+            var,
+            name: data.names()[var].clone(),
+            rho: spearman(&data.column(var), y),
+        })
+        .collect();
+    out.sort_by(|a, b| b.rho.abs().total_cmp(&a.rho.abs()));
+    Ok(out)
+}
+
+/// Builds a model specification by the paper's screening rule: predictors
+/// whose `|rho|` is at least `strong_threshold` get `strong_knots`-knot
+/// splines, the rest get `weak_knots`-knot splines. Interactions are the
+/// caller's domain knowledge and can be appended afterwards.
+///
+/// # Errors
+///
+/// Propagates [`rank_predictors`] errors.
+///
+/// # Panics
+///
+/// Panics if knot counts are outside `3..=5`.
+///
+/// # Examples
+///
+/// ```
+/// use udse_regress::{auto_spec, Dataset, ResponseTransform};
+///
+/// let rows: Vec<Vec<f64>> = (0..40)
+///     .map(|i| vec![i as f64, ((i * 7) % 11) as f64])
+///     .collect();
+/// let y: Vec<f64> = rows.iter().map(|r| (1.0 + r[0]).powi(2)).collect();
+/// let data = Dataset::new(vec!["strong".into(), "weak".into()], rows).unwrap();
+/// let spec = auto_spec(&data, &y, ResponseTransform::Sqrt, 4, 3, 0.5).unwrap();
+/// assert_eq!(spec.terms().len(), 2);
+/// ```
+pub fn auto_spec(
+    data: &Dataset,
+    y: &[f64],
+    transform: ResponseTransform,
+    strong_knots: usize,
+    weak_knots: usize,
+    strong_threshold: f64,
+) -> Result<ModelSpec, RegressError> {
+    assert!((3..=5).contains(&strong_knots), "strong knots must be 3..=5");
+    assert!((3..=5).contains(&weak_knots), "weak knots must be 3..=5");
+    let ranking = rank_predictors(data, y)?;
+    let mut spec = ModelSpec::new(transform);
+    // Preserve the dataset's column order for reproducible term layout.
+    let mut by_var: Vec<(usize, f64)> =
+        ranking.iter().map(|a| (a.var, a.rho.abs())).collect();
+    by_var.sort_by_key(|&(var, _)| var);
+    for (var, strength) in by_var {
+        let knots = if strength >= strong_threshold { strong_knots } else { weak_knots };
+        spec = spec.with_term(TermSpec::Spline { var, knots });
+    }
+    Ok(spec)
+}
+
+/// Pairwise predictor redundancy: `|spearman(x_i, x_j)|` for every pair,
+/// strongest first — the "variable clustering" step of the derivation,
+/// used to spot predictors that carry the same information (e.g. the
+/// jointly-varied members of a Table 1 group).
+///
+/// # Panics
+///
+/// Panics if the dataset has fewer than two observations.
+pub fn redundancy_pairs(data: &Dataset) -> Vec<(usize, usize, f64)> {
+    let w = data.width();
+    let cols: Vec<Vec<f64>> = (0..w).map(|v| data.column(v)).collect();
+    let mut out = Vec::new();
+    for i in 0..w {
+        for j in i + 1..w {
+            out.push((i, j, spearman(&cols[i], &cols[j])));
+        }
+    }
+    out.sort_by(|a, b| b.2.abs().total_cmp(&a.2.abs()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (Dataset, Vec<f64>) {
+        // y driven by col 0 (strongly) and col 1 (weakly); col 2 is noise,
+        // col 3 duplicates col 0.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut state = 5u64;
+        let mut rnd = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+        };
+        for i in 0..80 {
+            let a = i as f64;
+            let b = rnd() * 10.0;
+            let c = rnd() * 10.0;
+            // Near-duplicate of `a`: rank-identical but not exactly
+            // collinear, so fits remain full rank.
+            rows.push(vec![a, b, c, 2.0 * a + 0.01 * rnd()]);
+            y.push(a + 3.0 * b + 0.1 * rnd());
+        }
+        (
+            Dataset::new(
+                vec!["a".into(), "b".into(), "noise".into(), "a_dup".into()],
+                rows,
+            )
+            .unwrap(),
+            y,
+        )
+    }
+
+    #[test]
+    fn ranking_orders_by_strength() {
+        let (data, y) = world();
+        let ranking = rank_predictors(&data, &y).unwrap();
+        // a, a_dup, and b all carry signal; noise is last and weak.
+        assert!(ranking[0].rho.abs() > 0.5);
+        assert_eq!(ranking.last().unwrap().name, "noise");
+        assert!(ranking.last().unwrap().rho.abs() < 0.3);
+    }
+
+    #[test]
+    fn auto_spec_assigns_knots_by_strength() {
+        let (data, y) = world();
+        let spec = auto_spec(&data, &y, ResponseTransform::Identity, 4, 3, 0.5).unwrap();
+        let knots_of = |var: usize| match spec.terms()[var] {
+            TermSpec::Spline { knots, .. } => knots,
+            _ => panic!("expected spline"),
+        };
+        assert_eq!(knots_of(0), 4, "strong predictor gets 4 knots");
+        assert_eq!(knots_of(2), 3, "noise gets 3 knots");
+        assert_eq!(knots_of(3), 4, "duplicate of strong predictor gets 4 knots");
+    }
+
+    #[test]
+    fn auto_spec_fits_end_to_end() {
+        let (data, y) = world();
+        let spec = auto_spec(&data, &y, ResponseTransform::Identity, 4, 3, 0.5).unwrap();
+        let model = spec.fit(&data, &y).unwrap();
+        assert!(model.r_squared() > 0.99);
+    }
+
+    #[test]
+    fn redundancy_finds_duplicated_column() {
+        let (data, _) = world();
+        let pairs = redundancy_pairs(&data);
+        let (i, j, rho) = pairs[0];
+        assert_eq!((i, j), (0, 3), "a and a_dup are the most associated pair");
+        assert!(rho.abs() > 0.999);
+    }
+
+    #[test]
+    fn mismatched_response_rejected() {
+        let (data, _) = world();
+        assert!(rank_predictors(&data, &[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strong knots")]
+    fn out_of_range_knots_panic() {
+        let (data, y) = world();
+        let _ = auto_spec(&data, &y, ResponseTransform::Identity, 7, 3, 0.5);
+    }
+}

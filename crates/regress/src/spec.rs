@@ -1,0 +1,235 @@
+use crate::dataset::Dataset;
+use crate::fit::FittedModel;
+use crate::spline::{knot_quantiles, spline_basis};
+use crate::transform::ResponseTransform;
+use crate::RegressError;
+
+/// One additive term of a model specification, referencing predictors by
+/// column index into the [`Dataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermSpec {
+    /// A single linear column for the predictor.
+    Linear(usize),
+    /// A restricted cubic spline on the predictor with `knots` knots
+    /// placed at Harrell's fixed quantiles of the training distribution.
+    /// Falls back to a linear term when the predictor has too few
+    /// distinct levels to support the knots.
+    Spline {
+        /// Predictor column index.
+        var: usize,
+        /// Number of knots (3–5; the paper uses 3 and 4).
+        knots: usize,
+    },
+    /// A pairwise interaction: the product of two predictors (paper §3.2).
+    Interaction(usize, usize),
+}
+
+impl TermSpec {
+    fn max_var(&self) -> usize {
+        match *self {
+            TermSpec::Linear(v) => v,
+            TermSpec::Spline { var, .. } => var,
+            TermSpec::Interaction(a, b) => a.max(b),
+        }
+    }
+}
+
+/// A term with its data-dependent parts resolved against a training set
+/// (spline knot locations fixed at the observed quantiles).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedTerm {
+    /// Linear column.
+    Linear(usize),
+    /// Spline with concrete knot locations.
+    Spline {
+        /// Predictor column index.
+        var: usize,
+        /// Knot locations (strictly increasing, length >= 3).
+        knots: Vec<f64>,
+    },
+    /// Product of two predictors.
+    Interaction(usize, usize),
+}
+
+impl ResolvedTerm {
+    /// Number of design-matrix columns this term expands to.
+    pub fn columns(&self) -> usize {
+        match self {
+            ResolvedTerm::Linear(_) | ResolvedTerm::Interaction(..) => 1,
+            ResolvedTerm::Spline { knots, .. } => knots.len() - 1,
+        }
+    }
+
+    /// Appends this term's columns for observation `row` to `out`.
+    pub(crate) fn expand_into(&self, row: &[f64], out: &mut Vec<f64>) {
+        match self {
+            ResolvedTerm::Linear(v) => out.push(row[*v]),
+            ResolvedTerm::Spline { var, knots } => out.extend(spline_basis(row[*var], knots)),
+            ResolvedTerm::Interaction(a, b) => out.push(row[*a] * row[*b]),
+        }
+    }
+}
+
+/// A model specification: a response transform plus additive terms.
+///
+/// Build with the `with_*` methods and call [`ModelSpec::fit`]. The same
+/// spec may be fit against many datasets (e.g. one per benchmark, as in
+/// the paper).
+///
+/// # Examples
+///
+/// ```
+/// use udse_regress::{Dataset, ModelSpec, ResponseTransform, TermSpec};
+///
+/// let spec = ModelSpec::new(ResponseTransform::Identity)
+///     .with_term(TermSpec::Linear(0))
+///     .with_term(TermSpec::Interaction(0, 1));
+/// let data = Dataset::new(
+///     vec!["a".into(), "b".into()],
+///     vec![vec![1.0, 1.0], vec![2.0, 1.0], vec![3.0, 2.0], vec![4.0, 2.0]],
+/// ).unwrap();
+/// let y = [3.0, 5.0, 13.0, 17.0]; // 1 + 2a + ab... approximately
+/// let model = spec.fit(&data, &y).unwrap();
+/// assert!(model.r_squared() > 0.95);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModelSpec {
+    transform: ResponseTransform,
+    terms: Vec<TermSpec>,
+}
+
+impl ModelSpec {
+    /// Creates an empty specification with the given response transform.
+    pub fn new(transform: ResponseTransform) -> Self {
+        ModelSpec { transform, terms: Vec::new() }
+    }
+
+    /// Adds a term (builder style).
+    #[must_use]
+    pub fn with_term(mut self, term: TermSpec) -> Self {
+        self.terms.push(term);
+        self
+    }
+
+    /// Adds many terms at once.
+    #[must_use]
+    pub fn with_terms<I: IntoIterator<Item = TermSpec>>(mut self, terms: I) -> Self {
+        self.terms.extend(terms);
+        self
+    }
+
+    /// The response transform.
+    pub fn transform(&self) -> ResponseTransform {
+        self.transform
+    }
+
+    /// The terms in insertion order.
+    pub fn terms(&self) -> &[TermSpec] {
+        &self.terms
+    }
+
+    /// Resolves data-dependent parts (spline knots) against a training
+    /// dataset, degrading splines with too few distinct levels to linear
+    /// terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressError::UnknownVariable`] when a term references a
+    /// column outside the dataset.
+    pub fn resolve(&self, data: &Dataset) -> Result<Vec<ResolvedTerm>, RegressError> {
+        let width = data.width();
+        let mut resolved = Vec::with_capacity(self.terms.len());
+        for term in &self.terms {
+            if term.max_var() >= width {
+                return Err(RegressError::UnknownVariable { var: term.max_var(), available: width });
+            }
+            resolved.push(match *term {
+                TermSpec::Linear(v) => ResolvedTerm::Linear(v),
+                TermSpec::Interaction(a, b) => ResolvedTerm::Interaction(a, b),
+                TermSpec::Spline { var, knots } => {
+                    let locations = knot_quantiles(&data.column(var), knots);
+                    if locations.len() >= 3 {
+                        ResolvedTerm::Spline { var, knots: locations }
+                    } else {
+                        // Too few distinct levels: degrade gracefully.
+                        ResolvedTerm::Linear(var)
+                    }
+                }
+            });
+        }
+        Ok(resolved)
+    }
+
+    /// Fits the model to `data` and responses `y` by least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a term references an unknown variable, `y`
+    /// has values outside the transform's domain or the wrong length,
+    /// there are fewer observations than coefficients, or the design
+    /// matrix is rank deficient.
+    pub fn fit(&self, data: &Dataset, y: &[f64]) -> Result<FittedModel, RegressError> {
+        FittedModel::fit(self.clone(), data, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+        Dataset::new(vec!["x".into(), "z".into()], rows).unwrap()
+    }
+
+    #[test]
+    fn resolve_assigns_knots_from_quantiles() {
+        let spec = ModelSpec::new(ResponseTransform::Identity)
+            .with_term(TermSpec::Spline { var: 0, knots: 3 });
+        let resolved = spec.resolve(&data()).unwrap();
+        match &resolved[0] {
+            ResolvedTerm::Spline { var, knots } => {
+                assert_eq!(*var, 0);
+                assert_eq!(knots.len(), 3);
+                assert!(knots.windows(2).all(|w| w[0] < w[1]));
+            }
+            other => panic!("expected spline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spline_on_binary_variable_degrades_to_linear() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![(i % 2) as f64]).collect();
+        let d = Dataset::new(vec!["flag".into()], rows).unwrap();
+        let spec = ModelSpec::new(ResponseTransform::Identity)
+            .with_term(TermSpec::Spline { var: 0, knots: 3 });
+        let resolved = spec.resolve(&d).unwrap();
+        assert_eq!(resolved[0], ResolvedTerm::Linear(0));
+    }
+
+    #[test]
+    fn unknown_variable_is_reported() {
+        let spec =
+            ModelSpec::new(ResponseTransform::Identity).with_term(TermSpec::Interaction(0, 9));
+        let err = spec.resolve(&data()).unwrap_err();
+        assert!(matches!(err, RegressError::UnknownVariable { var: 9, .. }));
+    }
+
+    #[test]
+    fn expand_interaction_is_product() {
+        let t = ResolvedTerm::Interaction(0, 1);
+        let mut out = Vec::new();
+        t.expand_into(&[3.0, 4.0], &mut out);
+        assert_eq!(out, vec![12.0]);
+        assert_eq!(t.columns(), 1);
+    }
+
+    #[test]
+    fn builder_accumulates_terms() {
+        let spec = ModelSpec::new(ResponseTransform::Sqrt)
+            .with_term(TermSpec::Linear(0))
+            .with_terms([TermSpec::Linear(1), TermSpec::Interaction(0, 1)]);
+        assert_eq!(spec.terms().len(), 3);
+        assert_eq!(spec.transform(), ResponseTransform::Sqrt);
+    }
+}

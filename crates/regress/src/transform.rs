@@ -1,0 +1,92 @@
+/// Response transformations `f(y)` (paper §3.3).
+///
+/// A square-root transform stabilizes error variance in the performance
+/// models; a log transform captures the exponential trends of the power
+/// models.
+///
+/// # Examples
+///
+/// ```
+/// use udse_regress::ResponseTransform;
+///
+/// let t = ResponseTransform::Log;
+/// let z = t.apply(10.0).unwrap();
+/// assert!((t.invert(z) - 10.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ResponseTransform {
+    /// No transformation.
+    #[default]
+    Identity,
+    /// `f(y) = sqrt(y)`; requires `y >= 0`.
+    Sqrt,
+    /// `f(y) = ln(y)`; requires `y > 0`.
+    Log,
+}
+
+impl ResponseTransform {
+    /// Applies the transform, returning `None` when `y` is outside the
+    /// transform's domain.
+    pub fn apply(self, y: f64) -> Option<f64> {
+        match self {
+            ResponseTransform::Identity => Some(y),
+            ResponseTransform::Sqrt => (y >= 0.0).then(|| y.sqrt()),
+            ResponseTransform::Log => (y > 0.0).then(|| y.ln()),
+        }
+    }
+
+    /// Inverts the transform (maps model scale back to response scale).
+    pub fn invert(self, z: f64) -> f64 {
+        match self {
+            ResponseTransform::Identity => z,
+            ResponseTransform::Sqrt => z * z,
+            ResponseTransform::Log => z.exp(),
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResponseTransform::Identity => "identity",
+            ResponseTransform::Sqrt => "sqrt",
+            ResponseTransform::Log => "log",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        for t in [ResponseTransform::Identity, ResponseTransform::Sqrt, ResponseTransform::Log] {
+            for y in [0.5, 1.0, 42.0, 1e6] {
+                let z = t.apply(y).unwrap();
+                assert!((t.invert(z) - y).abs() < 1e-9 * y.max(1.0), "{t:?} {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn domains_enforced() {
+        assert_eq!(ResponseTransform::Sqrt.apply(-1.0), None);
+        assert_eq!(ResponseTransform::Log.apply(0.0), None);
+        assert_eq!(ResponseTransform::Identity.apply(-1.0), Some(-1.0));
+    }
+
+    #[test]
+    fn sqrt_invert_squares() {
+        assert_eq!(ResponseTransform::Sqrt.invert(3.0), 9.0);
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names = [
+            ResponseTransform::Identity.name(),
+            ResponseTransform::Sqrt.name(),
+            ResponseTransform::Log.name(),
+        ];
+        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

@@ -1,0 +1,145 @@
+use crate::quantiles::quantile;
+use crate::Boxplot;
+
+/// The paper's prediction-error metric: `|obs - pred| / pred`
+/// (§3.4, "the error is expressed as |obs-pred|/pred").
+///
+/// # Panics
+///
+/// Panics if `pred` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use udse_stats::rel_error;
+///
+/// assert!((rel_error(11.0, 10.0) - 0.1).abs() < 1e-12);
+/// assert!((rel_error(9.0, 10.0) - 0.1).abs() < 1e-12);
+/// ```
+pub fn rel_error(obs: f64, pred: f64) -> f64 {
+    assert!(pred != 0.0, "relative error undefined for zero prediction");
+    ((obs - pred) / pred).abs()
+}
+
+/// Signed relative errors `(obs - pred) / pred` for paired samples, as
+/// reported in the paper's Table 2 (negative = over-prediction).
+///
+/// # Panics
+///
+/// Panics if lengths differ or any prediction is zero.
+pub fn signed_rel_errors(obs: &[f64], pred: &[f64]) -> Vec<f64> {
+    assert_eq!(obs.len(), pred.len(), "paired samples must have equal length");
+    obs.iter()
+        .zip(pred)
+        .map(|(&o, &p)| {
+            assert!(p != 0.0, "relative error undefined for zero prediction");
+            (o - p) / p
+        })
+        .collect()
+}
+
+/// Absolute relative errors for paired samples.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any prediction is zero.
+pub fn abs_rel_errors(obs: &[f64], pred: &[f64]) -> Vec<f64> {
+    signed_rel_errors(obs, pred).into_iter().map(f64::abs).collect()
+}
+
+/// Median of the absolute relative errors — the headline accuracy number
+/// the paper reports per benchmark (e.g. 7.2 % performance, 5.4 % power).
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, lengths differ, or any prediction is
+/// zero.
+pub fn median_abs_rel_error(obs: &[f64], pred: &[f64]) -> f64 {
+    let errs = abs_rel_errors(obs, pred);
+    quantile(&errs, 0.5)
+}
+
+/// Aggregate description of a validation-error distribution, mirroring the
+/// boxplot panels of Figures 1 and 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorSummary {
+    /// Boxplot of the absolute relative errors.
+    pub boxplot: Boxplot,
+    /// Mean absolute relative error.
+    pub mean: f64,
+    /// 90th percentile of absolute relative error.
+    pub p90: f64,
+    /// Worst-case absolute relative error.
+    pub max: f64,
+}
+
+impl ErrorSummary {
+    /// Builds the summary from paired observations and predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are empty, lengths differ, or any prediction is
+    /// zero.
+    pub fn from_pairs(obs: &[f64], pred: &[f64]) -> Self {
+        let errs = abs_rel_errors(obs, pred);
+        assert!(!errs.is_empty(), "error summary of empty sample");
+        let boxplot = Boxplot::from_samples(&errs);
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let p90 = quantile(&errs, 0.9);
+        let max = errs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        ErrorSummary { boxplot, mean, p90, max }
+    }
+
+    /// Median absolute relative error.
+    pub fn median(&self) -> f64 {
+        self.boxplot.median
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_error_symmetric_in_magnitude() {
+        assert_eq!(rel_error(12.0, 10.0), rel_error(8.0, 10.0));
+    }
+
+    #[test]
+    fn signed_errors_preserve_direction() {
+        let e = signed_rel_errors(&[11.0, 9.0], &[10.0, 10.0]);
+        assert!((e[0] - 0.1).abs() < 1e-12);
+        assert!((e[1] + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_error_known() {
+        let obs = [10.0, 10.0, 10.0];
+        let pred = [10.0, 20.0, 8.0];
+        // errors: 0, 0.5, 0.25 -> median 0.25
+        assert!((median_abs_rel_error(&obs, &pred) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        let pred = [1.1, 1.9, 3.3, 3.6];
+        let s = ErrorSummary::from_pairs(&obs, &pred);
+        assert!(s.median() <= s.p90 + 1e-12);
+        assert!(s.p90 <= s.max + 1e-12);
+        assert!(s.mean > 0.0);
+        assert_eq!(s.boxplot.n, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero prediction")]
+    fn zero_prediction_panics() {
+        let _ = rel_error(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = signed_rel_errors(&[1.0], &[1.0, 2.0]);
+    }
+}

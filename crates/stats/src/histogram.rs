@@ -1,0 +1,145 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A categorical histogram over discrete values, used for
+/// parameter-distribution figures such as the paper's Figure 5(b)
+/// (distribution of D-L1 cache sizes among top-percentile designs).
+///
+/// Values are bucketed exactly (no binning); use the integer-valued design
+/// parameters directly as keys.
+///
+/// # Examples
+///
+/// ```
+/// use udse_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.add(8);
+/// h.add(8);
+/// h.add(64);
+/// assert_eq!(h.count(8), 2);
+/// assert!((h.fraction(8) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Adds one observation of `value`.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count observed for `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations equal to `value`; 0 for an empty histogram.
+    pub fn fraction(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates over `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// The distinct values observed, ascending.
+    pub fn values(&self) -> Vec<u64> {
+        self.counts.keys().copied().collect()
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total == 0 {
+            return write!(f, "(empty histogram)");
+        }
+        for (v, c) in self.iter() {
+            writeln!(f, "{v:>8}: {c:>8} ({:5.1}%)", 100.0 * c as f64 / self.total as f64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let h: Histogram = [1u64, 1, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(99), 0);
+        assert!((h.fraction(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.values(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(5), 0.0);
+        assert_eq!(format!("{h}"), "(empty histogram)");
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let h: Histogram = [5u64, 1, 3].into_iter().collect();
+        let vals: Vec<u64> = h.iter().map(|(v, _)| v).collect();
+        assert_eq!(vals, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut h = Histogram::new();
+        h.extend([1u64, 2]);
+        h.extend([2u64]);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let h: Histogram = [4u64, 4].into_iter().collect();
+        let s = format!("{h}");
+        assert!(s.contains("100.0%"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Descriptive statistics for design space studies.
+//!
+//! Implements exactly the statistical summaries the paper's figures are
+//! built from:
+//!
+//! - [`quantile`]: sample quantiles (R type-7, the R default used by the
+//!   paper's Hmisc/Design environment), medians and percentiles.
+//! - [`Boxplot`]: the paper's §3.4 boxplot definition — median, quartiles,
+//!   whiskers at the most extreme points within 1.5 IQR, and outliers.
+//! - [`Summary`]: mean/variance/min/max one-pass summaries.
+//! - [`rel_error`] and friends: the paper's `|obs - pred| / pred` error
+//!   metric and aggregates over validation sets.
+//! - [`pearson`] / [`spearman`]: correlation measures used for predictor
+//!   screening.
+//! - [`Histogram`]: binned counts for parameter-distribution figures
+//!   (e.g. Figure 5b).
+//!
+//! # Examples
+//!
+//! ```
+//! use udse_stats::{quantile, Boxplot};
+//!
+//! let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+//! assert_eq!(quantile(&xs, 0.5), 3.0);
+//! let bp = Boxplot::from_samples(&xs);
+//! assert_eq!(bp.median, 3.0);
+//! assert_eq!(bp.outliers, vec![100.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boxplot;
+mod correlation;
+mod errors;
+mod histogram;
+mod quantiles;
+mod special;
+mod summary;
+
+pub use boxplot::Boxplot;
+pub use correlation::{pearson, spearman};
+pub use errors::{abs_rel_errors, median_abs_rel_error, rel_error, signed_rel_errors, ErrorSummary};
+pub use histogram::Histogram;
+pub use quantiles::{median, quantile, quantiles};
+pub use special::{
+    ln_gamma, mean_confidence_interval, regularized_incomplete_beta, student_t_cdf,
+    student_t_quantile, two_sided_t_pvalue,
+};
+pub use summary::Summary;

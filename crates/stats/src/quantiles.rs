@@ -1,0 +1,125 @@
+/// Computes the `p`-th sample quantile (R type-7, linear interpolation),
+/// the default estimator in the R environment the paper uses.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, `p` is outside `[0, 1]`, or any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use udse_stats::quantile;
+///
+/// let xs = [3.0, 1.0, 2.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.0), 1.0);
+/// assert_eq!(quantile(&xs, 0.5), 2.5);
+/// assert_eq!(quantile(&xs, 1.0), 4.0);
+/// ```
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "quantile probability must be in [0, 1]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, p)
+}
+
+/// Computes several quantiles of the same sample, sorting only once.
+///
+/// # Panics
+///
+/// Same conditions as [`quantile`].
+pub fn quantiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    ps.iter()
+        .map(|&p| {
+            assert!((0.0..=1.0).contains(&p), "quantile probability must be in [0, 1]");
+            quantile_sorted(&sorted, p)
+        })
+        .collect()
+}
+
+/// Median of a sample; shorthand for `quantile(xs, 0.5)`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains NaN.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+pub(crate) fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n as f64 - 1.0) * p;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn known_quartiles_match_r_type7() {
+        // R: quantile(c(1,2,3,4,5), c(.25,.5,.75)) -> 2, 3, 4
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+        assert_eq!(quantile(&xs, 0.50), 3.0);
+        assert_eq!(quantile(&xs, 0.75), 4.0);
+        // R: quantile(c(1,2,3,4), .25) -> 1.75
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&ys, 0.25), 1.75);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&xs), 5.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 9.0);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let xs = [2.0, 8.0, 4.0, 6.0, 0.0, 10.0];
+        let ps = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let batch = quantiles(&xs, &ps);
+        for (q, &p) in batch.iter().zip(&ps) {
+            assert_eq!(*q, quantile(&xs, p));
+        }
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.35), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_p_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,263 @@
+//! Special functions for statistical inference: log-gamma, the
+//! regularized incomplete beta function, the Student-t distribution, and
+//! confidence intervals built on them.
+//!
+//! Self-contained implementations (Lanczos approximation and Lentz's
+//! continued fraction, as in Numerical Recipes) so the workspace needs no
+//! external statistics dependency.
+
+/// Two-sided p-value of a t statistic with `dof` degrees of freedom.
+pub fn two_sided_t_pvalue(t: f64, dof: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let p_one = 1.0 - student_t_cdf(t.abs(), dof);
+    (2.0 * p_one).clamp(0.0, 1.0)
+}
+
+/// CDF of the Student-t distribution with `dof` degrees of freedom,
+/// computed through the regularized incomplete beta function:
+/// `P(T <= t) = 1 - I_{v/(v+t^2)}(v/2, 1/2) / 2` for `t >= 0`.
+///
+/// # Panics
+///
+/// Panics if `dof <= 0`.
+pub fn student_t_cdf(t: f64, dof: f64) -> f64 {
+    assert!(dof > 0.0, "degrees of freedom must be positive");
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = dof / (dof + t * t);
+    let ib = regularized_incomplete_beta(0.5 * dof, 0.5, x);
+    if t > 0.0 {
+        1.0 - 0.5 * ib
+    } else {
+        0.5 * ib
+    }
+}
+
+/// Quantile (inverse CDF) of the Student-t distribution, by bisection on
+/// the monotone CDF.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)` or `dof <= 0`.
+pub fn student_t_quantile(p: f64, dof: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0, 1)");
+    assert!(dof > 0.0, "degrees of freedom must be positive");
+    let (mut lo, mut hi) = (-1e6, 1e6);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, dof) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Two-sided confidence interval for the mean of a sample, using the
+/// t distribution: `mean ± t_{(1+level)/2, n-1} * s / sqrt(n)`.
+///
+/// Returns `(low, high)`; degenerates to `(mean, mean)` for `n == 1`.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `level` is not in `(0, 1)`.
+pub fn mean_confidence_interval(xs: &[f64], level: f64) -> (f64, f64) {
+    assert!(!xs.is_empty(), "confidence interval of empty sample");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0, 1)");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() == 1 {
+        return (mean, mean);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    let se = (var / n).sqrt();
+    let t = student_t_quantile(0.5 * (1.0 + level), n - 1.0);
+    (mean - t * se, mean + t * se)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Lentz's method).
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0`, or `x` is outside `[0, 1]`.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation for faster continued-fraction convergence.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(1) = Gamma(2) = 1; Gamma(5) = 24; Gamma(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a, b) = 1 - I_{1-x}(b, a).
+        let x = 0.37;
+        let lhs = regularized_incomplete_beta(2.5, 1.5, x);
+        let rhs = 1.0 - regularized_incomplete_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-10);
+        // I_x(1, 1) = x (uniform).
+        assert!((regularized_incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_cdf_matches_known_quantiles() {
+        // t(10): P(T <= 1.812) ~ 0.95; t(1) is Cauchy: P(T <= 1) = 0.75.
+        assert!((student_t_cdf(1.812, 10.0) - 0.95).abs() < 2e-3);
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-6);
+        assert!((student_t_cdf(0.0, 5.0) - 0.5).abs() < 1e-12);
+        // Symmetry.
+        let v = student_t_cdf(-1.3, 7.0) + student_t_cdf(1.3, 7.0);
+        assert!((v - 1.0).abs() < 1e-10);
+        // Large dof approaches the normal: P(T <= 1.96) ~ 0.975.
+        assert!((student_t_cdf(1.96, 1_000.0) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_quantile_inverts_cdf() {
+        for dof in [1.0, 5.0, 30.0] {
+            for p in [0.05, 0.5, 0.9, 0.975] {
+                let q = student_t_quantile(p, dof);
+                assert!((student_t_cdf(q, dof) - p).abs() < 1e-9, "dof {dof} p {p}");
+            }
+        }
+        // Known: t_{0.975, 10} = 2.228.
+        assert!((student_t_quantile(0.975, 10.0) - 2.228).abs() < 2e-3);
+    }
+
+    #[test]
+    fn pvalue_behaviour() {
+        // |t| = 0 -> p = 1; huge |t| -> p ~ 0.
+        assert!((two_sided_t_pvalue(0.0, 10.0) - 1.0).abs() < 1e-12);
+        assert!(two_sided_t_pvalue(50.0, 10.0) < 1e-9);
+        assert!(two_sided_t_pvalue(-50.0, 10.0) < 1e-9);
+        // t(10) = 2.228 is the 97.5% quantile -> two-sided p ~ 0.05.
+        assert!((two_sided_t_pvalue(2.228, 10.0) - 0.05).abs() < 2e-3);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_mean() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let (lo, hi) = mean_confidence_interval(&xs, 0.95);
+        assert!(lo < mean && mean < hi);
+        // Wider at higher confidence.
+        let (lo99, hi99) = mean_confidence_interval(&xs, 0.99);
+        assert!(lo99 < lo && hi < hi99);
+        // Single observation degenerates.
+        assert_eq!(mean_confidence_interval(&[3.0], 0.95), (3.0, 3.0));
+    }
+}

@@ -1,0 +1,139 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::profile::WorkloadProfile;
+
+/// The nine benchmarks of the paper's suite (§2.2): SPECjbb plus eight
+/// compute-intensive SPEC2000 programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Benchmark {
+    /// SPEC2000 `ammp` — molecular dynamics; floating-point, ILP-rich.
+    Ammp,
+    /// SPEC2000 `applu` — parabolic/elliptic PDEs; floating-point.
+    Applu,
+    /// SPEC2000 `equake` — seismic wave propagation; floating-point.
+    Equake,
+    /// SPEC2000 `gcc` — C compiler; branchy integer code.
+    Gcc,
+    /// SPEC2000 `gzip` — compression; compute-bound integer, small footprint.
+    Gzip,
+    /// SPECjbb — Java server workload; wide-issue friendly, large data side.
+    Jbb,
+    /// SPEC2000 `mcf` — combinatorial optimization; memory-bound, low ILP.
+    Mcf,
+    /// SPEC2000 `mesa` — 3-D graphics library; high IPC.
+    Mesa,
+    /// SPEC2000 `twolf` — place and route; mixed integer with cache appetite.
+    Twolf,
+}
+
+impl Benchmark {
+    /// All nine benchmarks in the paper's (alphabetical) reporting order.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Ammp,
+        Benchmark::Applu,
+        Benchmark::Equake,
+        Benchmark::Gcc,
+        Benchmark::Gzip,
+        Benchmark::Jbb,
+        Benchmark::Mcf,
+        Benchmark::Mesa,
+        Benchmark::Twolf,
+    ];
+
+    /// Lower-case name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Ammp => "ammp",
+            Benchmark::Applu => "applu",
+            Benchmark::Equake => "equake",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Gzip => "gzip",
+            Benchmark::Jbb => "jbb",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Mesa => "mesa",
+            Benchmark::Twolf => "twolf",
+        }
+    }
+
+    /// The calibrated workload profile for this benchmark.
+    ///
+    /// Profiles encode the qualitative execution characteristics the paper
+    /// relies on; see the crate docs and `DESIGN.md` for the substitution
+    /// rationale.
+    pub fn profile(self) -> WorkloadProfile {
+        WorkloadProfile::for_benchmark(self)
+    }
+
+    /// Stable small integer id, used to derive deterministic RNG seeds.
+    pub fn id(self) -> u64 {
+        Benchmark::ALL.iter().position(|&b| b == self).expect("benchmark in ALL") as u64
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError {
+    input: String,
+}
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark `{}` (expected one of ammp, applu, equake, gcc, gzip, jbb, mcf, mesa, twolf)", self.input)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Benchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| ParseBenchmarkError { input: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_nine_unique_names() {
+        let mut names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 9);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn roundtrip_parse_display() {
+        for b in Benchmark::ALL {
+            let parsed: Benchmark = b.name().parse().unwrap();
+            assert_eq!(parsed, b);
+            assert_eq!(format!("{b}"), b.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "bzip2".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("bzip2"));
+    }
+
+    #[test]
+    fn ids_are_stable_and_distinct() {
+        let ids: Vec<u64> = Benchmark::ALL.iter().map(|b| b.id()).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<u64>>());
+    }
+}

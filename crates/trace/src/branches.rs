@@ -1,0 +1,159 @@
+use rand::Rng;
+
+/// A pool of static branch sites with per-site taken probabilities.
+///
+/// Each site models one static conditional branch in the program. Sites
+/// are either *biased* (taken probability near 0 or 1, within the
+/// profile's `branch_entropy` margin — typical loop and guard branches that
+/// even a 1-bit predictor captures) or *hard* (data-dependent direction,
+/// taken probability near 0.5, which no history-based predictor can
+/// learn). Dynamic branches pick sites with a skewed popularity so a few
+/// hot loops dominate, as in real programs.
+///
+/// # Examples
+///
+/// ```
+/// use udse_trace::BranchPool;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let pool = BranchPool::new(64, 0.05, 0.1, &mut rng);
+/// assert_eq!(pool.sites(), 64);
+/// let (site, taken) = pool.next_branch(&mut rng);
+/// assert!(site < 64);
+/// let _ = taken;
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchPool {
+    taken_prob: Vec<f64>,
+}
+
+impl BranchPool {
+    /// Builds a pool of `sites` branches.
+    ///
+    /// `entropy` is the bias margin in `(0, 0.5]`; `hard_frac` the fraction
+    /// of unpredictable sites. The pool layout is drawn from `rng`, making
+    /// it deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites == 0` or parameters are out of range.
+    pub fn new<R: Rng>(sites: usize, entropy: f64, hard_frac: f64, rng: &mut R) -> Self {
+        assert!(sites > 0, "need at least one branch site");
+        assert!(entropy > 0.0 && entropy <= 0.5, "entropy must be in (0, 0.5]");
+        assert!((0.0..=1.0).contains(&hard_frac), "hard_frac must be in [0, 1]");
+        let taken_prob = (0..sites)
+            .map(|_| {
+                if rng.gen::<f64>() < hard_frac {
+                    // Data-dependent branch: close to a coin flip.
+                    0.35 + 0.30 * rng.gen::<f64>()
+                } else {
+                    // Biased branch; loops lean taken (~70 % of sites).
+                    let margin = entropy * rng.gen::<f64>();
+                    if rng.gen::<f64>() < 0.7 {
+                        1.0 - margin
+                    } else {
+                        margin
+                    }
+                }
+            })
+            .collect();
+        BranchPool { taken_prob }
+    }
+
+    /// Number of static sites.
+    pub fn sites(&self) -> usize {
+        self.taken_prob.len()
+    }
+
+    /// Taken probability of a given site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn taken_prob(&self, site: usize) -> f64 {
+        self.taken_prob[site]
+    }
+
+    /// Draws the next dynamic branch: a `(site, taken)` pair. Site
+    /// popularity is quadratically skewed toward low indices so a handful
+    /// of hot loops dominate execution.
+    pub fn next_branch<R: Rng>(&self, rng: &mut R) -> (u32, bool) {
+        let u: f64 = rng.gen();
+        let site = ((u * u) * self.taken_prob.len() as f64) as usize;
+        let site = site.min(self.taken_prob.len() - 1);
+        let taken = rng.gen::<f64>() < self.taken_prob[site];
+        (site as u32, taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_are_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = BranchPool::new(1_000, 0.1, 0.2, &mut rng);
+        for s in 0..pool.sites() {
+            let p = pool.taken_prob(s);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn low_entropy_pools_are_more_predictable() {
+        // A static predictor that always guesses each site's majority
+        // direction should do better on a low-entropy pool.
+        let accuracy = |entropy: f64, hard: f64| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let pool = BranchPool::new(256, entropy, hard, &mut rng);
+            let mut correct = 0;
+            let n = 20_000;
+            for _ in 0..n {
+                let (site, taken) = pool.next_branch(&mut rng);
+                let majority = pool.taken_prob(site as usize) >= 0.5;
+                if taken == majority {
+                    correct += 1;
+                }
+            }
+            correct as f64 / n as f64
+        };
+        assert!(accuracy(0.02, 0.01) > accuracy(0.3, 0.3) + 0.05);
+    }
+
+    #[test]
+    fn hot_sites_dominate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = BranchPool::new(1_000, 0.1, 0.1, &mut rng);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let (site, _) = pool.next_branch(&mut rng);
+            if (site as usize) < 250 {
+                low += 1;
+            }
+        }
+        // Quadratic skew: P(site < 250/1000) = sqrt(0.25) = 0.5.
+        assert!(low as f64 / n as f64 > 0.45);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pool = BranchPool::new(64, 0.1, 0.1, &mut rng);
+            (0..50).map(|_| pool.next_branch(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(5), mk(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "branch site")]
+    fn zero_sites_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = BranchPool::new(0, 0.1, 0.1, &mut rng);
+    }
+}

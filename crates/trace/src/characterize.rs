@@ -1,0 +1,103 @@
+//! Workload characterization: measured trace statistics versus the
+//! profile parameters that generated them.
+//!
+//! The paper's benchmarks were validated against full reference traces
+//! ([11]); the analogue for synthetic workloads is checking that each
+//! generated trace exhibits the mix, ILP, control-flow, and locality its
+//! profile promises. [`characterize`] produces that report and
+//! [`CharacterReport::check`] turns it into pass/fail deviations, used
+//! both by tests and by the `repro workloads` diagnostic.
+
+use crate::trace_data::{Trace, TraceStats};
+use crate::{Benchmark, WorkloadProfile};
+
+/// Measured-vs-intended characterization of one trace.
+#[derive(Debug, Clone)]
+pub struct CharacterReport {
+    /// The benchmark characterized.
+    pub benchmark: Benchmark,
+    /// The profile the trace was generated from.
+    pub profile: WorkloadProfile,
+    /// Measured statistics.
+    pub stats: TraceStats,
+}
+
+/// One measured-vs-intended deviation found by [`CharacterReport::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Deviation {
+    /// Quantity name (e.g. `"load_frac"`).
+    pub quantity: &'static str,
+    /// Value promised by the profile.
+    pub intended: f64,
+    /// Value measured on the trace.
+    pub measured: f64,
+}
+
+/// Generates a trace of `len` instructions and characterizes it.
+pub fn characterize(benchmark: Benchmark, len: usize, seed: u64) -> CharacterReport {
+    let trace = Trace::generate(benchmark, len, seed);
+    CharacterReport { benchmark, profile: benchmark.profile(), stats: trace.stats() }
+}
+
+impl CharacterReport {
+    /// Compares measured statistics against the profile, returning the
+    /// quantities that deviate by more than `tolerance` (relative, with
+    /// an absolute floor of 0.02 for small fractions).
+    pub fn check(&self, tolerance: f64) -> Vec<Deviation> {
+        let mut out = Vec::new();
+        let mut check = |quantity: &'static str, intended: f64, measured: f64| {
+            let scale = intended.abs().max(0.02);
+            if ((measured - intended) / scale).abs() > tolerance {
+                out.push(Deviation { quantity, intended, measured });
+            }
+        };
+        check("fixed_frac", self.profile.mix.fixed, self.stats.fixed_frac);
+        check("float_frac", self.profile.mix.float, self.stats.float_frac);
+        check("load_frac", self.profile.mix.load, self.stats.load_frac);
+        check("store_frac", self.profile.mix.store, self.stats.store_frac);
+        check("branch_frac", self.profile.mix.branch, self.stats.branch_frac);
+        // Mean dependency distance: the generated distribution is
+        // geometric with the profile's mean, truncated at the window.
+        check("mean_dep_dist", self.profile.dep_mean, self.stats.mean_dep_dist);
+        out
+    }
+
+    /// The distinct data blocks measured, as a fraction of the profile's
+    /// footprint — a coverage indicator (short traces cannot visit a
+    /// multi-megabyte footprint).
+    pub fn data_coverage(&self) -> f64 {
+        self.stats.distinct_data_blocks as f64 / self.profile.data_footprint as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_within_tolerance() {
+        for b in Benchmark::ALL {
+            let report = characterize(b, 40_000, 3);
+            let deviations = report.check(0.12);
+            assert!(
+                deviations.is_empty(),
+                "{b}: profile deviations {deviations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_flags_injected_deviation() {
+        let mut report = characterize(Benchmark::Gzip, 10_000, 1);
+        report.profile.mix.load = 0.9; // sabotage the intent
+        let deviations = report.check(0.12);
+        assert!(deviations.iter().any(|d| d.quantity == "load_frac"));
+    }
+
+    #[test]
+    fn coverage_is_a_fraction() {
+        let report = characterize(Benchmark::Mcf, 20_000, 1);
+        let c = report.data_coverage();
+        assert!(c > 0.0 && c <= 1.0, "coverage {c}");
+    }
+}

@@ -1,0 +1,293 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::branches::BranchPool;
+use crate::locality::ReuseStream;
+use crate::profile::WorkloadProfile;
+use crate::trace_data::{OpClass, TraceInst};
+use crate::Benchmark;
+
+/// Maximum dependency distance recorded; anything farther than the largest
+/// possible instruction window behaves like an independent instruction.
+const MAX_DEP_DIST: u16 = 1024;
+
+/// Instructions per 128-byte cache block (4-byte fixed-width encoding).
+const INSTS_PER_BLOCK: u64 = 32;
+
+/// Streaming generator of synthetic instructions for one benchmark.
+///
+/// Wraps the benchmark's [`WorkloadProfile`] together with the stateful
+/// sub-generators (branch pool, data/code reuse streams, pointer-chase
+/// tracking) and produces one [`TraceInst`] per call. [`crate::Trace`]
+/// is the batch convenience wrapper around this type.
+///
+/// # Examples
+///
+/// ```
+/// use udse_trace::{Benchmark, TraceGenerator};
+///
+/// let mut gen = TraceGenerator::new(Benchmark::Ammp, 42);
+/// let inst = gen.next_inst();
+/// let _ = inst.op;
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: StdRng,
+    branches: BranchPool,
+    data: ReuseStream,
+    code: ReuseStream,
+    cur_code_block: u64,
+    code_off: u64,
+    pending_jump: bool,
+    since_last_load: u16,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `benchmark` with the given `seed`.
+    pub fn new(benchmark: Benchmark, seed: u64) -> Self {
+        Self::with_profile(benchmark.profile(), benchmark.id() ^ seed.rotate_left(17))
+    }
+
+    /// Creates a generator from an explicit profile (custom workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`WorkloadProfile::validate`].
+    pub fn with_profile(profile: WorkloadProfile, seed: u64) -> Self {
+        profile.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let branches = BranchPool::new(
+            profile.branch_sites,
+            profile.branch_entropy,
+            profile.hard_branch_frac,
+            &mut rng,
+        );
+        let mut data = ReuseStream::stationary(
+            profile.data_footprint,
+            profile.data_alpha,
+            profile.data_cold_frac,
+        );
+        if let Some((frac, lo, hi)) = profile.data_far_band {
+            data = data.with_far_band(frac, lo, hi);
+        }
+        let mut code = ReuseStream::stationary(
+            profile.code_footprint,
+            profile.code_alpha,
+            profile.code_cold_frac,
+        );
+        let cur_code_block = 0;
+        code.touch(cur_code_block);
+        TraceGenerator {
+            profile,
+            rng,
+            branches,
+            data,
+            code,
+            cur_code_block,
+            code_off: 0,
+            pending_jump: false,
+            since_last_load: MAX_DEP_DIST,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Produces the next synthetic instruction.
+    pub fn next_inst(&mut self) -> TraceInst {
+        // --- control flow / instruction fetch ---
+        if self.pending_jump {
+            self.cur_code_block = self.code.next_address(&mut self.rng);
+            self.code_off = 0;
+            self.pending_jump = false;
+        } else {
+            self.code_off += 1;
+            if self.code_off >= INSTS_PER_BLOCK {
+                // Sequential fall-through into the next code block.
+                self.cur_code_block = self.code.sequential_next(self.cur_code_block);
+                self.code_off = 0;
+            }
+        }
+
+        // --- instruction class ---
+        let t = self.profile.mix.thresholds();
+        let u: f64 = self.rng.gen();
+        let op = if u < t[0] {
+            OpClass::FixedPoint
+        } else if u < t[1] {
+            OpClass::FloatingPoint
+        } else if u < t[2] {
+            OpClass::Load
+        } else if u < t[3] {
+            OpClass::Store
+        } else {
+            OpClass::Branch
+        };
+
+        // --- register dependencies ---
+        let mut src1_dist = if self.rng.gen::<f64>() < 0.90 { self.dep_distance() } else { 0 };
+        let src2_dist = if self.rng.gen::<f64>() < self.profile.second_src_frac {
+            self.dep_distance()
+        } else {
+            0
+        };
+        // Pointer chasing: the load's address depends on the value loaded by
+        // the most recent load, serializing the memory stream.
+        if op == OpClass::Load
+            && self.since_last_load < MAX_DEP_DIST
+            && self.rng.gen::<f64>() < self.profile.pointer_chase_frac
+        {
+            src1_dist = self.since_last_load.max(1);
+        }
+
+        // --- memory and branch behaviour ---
+        let data_block = if matches!(op, OpClass::Load | OpClass::Store) {
+            self.data.next_address(&mut self.rng) as u32
+        } else {
+            0
+        };
+        let (branch_site, taken) = if op == OpClass::Branch {
+            let (site, taken) = self.branches.next_branch(&mut self.rng);
+            self.pending_jump = taken;
+            (site, taken)
+        } else {
+            (0, false)
+        };
+
+        // --- bookkeeping ---
+        self.since_last_load = self.since_last_load.saturating_add(1);
+        if op == OpClass::Load {
+            self.since_last_load = 1;
+        }
+
+        TraceInst {
+            op,
+            src1_dist,
+            src2_dist,
+            data_block,
+            code_block: self.cur_code_block as u32,
+            branch_site,
+            taken,
+        }
+    }
+
+    /// Samples a dependency distance: `1 + Geometric(1/dep_mean)`, capped.
+    fn dep_distance(&mut self) -> u16 {
+        let p = 1.0 / self.profile.dep_mean;
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        // Inverse CDF of the geometric distribution (trials to first
+        // success), shifted so the minimum distance is 1.
+        let d = 1.0 + (u.ln() / (1.0 - p).max(1e-12).ln()).floor();
+        d.clamp(1.0, MAX_DEP_DIST as f64) as u16
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceInst;
+
+    fn next(&mut self) -> Option<TraceInst> {
+        Some(self.next_inst())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterator_yields_instructions() {
+        let gen = TraceGenerator::new(Benchmark::Twolf, 1);
+        let v: Vec<TraceInst> = gen.take(100).collect();
+        assert_eq!(v.len(), 100);
+    }
+
+    #[test]
+    fn dep_distance_mean_tracks_profile() {
+        let mut gen = TraceGenerator::new(Benchmark::Ammp, 2);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| gen.dep_distance() as f64).sum::<f64>() / n as f64;
+        let target = Benchmark::Ammp.profile().dep_mean;
+        assert!((mean - target).abs() / target < 0.1, "mean {mean} vs target {target}");
+    }
+
+    #[test]
+    fn loads_have_data_blocks_others_do_not() {
+        let mut gen = TraceGenerator::new(Benchmark::Jbb, 3);
+        let mut saw_load_block = false;
+        for _ in 0..5_000 {
+            let i = gen.next_inst();
+            match i.op {
+                OpClass::Load | OpClass::Store => {
+                    saw_load_block |= i.data_block > 0;
+                }
+                _ => assert_eq!(i.data_block, 0),
+            }
+        }
+        assert!(saw_load_block);
+    }
+
+    #[test]
+    fn taken_branches_change_code_block() {
+        let mut gen = TraceGenerator::new(Benchmark::Gcc, 4);
+        let mut jumps = 0;
+        let mut switches = 0;
+        let mut prev_block = None;
+        let mut prev_taken = false;
+        for _ in 0..20_000 {
+            let i = gen.next_inst();
+            if prev_taken {
+                jumps += 1;
+                if prev_block != Some(i.code_block) {
+                    switches += 1;
+                }
+            }
+            prev_block = Some(i.code_block);
+            prev_taken = i.op == OpClass::Branch && i.taken;
+        }
+        assert!(jumps > 100);
+        // A visible share of taken branches land on a different code block;
+        // hot loops that re-enter the current block dominate, as in real
+        // integer code where loop bodies fit one 128-byte fetch block.
+        let switch_rate = switches as f64 / jumps as f64;
+        assert!(switch_rate > 0.1, "switch rate {switch_rate}");
+    }
+
+    #[test]
+    fn pointer_chasing_serializes_mcf_loads() {
+        // mcf should have many loads depending on the immediately preceding
+        // load; applu (no chasing) should not.
+        let chase_frac = |b: Benchmark| {
+            let mut gen = TraceGenerator::new(b, 5);
+            let mut loads = 0;
+            let mut chases = 0;
+            let mut since_load = u16::MAX;
+            for _ in 0..30_000 {
+                let i = gen.next_inst();
+                if i.op == OpClass::Load {
+                    loads += 1;
+                    if since_load != u16::MAX && i.src1_dist == since_load {
+                        chases += 1;
+                    }
+                    since_load = 1;
+                } else {
+                    since_load = since_load.saturating_add(1);
+                }
+            }
+            chases as f64 / loads as f64
+        };
+        assert!(chase_frac(Benchmark::Mcf) > chase_frac(Benchmark::Applu) + 0.1);
+    }
+
+    #[test]
+    fn custom_profile_is_respected() {
+        let mut profile = Benchmark::Gzip.profile();
+        profile.mix = crate::InstructionMix::new(1.0, 0.0, 0.0, 0.0, 0.0);
+        let mut gen = TraceGenerator::with_profile(profile, 9);
+        for _ in 0..100 {
+            assert_eq!(gen.next_inst().op, OpClass::FixedPoint);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+use rand::Rng;
+
+/// Generates a stream of cache-block addresses whose *LRU stack distances*
+/// follow a bounded-Pareto distribution: `P(stack distance > d) ~ d^-alpha`
+/// for `1 <= d <= footprint`.
+///
+/// Stack distance is the number of *distinct* blocks touched since the
+/// last access to a block — the quantity that determines hit/miss in an
+/// LRU cache of a given capacity. The generator maintains a true LRU
+/// stack (a Fenwick-indexed occurrence list giving O(log n) rank
+/// selection) and, per access, samples a recency rank from the Pareto
+/// distribution and re-touches the block at that rank. A cache of
+/// capacity `C` blocks therefore sees a miss ratio of approximately
+/// `P(d > C)` = `C^-alpha`, so miss rates fall smoothly and
+/// benchmark-specifically with capacity — the behaviour the design space
+/// studies revolve around.
+///
+/// Streams can start *cold* ([`ReuseStream::new`]: the footprint is
+/// explored compulsorily as sampled ranks overshoot the blocks touched so
+/// far) or *stationary* ([`ReuseStream::stationary`]: the stack is
+/// pre-populated with the whole footprint, modeling a trace sampled from
+/// the middle of a long-running program).
+///
+/// # Examples
+///
+/// ```
+/// use udse_trace::ReuseStream;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut s = ReuseStream::stationary(1024, 1.0, 0.01);
+/// let a = s.next_address(&mut rng);
+/// assert!(a < 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReuseStream {
+    /// Occurrence list, oldest first. `u64::MAX` marks a dead slot.
+    slots: Vec<u64>,
+    /// Fenwick tree over slot liveness (1 = live).
+    fenwick: Vec<u32>,
+    /// Current slot of each block, or `NO_SLOT`.
+    pos_of: Vec<u32>,
+    /// Number of live (distinct) blocks on the stack.
+    live: u32,
+    footprint: u64,
+    alpha: f64,
+    cold_frac: f64,
+    /// Optional secondary working set: `(fraction, lo, hi)` — with the
+    /// given probability the stack distance is drawn log-uniformly from
+    /// `[lo, hi]` instead of the Pareto body. Models a large structure
+    /// (e.g. a graph) traversed with its own reuse scale.
+    far_band: Option<(f64, u64, u64)>,
+    /// Next block id for compulsory exploration (cold mode).
+    next_fresh: u64,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+impl ReuseStream {
+    /// Creates a cold stream over `footprint` distinct blocks with Pareto
+    /// exponent `alpha` and streaming fraction `cold_frac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `footprint == 0`, `alpha <= 0`, or `cold_frac` is outside
+    /// `[0, 1]`.
+    pub fn new(footprint: u64, alpha: f64, cold_frac: f64) -> Self {
+        assert!(footprint > 0, "footprint must be positive");
+        assert!(footprint <= (1 << 26), "footprint too large for index maps");
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!((0.0..=1.0).contains(&cold_frac), "cold_frac must be in [0, 1]");
+        let cap = slots_capacity(footprint);
+        ReuseStream {
+            slots: Vec::with_capacity(cap),
+            fenwick: vec![0; cap + 1],
+            pos_of: vec![NO_SLOT; footprint as usize],
+            live: 0,
+            footprint,
+            alpha,
+            cold_frac,
+            far_band: None,
+            next_fresh: 0,
+        }
+    }
+
+    /// Creates a stationary stream: the whole footprint starts on the
+    /// stack (block 0 deepest), so reuse behaviour is in steady state from
+    /// the first access.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ReuseStream::new`].
+    pub fn stationary(footprint: u64, alpha: f64, cold_frac: f64) -> Self {
+        let mut s = ReuseStream::new(footprint, alpha, cold_frac);
+        for b in 0..footprint {
+            s.push_block(b);
+        }
+        s.next_fresh = 0;
+        s
+    }
+
+    /// Adds a secondary working set: with probability `frac` the stack
+    /// distance is drawn log-uniformly from `[lo, hi]` (clamped to the
+    /// footprint) instead of the Pareto body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is outside `[0, 1]` or `lo` is zero or above `hi`.
+    pub fn with_far_band(mut self, frac: f64, lo: u64, hi: u64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "band fraction must be in [0, 1]");
+        assert!(lo >= 1 && lo <= hi, "band bounds must satisfy 1 <= lo <= hi");
+        self.far_band = Some((frac, lo, hi.min(self.footprint)));
+        self
+    }
+
+    /// The number of distinct blocks this stream can touch.
+    pub fn footprint(&self) -> u64 {
+        self.footprint
+    }
+
+    /// Number of distinct blocks currently on the stack.
+    pub fn live_blocks(&self) -> u64 {
+        self.live as u64
+    }
+
+    /// Issues the next block address.
+    pub fn next_address<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let block = if self.live == 0 || rng.gen::<f64>() < self.cold_frac {
+            self.coldest_or_fresh()
+        } else {
+            let d = match self.far_band {
+                Some((frac, lo, hi)) if rng.gen::<f64>() < frac => log_uniform(rng, lo, hi),
+                _ => bounded_pareto(rng, self.alpha, self.footprint),
+            };
+            if d > self.live as u64 {
+                self.coldest_or_fresh()
+            } else {
+                self.block_at_rank(d as u32)
+            }
+        };
+        self.push_block(block);
+        block
+    }
+
+    /// Issues the deterministic fall-through successor of `cur` (the next
+    /// sequential code block), registering it as most recently used.
+    pub fn sequential_next(&mut self, cur: u64) -> u64 {
+        let block = (cur + 1) % self.footprint;
+        self.push_block(block);
+        block
+    }
+
+    /// Registers an externally chosen block as most recently used.
+    pub fn touch(&mut self, block: u64) {
+        assert!(block < self.footprint, "block outside footprint");
+        self.push_block(block);
+    }
+
+    /// Returns (without touching) a block for a compulsory access: an
+    /// unexplored block while any remain, otherwise the least recently
+    /// used block (streaming sweep).
+    fn coldest_or_fresh(&mut self) -> u64 {
+        if (self.live as u64) < self.footprint {
+            // Find the next block that is not on the stack.
+            for _ in 0..self.footprint {
+                let b = self.next_fresh;
+                self.next_fresh = (self.next_fresh + 1) % self.footprint;
+                if self.pos_of[b as usize] == NO_SLOT {
+                    return b;
+                }
+            }
+            unreachable!("live < footprint guarantees an absent block");
+        } else {
+            self.block_at_rank(self.live)
+        }
+    }
+
+    /// The block at recency rank `d` (1 = most recently used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is 0 or exceeds the live block count.
+    fn block_at_rank(&self, d: u32) -> u64 {
+        assert!(d >= 1 && d <= self.live, "rank out of range");
+        // The d-th most recent live slot is the (live - d + 1)-th live slot
+        // from the front.
+        let k = self.live - d + 1;
+        let idx = self.fenwick_select(k);
+        self.slots[idx]
+    }
+
+    /// Moves `block` to the top of the stack.
+    fn push_block(&mut self, block: u64) {
+        let b = block as usize;
+        let old = self.pos_of[b];
+        if old != NO_SLOT {
+            self.slots[old as usize] = u64::MAX;
+            self.fenwick_add(old as usize, -1);
+            self.live -= 1;
+        }
+        if self.slots.len() == self.fenwick.len() - 1 {
+            self.compact();
+        }
+        let idx = self.slots.len();
+        self.slots.push(block);
+        self.fenwick_add(idx, 1);
+        self.pos_of[b] = idx as u32;
+        self.live += 1;
+    }
+
+    /// Rebuilds the occurrence list keeping only live slots, preserving
+    /// order. Amortized O(1) per access.
+    fn compact(&mut self) {
+        let mut new_slots = Vec::with_capacity(self.fenwick.len() - 1);
+        for &s in self.slots.iter().filter(|&&s| s != u64::MAX) {
+            self.pos_of[s as usize] = new_slots.len() as u32;
+            new_slots.push(s);
+        }
+        self.slots = new_slots;
+        for f in &mut self.fenwick {
+            *f = 0;
+        }
+        for i in 0..self.slots.len() {
+            self.fenwick_add(i, 1);
+        }
+    }
+
+    fn fenwick_add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.fenwick.len() {
+            self.fenwick[i] = (self.fenwick[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Index of the k-th live slot (1-based) from the front.
+    fn fenwick_select(&self, mut k: u32) -> usize {
+        let n = self.fenwick.len() - 1;
+        let mut pos = 0usize;
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.fenwick[next] < k {
+                k -= self.fenwick[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos // 0-based index of the k-th live slot
+    }
+}
+
+/// Occurrence-list capacity: enough slack that compaction is infrequent.
+fn slots_capacity(footprint: u64) -> usize {
+    ((footprint as usize) * 2).max(1024)
+}
+
+/// Samples a bounded-Pareto stack distance in `[1, max_d]` with tail
+/// exponent `alpha` by inverse-CDF sampling of `P(D > d) = d^-alpha`,
+/// truncated at `max_d`.
+fn bounded_pareto<R: Rng>(rng: &mut R, alpha: f64, max_d: u64) -> u64 {
+    if max_d <= 1 {
+        return 1;
+    }
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    let d = u.powf(-1.0 / alpha);
+    if d >= max_d as f64 {
+        max_d
+    } else {
+        d as u64
+    }
+}
+
+/// Samples log-uniformly from `[lo, hi]`: each octave of stack distance
+/// receives equal probability mass.
+fn log_uniform<R: Rng>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    if lo >= hi {
+        return lo;
+    }
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let d = (llo + rng.gen::<f64>() * (lhi - llo)).exp();
+    (d as u64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn addresses_stay_within_footprint() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = ReuseStream::new(100, 0.8, 0.05);
+        for _ in 0..10_000 {
+            assert!(s.next_address(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = ReuseStream::stationary(500, 0.6, 0.02);
+            (0..1000).map(|_| s.next_address(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    /// Empirical miss ratio of an ideal fully-associative LRU cache of
+    /// `capacity` blocks over `n` stream accesses.
+    fn lru_miss_ratio(stream: &mut ReuseStream, capacity: usize, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Simple LRU via Vec (test-only).
+        let mut lru: Vec<u64> = Vec::new();
+        let mut misses = 0;
+        for _ in 0..n {
+            let a = stream.next_address(&mut rng);
+            if let Some(p) = lru.iter().position(|&x| x == a) {
+                lru.remove(p);
+            } else {
+                misses += 1;
+                if lru.len() == capacity {
+                    lru.pop();
+                }
+            }
+            lru.insert(0, a);
+        }
+        misses as f64 / n as f64
+    }
+
+    #[test]
+    fn miss_ratio_tracks_pareto_tail() {
+        // Stationary stream with alpha = 0.5 over 4096 blocks: an LRU cache
+        // of C blocks should miss at about C^-0.5.
+        let mut s = ReuseStream::stationary(4096, 0.5, 0.0);
+        let m64 = lru_miss_ratio(&mut s, 64, 30_000, 1);
+        let expected = 64f64.powf(-0.5); // 0.125
+        assert!((m64 - expected).abs() < 0.04, "miss {m64} vs expected {expected}");
+
+        let mut s = ReuseStream::stationary(4096, 0.5, 0.0);
+        let m1024 = lru_miss_ratio(&mut s, 1024, 30_000, 2);
+        let expected = 1024f64.powf(-0.5); // 0.031
+        assert!((m1024 - expected).abs() < 0.03, "miss {m1024} vs expected {expected}");
+        assert!(m64 > m1024);
+    }
+
+    #[test]
+    fn higher_alpha_gives_tighter_locality() {
+        let mut tight = ReuseStream::stationary(10_000, 1.5, 0.0);
+        let mut loose = ReuseStream::stationary(10_000, 0.3, 0.0);
+        let miss_tight = lru_miss_ratio(&mut tight, 64, 10_000, 42);
+        let miss_loose = lru_miss_ratio(&mut loose, 64, 10_000, 42);
+        assert!(miss_tight + 0.1 < miss_loose, "{miss_tight} vs {miss_loose}");
+    }
+
+    #[test]
+    fn cold_stream_explores_with_low_alpha() {
+        let distinct = |alpha: f64| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut s = ReuseStream::new(1 << 16, alpha, 0.0);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..20_000 {
+                seen.insert(s.next_address(&mut rng));
+            }
+            seen.len()
+        };
+        assert!(distinct(0.3) > 4 * distinct(1.5));
+    }
+
+    #[test]
+    fn cold_fraction_adds_streaming() {
+        let distinct = |cold: f64| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut s = ReuseStream::new(1 << 20, 1.5, cold);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..5_000 {
+                seen.insert(s.next_address(&mut rng));
+            }
+            seen.len()
+        };
+        assert!(distinct(0.2) > distinct(0.01));
+    }
+
+    #[test]
+    fn stationary_starts_with_full_stack() {
+        let s = ReuseStream::stationary(256, 1.0, 0.0);
+        assert_eq!(s.live_blocks(), 256);
+    }
+
+    #[test]
+    fn rank_one_is_most_recent() {
+        let mut s = ReuseStream::new(16, 1.0, 0.0);
+        s.touch(3);
+        s.touch(7);
+        assert_eq!(s.block_at_rank(1), 7);
+        assert_eq!(s.block_at_rank(2), 3);
+        // Re-touching 3 moves it to rank 1 without duplicating it.
+        s.touch(3);
+        assert_eq!(s.block_at_rank(1), 3);
+        assert_eq!(s.block_at_rank(2), 7);
+        assert_eq!(s.live_blocks(), 2);
+    }
+
+    #[test]
+    fn compaction_preserves_order() {
+        let mut s = ReuseStream::new(8, 1.0, 0.0);
+        // Enough touches to force multiple compactions (capacity >= 1024).
+        for i in 0..5_000u64 {
+            s.touch(i % 8);
+        }
+        // Most recent is 4999 % 8 = 7, then 6, 5, ...
+        assert_eq!(s.block_at_rank(1), 7);
+        assert_eq!(s.block_at_rank(2), 6);
+        assert_eq!(s.block_at_rank(8), 0);
+        assert_eq!(s.live_blocks(), 8);
+    }
+
+    #[test]
+    fn sequential_next_advances_and_wraps() {
+        let mut s = ReuseStream::new(4, 1.0, 0.0);
+        assert_eq!(s.sequential_next(0), 1);
+        assert_eq!(s.sequential_next(3), 0);
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let d = bounded_pareto(&mut rng, 0.5, 64);
+            assert!((1..=64).contains(&d));
+        }
+        assert_eq!(bounded_pareto(&mut rng, 0.5, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint")]
+    fn zero_footprint_panics() {
+        let _ = ReuseStream::new(0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside footprint")]
+    fn touch_outside_footprint_panics() {
+        let mut s = ReuseStream::new(4, 1.0, 0.0);
+        s.touch(4);
+    }
+}

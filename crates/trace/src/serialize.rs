@@ -1,0 +1,232 @@
+//! Binary serialization of traces.
+//!
+//! Trace-driven methodologies conventionally store traces on disk and
+//! replay them across many simulations; this module gives [`Trace`] a
+//! compact little-endian binary format (18 bytes per instruction plus a
+//! 17-byte header) with explicit versioning.
+//!
+//! ```text
+//! magic  "UDSETRC1"          8 bytes
+//! bench  Benchmark id        1 byte
+//! count  instruction count   8 bytes (LE)
+//! insts  count records:
+//!        op                  1 byte
+//!        src1_dist           2 bytes (LE)
+//!        src2_dist           2 bytes (LE)
+//!        data_block          4 bytes (LE)
+//!        code_block          4 bytes (LE)
+//!        branch_site         4 bytes (LE)
+//!        taken               1 byte
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::trace_data::{OpClass, Trace, TraceInst};
+use crate::Benchmark;
+
+const MAGIC: &[u8; 8] = b"UDSETRC1";
+
+/// Errors from reading a serialized trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// Unknown benchmark id in the header.
+    UnknownBenchmark(u8),
+    /// Unknown opcode byte in a record.
+    UnknownOpcode(u8),
+    /// The header promises zero instructions.
+    EmptyTrace,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic => write!(f, "not a udse trace (bad magic)"),
+            TraceIoError::UnknownBenchmark(b) => write!(f, "unknown benchmark id {b}"),
+            TraceIoError::UnknownOpcode(op) => write!(f, "unknown opcode byte {op}"),
+            TraceIoError::EmptyTrace => write!(f, "trace header declares zero instructions"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn op_to_byte(op: OpClass) -> u8 {
+    match op {
+        OpClass::FixedPoint => 0,
+        OpClass::FloatingPoint => 1,
+        OpClass::Load => 2,
+        OpClass::Store => 3,
+        OpClass::Branch => 4,
+    }
+}
+
+fn op_from_byte(b: u8) -> Result<OpClass, TraceIoError> {
+    Ok(match b {
+        0 => OpClass::FixedPoint,
+        1 => OpClass::FloatingPoint,
+        2 => OpClass::Load,
+        3 => OpClass::Store,
+        4 => OpClass::Branch,
+        other => return Err(TraceIoError::UnknownOpcode(other)),
+    })
+}
+
+impl Trace {
+    /// Serializes the trace to a writer. Pass `&mut writer` to retain
+    /// ownership of the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[self.benchmark().id() as u8])?;
+        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        let mut rec = [0u8; 18];
+        for i in self.instructions() {
+            rec[0] = op_to_byte(i.op);
+            rec[1..3].copy_from_slice(&i.src1_dist.to_le_bytes());
+            rec[3..5].copy_from_slice(&i.src2_dist.to_le_bytes());
+            rec[5..9].copy_from_slice(&i.data_block.to_le_bytes());
+            rec[9..13].copy_from_slice(&i.code_block.to_le_bytes());
+            rec[13..17].copy_from_slice(&i.branch_site.to_le_bytes());
+            rec[17] = i.taken as u8;
+            w.write_all(&rec)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace from a reader. Pass `&mut reader` to retain
+    /// ownership of the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceIoError`] on malformed input or I/O failure.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceIoError::BadMagic);
+        }
+        let mut header = [0u8; 9];
+        r.read_exact(&mut header)?;
+        let bench_id = header[0];
+        let benchmark = *Benchmark::ALL
+            .get(bench_id as usize)
+            .ok_or(TraceIoError::UnknownBenchmark(bench_id))?;
+        let count = u64::from_le_bytes(header[1..9].try_into().expect("8 bytes"));
+        if count == 0 {
+            return Err(TraceIoError::EmptyTrace);
+        }
+        let mut insts = Vec::with_capacity(count.min(1 << 24) as usize);
+        let mut rec = [0u8; 18];
+        for _ in 0..count {
+            r.read_exact(&mut rec)?;
+            insts.push(TraceInst {
+                op: op_from_byte(rec[0])?,
+                src1_dist: u16::from_le_bytes(rec[1..3].try_into().expect("2 bytes")),
+                src2_dist: u16::from_le_bytes(rec[3..5].try_into().expect("2 bytes")),
+                data_block: u32::from_le_bytes(rec[5..9].try_into().expect("4 bytes")),
+                code_block: u32::from_le_bytes(rec[9..13].try_into().expect("4 bytes")),
+                branch_site: u32::from_le_bytes(rec[13..17].try_into().expect("4 bytes")),
+                taken: rec[17] != 0,
+            });
+        }
+        Ok(Trace::from_instructions(benchmark, insts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = Trace::generate(Benchmark::Mcf, 5_000, 9);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 17 + 18 * 5_000);
+        let back = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Trace::read_from(&b"NOTATRACE........."[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic));
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn unknown_benchmark_rejected() {
+        let t = Trace::generate(Benchmark::Gzip, 10, 1);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf[8] = 200; // corrupt benchmark id
+        assert!(matches!(
+            Trace::read_from(buf.as_slice()),
+            Err(TraceIoError::UnknownBenchmark(200))
+        ));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let t = Trace::generate(Benchmark::Gzip, 10, 1);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf[17] = 9; // corrupt first record's opcode
+        assert!(matches!(
+            Trace::read_from(buf.as_slice()),
+            Err(TraceIoError::UnknownOpcode(9))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let t = Trace::generate(Benchmark::Gzip, 10, 1);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(Trace::read_from(buf.as_slice()), Err(TraceIoError::Io(_))));
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(0);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(Trace::read_from(buf.as_slice()), Err(TraceIoError::EmptyTrace)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = Trace::generate(Benchmark::Ammp, 1_000, 4);
+        let path = std::env::temp_dir().join("udse_trace_test.bin");
+        t.write_to(std::fs::File::create(&path).unwrap()).unwrap();
+        let back = Trace::read_from(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(back, t);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,266 @@
+use std::fmt;
+
+use crate::generator::TraceGenerator;
+use crate::Benchmark;
+
+/// Instruction classes modeled by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Fixed-point ALU operation (1-cycle latency).
+    FixedPoint,
+    /// Floating-point operation (fixed wall-clock latency, pipelined).
+    FloatingPoint,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+impl OpClass {
+    /// All classes, in declaration order.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::FixedPoint,
+        OpClass::FloatingPoint,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpClass::FixedPoint => "fx",
+            OpClass::FloatingPoint => "fp",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic instruction of a synthetic trace.
+///
+/// Register dependencies are encoded as *distances*: `src1_dist = 3` means
+/// the first source operand is produced by the instruction three positions
+/// earlier in the trace. A distance of 0 means no (in-flight) dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceInst {
+    /// Instruction class.
+    pub op: OpClass,
+    /// Distance to the producer of the first source operand (0 = none).
+    pub src1_dist: u16,
+    /// Distance to the producer of the second source operand (0 = none).
+    pub src2_dist: u16,
+    /// Data cache block address (meaningful for loads and stores).
+    pub data_block: u32,
+    /// Instruction cache block address.
+    pub code_block: u32,
+    /// Static branch site (meaningful for branches).
+    pub branch_site: u32,
+    /// Branch outcome (meaningful for branches).
+    pub taken: bool,
+}
+
+/// A deterministic synthetic instruction trace for one benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use udse_trace::{Benchmark, Trace};
+///
+/// let t = Trace::generate(Benchmark::Gzip, 500, 1);
+/// let stats = t.stats();
+/// assert_eq!(stats.instructions, 500);
+/// assert!(stats.branch_frac > 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    benchmark: Benchmark,
+    insts: Vec<TraceInst>,
+}
+
+impl Trace {
+    /// Generates a `len`-instruction trace for `benchmark`. Identical
+    /// `(benchmark, len, seed)` triples yield identical traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn generate(benchmark: Benchmark, len: usize, seed: u64) -> Self {
+        assert!(len > 0, "trace length must be positive");
+        let mut gen = TraceGenerator::new(benchmark, seed);
+        let insts = (0..len).map(|_| gen.next_inst()).collect();
+        Trace { benchmark, insts }
+    }
+
+    /// Wraps pre-built instructions (used by tests and custom workloads).
+    pub fn from_instructions(benchmark: Benchmark, insts: Vec<TraceInst>) -> Self {
+        assert!(!insts.is_empty(), "trace must be non-empty");
+        Trace { benchmark, insts }
+    }
+
+    /// The benchmark this trace models.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The instruction sequence.
+    pub fn instructions(&self) -> &[TraceInst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty (never true for generated traces).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Computes summary statistics over the trace.
+    pub fn stats(&self) -> TraceStats {
+        let n = self.insts.len();
+        let mut counts = [0usize; 5];
+        let mut taken = 0usize;
+        let mut branches = 0usize;
+        let mut dep_sum = 0u64;
+        let mut dep_cnt = 0u64;
+        let mut data_blocks = std::collections::HashSet::new();
+        let mut code_blocks = std::collections::HashSet::new();
+        for i in &self.insts {
+            let k = OpClass::ALL.iter().position(|&c| c == i.op).expect("class");
+            counts[k] += 1;
+            if i.op == OpClass::Branch {
+                branches += 1;
+                if i.taken {
+                    taken += 1;
+                }
+            }
+            if matches!(i.op, OpClass::Load | OpClass::Store) {
+                data_blocks.insert(i.data_block);
+            }
+            code_blocks.insert(i.code_block);
+            if i.src1_dist > 0 {
+                dep_sum += i.src1_dist as u64;
+                dep_cnt += 1;
+            }
+            if i.src2_dist > 0 {
+                dep_sum += i.src2_dist as u64;
+                dep_cnt += 1;
+            }
+        }
+        TraceStats {
+            instructions: n,
+            fixed_frac: counts[0] as f64 / n as f64,
+            float_frac: counts[1] as f64 / n as f64,
+            load_frac: counts[2] as f64 / n as f64,
+            store_frac: counts[3] as f64 / n as f64,
+            branch_frac: counts[4] as f64 / n as f64,
+            taken_rate: if branches == 0 { 0.0 } else { taken as f64 / branches as f64 },
+            mean_dep_dist: if dep_cnt == 0 { 0.0 } else { dep_sum as f64 / dep_cnt as f64 },
+            distinct_data_blocks: data_blocks.len(),
+            distinct_code_blocks: code_blocks.len(),
+        }
+    }
+}
+
+/// Summary statistics of a trace, used for calibration and testing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceStats {
+    /// Trace length.
+    pub instructions: usize,
+    /// Fraction of fixed-point ops.
+    pub fixed_frac: f64,
+    /// Fraction of floating-point ops.
+    pub float_frac: f64,
+    /// Fraction of loads.
+    pub load_frac: f64,
+    /// Fraction of stores.
+    pub store_frac: f64,
+    /// Fraction of branches.
+    pub branch_frac: f64,
+    /// Fraction of branches that are taken.
+    pub taken_rate: f64,
+    /// Mean non-zero dependency distance.
+    pub mean_dep_dist: f64,
+    /// Number of distinct data blocks touched.
+    pub distinct_data_blocks: usize,
+    /// Number of distinct code blocks touched.
+    pub distinct_code_blocks: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Trace::generate(Benchmark::Gcc, 2_000, 5);
+        let b = Trace::generate(Benchmark::Gcc, 2_000, 5);
+        assert_eq!(a, b);
+        let c = Trace::generate(Benchmark::Gcc, 2_000, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stats_mix_tracks_profile() {
+        for b in Benchmark::ALL {
+            let t = Trace::generate(b, 30_000, 1);
+            let s = t.stats();
+            let mix = b.profile().mix;
+            assert!((s.load_frac - mix.load).abs() < 0.02, "{b} load frac off");
+            assert!((s.branch_frac - mix.branch).abs() < 0.02, "{b} branch frac off");
+            assert!((s.float_frac - mix.float).abs() < 0.02, "{b} float frac off");
+        }
+    }
+
+    #[test]
+    fn mcf_touches_more_data_than_gzip() {
+        let mcf = Trace::generate(Benchmark::Mcf, 30_000, 2).stats();
+        let gzip = Trace::generate(Benchmark::Gzip, 30_000, 2).stats();
+        assert!(mcf.distinct_data_blocks > 3 * gzip.distinct_data_blocks);
+    }
+
+    #[test]
+    fn mesa_touches_more_code_than_gzip() {
+        let mesa = Trace::generate(Benchmark::Mesa, 30_000, 2).stats();
+        let gzip = Trace::generate(Benchmark::Gzip, 30_000, 2).stats();
+        assert!(mesa.distinct_code_blocks > 3 * gzip.distinct_code_blocks);
+    }
+
+    #[test]
+    fn dependency_distances_track_profile_ilp() {
+        let ammp = Trace::generate(Benchmark::Ammp, 30_000, 3).stats();
+        let mcf = Trace::generate(Benchmark::Mcf, 30_000, 3).stats();
+        assert!(ammp.mean_dep_dist > mcf.mean_dep_dist * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        let _ = Trace::generate(Benchmark::Jbb, 0, 1);
+    }
+
+    #[test]
+    fn from_instructions_roundtrip() {
+        let insts = vec![TraceInst {
+            op: OpClass::FixedPoint,
+            src1_dist: 0,
+            src2_dist: 0,
+            data_block: 0,
+            code_block: 0,
+            branch_site: 0,
+            taken: false,
+        }];
+        let t = Trace::from_instructions(Benchmark::Gzip, insts.clone());
+        assert_eq!(t.instructions(), &insts[..]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,600
+set output 'fig1.png'
+set datafile separator ','
+set key autotitle columnheader
+set title 'Figure 1: median prediction error per benchmark'
+set ylabel 'median |obs-pred|/pred'
+set style data histogram
+set style histogram clustered
+set style fill solid 0.7
+set yrange [0:*]
+plot 'fig1.csv' using 2:xtic(1) title 'performance', '' using 5 title 'power'

@@ -1,0 +1,8 @@
+set terminal pngcairo size 900,600
+set output 'fig3.png'
+set datafile separator ','
+set key autotitle columnheader
+set title 'Figure 3: pareto frontier, predicted vs simulated'
+set xlabel 'delay (s per 10^9 instructions)'
+set ylabel 'power (W)'
+plot 'fig3.csv' using 2:3 with points pt 7 title 'predicted', '' using 4:5 with points pt 6 title 'simulated'

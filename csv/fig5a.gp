@@ -1,0 +1,9 @@
+set terminal pngcairo size 900,600
+set output 'fig5a.png'
+set datafile separator ','
+set key autotitle columnheader
+set title 'Figure 5a: efficiency vs pipeline depth'
+set xlabel 'FO4 per stage'
+set ylabel 'relative bips^3/w'
+set key bottom
+plot 'fig5a.csv' using 1:4:3:7 with yerrorbars title 'enhanced (q1..q3 around median)', '' using 1:2 with linespoints lw 2 title 'original analysis', '' using 1:8 with linespoints title 'bound architecture'

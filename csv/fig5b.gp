@@ -1,0 +1,9 @@
+set terminal pngcairo size 900,600
+set output 'fig5b.png'
+set datafile separator ','
+set key autotitle columnheader
+set title 'Figure 5b: D-L1 sizes among top designs per depth'
+set xlabel 'FO4 per stage'
+set ylabel 'fraction of 95th-percentile designs'
+set key outside
+plot for [kb in '8 16 32 64 128'] '<awk -F, -v k='.kb.' "$2==k" fig5b.csv' using 1:3 with linespoints title kb.' KB'

@@ -1,0 +1,9 @@
+set terminal pngcairo size 900,600
+set output 'fig9.png'
+set datafile separator ','
+set key autotitle columnheader
+set title 'Figure 9: efficiency gain vs heterogeneity (cluster count)'
+set xlabel 'clusters (K)'
+set ylabel 'bips^3/w gain vs baseline'
+set key left
+plot 'fig9.csv' using 1:3 with points pt 7 ps 0.5 title 'per-benchmark predicted', '' using 1:4 with points pt 6 ps 0.5 title 'per-benchmark simulated'

@@ -1,0 +1,67 @@
+//! Pipeline depth study (the paper's §5): how a constrained depth sweep
+//! differs from letting every other parameter vary.
+//!
+//! Run with: `cargo run --release --example depth_study`
+
+use udse::core::oracle::SimOracle;
+use udse::core::studies::depth::DepthStudy;
+use udse::core::studies::{StudyConfig, TrainedSuite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = StudyConfig::quick();
+    config.train_samples = 300;
+    config.eval_stride = 25;
+    let oracle = SimOracle::with_trace_len(50_000);
+
+    println!("training models on {} simulated samples x 9 benchmarks...", config.train_samples);
+    let suite = TrainedSuite::train(&oracle, &config)?;
+
+    println!("running depth study ({} designs per depth)...", 37_500 / config.eval_stride);
+    let study = DepthStudy::run(&suite, &config);
+
+    println!("\nefficiency relative to the original bips^3/w optimum:");
+    println!(
+        "{:>5} {:>10} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "FO4", "orig_line", "q1", "median", "q3", "bound", "%>orig_opt"
+    );
+    for (i, &d) in study.depths.iter().enumerate() {
+        let bp = &study.enhanced_boxplots[i];
+        println!(
+            "{d:>5} {:>10.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>11.1}%",
+            study.original_relative[i],
+            bp.q1,
+            bp.median,
+            bp.q3,
+            bp.max,
+            study.fraction_above_original[i] * 100.0
+        );
+    }
+    println!(
+        "\nconstrained (original) optimum: {} FO4; unconstrained bound optimum: {} FO4",
+        study.optimal_original_depth(),
+        study.optimal_bound_depth()
+    );
+
+    println!("\nbound architectures per depth (what the best designs look like):");
+    for (d, p) in study.depths.iter().zip(&study.bound_points) {
+        println!(
+            "  {d:>2} FO4 -> width {}, {} GPR, resv {} FX, I$ {}K, D$ {}K, L2 {}K",
+            p.decode_width(),
+            p.gpr(),
+            p.resv_fx(),
+            p.il1_kb(),
+            p.dl1_kb(),
+            p.l2_kb()
+        );
+    }
+
+    println!("\nD-L1 sizes among the top 5% designs at each depth (the paper's Fig 5b):");
+    for (d, h) in study.depths.iter().zip(&study.dcache_top_percentile) {
+        let mut parts = Vec::new();
+        for kb in [8u64, 16, 32, 64, 128] {
+            parts.push(format!("{kb}K:{:.0}%", h.fraction(kb) * 100.0));
+        }
+        println!("  {d:>2} FO4 -> {}", parts.join("  "));
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Heterogeneous multiprocessor design (the paper's §6 study).
+//!
+//! Finds each benchmark's predicted bips^3/w-optimal core, clusters the
+//! optima with K-means into K compromise cores, and reports the
+//! efficiency gains over a homogeneous baseline as K grows.
+//!
+//! Run with: `cargo run --release --example heterogeneous_cmp`
+
+use udse::core::oracle::SimOracle;
+use udse::core::studies::heterogeneity::{
+    compromise_clusters, predicted_gains, BenchmarkArchitectures,
+};
+use udse::core::studies::{StudyConfig, TrainedSuite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Reduced scale so the example runs in tens of seconds.
+    let mut config = StudyConfig::quick();
+    config.train_samples = 300;
+    config.eval_stride = 50;
+    let oracle = SimOracle::with_trace_len(50_000);
+
+    println!("training 9 benchmark model pairs ({} samples each)...", config.train_samples);
+    let suite = TrainedSuite::train(&oracle, &config)?;
+
+    println!("locating per-benchmark bips^3/w optima...");
+    let optima = BenchmarkArchitectures::find(&suite, &config);
+    for (b, p) in &optima.optima {
+        println!(
+            "  {:8} -> {} FO4, width {}, {} GPR, I$ {}K, D$ {}K, L2 {}K",
+            b.name(),
+            p.fo4(),
+            p.decode_width(),
+            p.gpr(),
+            p.il1_kb(),
+            p.dl1_kb(),
+            p.l2_kb()
+        );
+    }
+
+    println!("\nK=4 compromise cores (K-means in normalized parameter space):");
+    for (i, c) in compromise_clusters(&suite, &optima, 4, 64).iter().enumerate() {
+        let members: Vec<&str> = c.members.iter().map(|b| b.name()).collect();
+        println!(
+            "  core {}: {} FO4, width {}, L2 {}K  <- {}",
+            i + 1,
+            c.architecture.fo4(),
+            c.architecture.decode_width(),
+            c.architecture.l2_kb(),
+            members.join(", ")
+        );
+    }
+
+    println!("\nefficiency gain vs baseline as heterogeneity grows:");
+    let gains = predicted_gains(&suite, &optima, 64);
+    for (k, avg) in gains.k_values.iter().zip(gains.averages()) {
+        let bar = "#".repeat((avg * 20.0) as usize);
+        println!("  K={k}: {avg:>5.2}x {bar}");
+    }
+    println!(
+        "\ntheoretical upper bound (one core per benchmark): {:.2}x",
+        gains.upper_bound()
+    );
+    Ok(())
+}

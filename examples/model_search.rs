@@ -1,0 +1,80 @@
+//! Heuristic search with regression models (the paper's §8 direction):
+//! find a benchmark's bips^3/w-optimal design without evaluating all
+//! 262,500 points.
+//!
+//! Run with: `cargo run --release --example model_search [bench]`
+
+use udse::core::model::PaperModels;
+use udse::core::oracle::SimOracle;
+use udse::core::search::{hill_climb, random_restart_hill_climb, simulated_annealing};
+use udse::core::space::DesignSpace;
+use udse::trace::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(Benchmark::Twolf);
+
+    let oracle = SimOracle::with_trace_len(50_000);
+    let samples = DesignSpace::paper().sample_uar(400, 21);
+    println!("training {bench} models on {} simulated samples...", samples.len());
+    let models = PaperModels::train(&oracle, bench, &samples)?;
+    let space = DesignSpace::exploration();
+    let objective = |p: &udse::core::space::DesignPoint| models.predict_efficiency(p);
+
+    // Reference: exhaustive prediction (cheap with a model, impossible
+    // with a simulator).
+    let t0 = std::time::Instant::now();
+    let exhaustive = space
+        .iter()
+        .map(|p| objective(&p))
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "exhaustive optimum: {exhaustive:.5} ({} evaluations, {:.1}s)",
+        space.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Single hill climb from the space's first corner.
+    let hc1 = hill_climb(&space, space.decode(0).unwrap(), objective);
+    println!(
+        "single hill climb:  {:.5} = {:.1}% of optimum  ({} evaluations)",
+        hc1.best_value,
+        100.0 * hc1.best_value / exhaustive,
+        hc1.evaluations
+    );
+
+    // Multistart hill climbing.
+    let hc = random_restart_hill_climb(&space, 20, 7, objective);
+    println!(
+        "20-restart climb:   {:.5} = {:.1}% of optimum  ({} evaluations)",
+        hc.best_value,
+        100.0 * hc.best_value / exhaustive,
+        hc.evaluations
+    );
+    println!(
+        "  best design: {} FO4, width {}, {} GPR, I$ {}K, D$ {}K, L2 {}K",
+        hc.best.fo4(),
+        hc.best.decode_width(),
+        hc.best.gpr(),
+        hc.best.il1_kb(),
+        hc.best.dl1_kb(),
+        hc.best.l2_kb()
+    );
+
+    // Simulated annealing with a budget similar to the climbs.
+    let sa = simulated_annealing(&space, 20_000, exhaustive.abs() * 0.2, 3, objective);
+    println!(
+        "annealing:          {:.5} = {:.1}% of optimum  ({} evaluations)",
+        sa.best_value,
+        100.0 * sa.best_value / exhaustive,
+        sa.evaluations
+    );
+    println!(
+        "\nthe heuristics reach the optimum with ~{}x fewer objective evaluations",
+        space.len() / hc.evaluations.max(1)
+    );
+    Ok(())
+}

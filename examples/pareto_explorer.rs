@@ -1,0 +1,84 @@
+//! Pareto frontier exploration (the paper's §4 study on one benchmark).
+//!
+//! Trains models for a memory-bound benchmark (`mcf`), exhaustively
+//! characterizes the 262,500-point exploration space, extracts the
+//! power-delay pareto frontier, and validates several frontier designs
+//! against the simulator.
+//!
+//! Run with: `cargo run --release --example pareto_explorer [bench]`
+
+use udse::core::model::PaperModels;
+use udse::core::oracle::{Oracle, SimOracle};
+use udse::core::pareto::ParetoFrontier;
+use udse::core::space::DesignSpace;
+use udse::trace::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(Benchmark::Mcf);
+
+    let oracle = SimOracle::with_trace_len(50_000);
+    let samples = DesignSpace::paper().sample_uar(400, 7);
+    println!("training {bench} models on {} simulated samples...", samples.len());
+    let models = PaperModels::train(&oracle, bench, &samples)?;
+
+    // Exhaustive characterization: every design's predicted delay/power.
+    let space = DesignSpace::exploration();
+    let t0 = std::time::Instant::now();
+    let points: Vec<(f64, f64)> = space
+        .iter()
+        .map(|p| {
+            let m = models.predict_metrics(&p);
+            (m.delay_seconds(), m.watts)
+        })
+        .collect();
+    println!(
+        "characterized {} designs in {:.1}s (the paper's 'fewer than four hours' \
+         per benchmark, via regression)",
+        points.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let frontier = ParetoFrontier::from_points(&points, 100);
+    println!("pareto frontier: {} designs", frontier.len());
+    println!("\n{:>12} {:>9} {:>8}  design", "delay(s)", "power(W)", "sim(W)");
+    for (&idx, &(delay, power)) in
+        frontier.indices().iter().zip(frontier.points()).step_by(frontier.len().div_ceil(12))
+    {
+        let point = space.decode(idx as u64).expect("frontier index valid");
+        let sim = oracle.evaluate(bench, &point);
+        println!(
+            "{delay:>12.3} {power:>9.1} {:>8.1}  {}fo4/w{} regs{} I${}K D${}K L2-{}K",
+            sim.watts,
+            point.fo4(),
+            point.decode_width(),
+            point.gpr(),
+            point.il1_kb(),
+            point.dl1_kb(),
+            point.l2_kb()
+        );
+    }
+
+    // The knee of the curve: the bips^3/w optimum.
+    let (best_idx, _) = points
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            let ea = (1.0 / a.1 .0).powi(3) / a.1 .1;
+            let eb = (1.0 / b.1 .0).powi(3) / b.1 .1;
+            ea.total_cmp(&eb)
+        })
+        .expect("non-empty space");
+    let best = space.decode(best_idx as u64).expect("index valid");
+    println!(
+        "\nbips^3/w optimum: {} FO4, width {}, {} GPR, L2 {} KB",
+        best.fo4(),
+        best.decode_width(),
+        best.gpr(),
+        best.l2_kb()
+    );
+    Ok(())
+}

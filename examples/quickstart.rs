@@ -1,0 +1,56 @@
+//! Quickstart: train the paper's regression models for one benchmark and
+//! predict performance/power across the design space.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use udse::core::model::PaperModels;
+use udse::core::oracle::{Oracle, SimOracle};
+use udse::core::space::DesignSpace;
+use udse::trace::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The Table 1 design space: 375,000 sampling points.
+    let space = DesignSpace::paper();
+    println!("design space: {} points", space.len());
+
+    // 2. Sample uniformly at random and simulate each sampled design.
+    //    (The paper uses 1,000 samples; 300 keeps this example snappy.)
+    let oracle = SimOracle::with_trace_len(50_000);
+    let samples = space.sample_uar(300, 42);
+    println!("simulating {} samples of gzip...", samples.len());
+
+    // 3. Fit the paper's sqrt/log spline models.
+    let models = PaperModels::train(&oracle, Benchmark::Gzip, &samples)?;
+    println!(
+        "performance model R^2 = {:.3}, power model R^2 = {:.3}",
+        models.performance_model().r_squared(),
+        models.power_model().r_squared()
+    );
+
+    // 4. Predict any design instantly — here, the POWER4-like baseline
+    //    region vs an aggressive deep/wide machine.
+    let exploration = DesignSpace::exploration();
+    let baseline = udse::core::baseline::baseline_point();
+    let aggressive = exploration
+        .iter()
+        .find(|p| p.fo4() == 12 && p.decode_width() == 8 && p.l2_kb() == 4096)
+        .expect("aggressive corner exists");
+    for (name, p) in [("baseline-like", baseline), ("deep/wide corner", aggressive)] {
+        let m = models.predict_metrics(&p);
+        println!(
+            "{name:>18}: predicted {:.2} bips @ {:.1} W (bips^3/w = {:.4})",
+            m.bips,
+            m.watts,
+            m.bips_cubed_per_watt()
+        );
+    }
+
+    // 5. Check one prediction against the simulator.
+    let sim = oracle.evaluate(Benchmark::Gzip, &baseline);
+    let pred = models.predict_metrics(&baseline);
+    println!(
+        "baseline check: simulated {:.2} bips / {:.1} W, predicted {:.2} bips / {:.1} W",
+        sim.bips, sim.watts, pred.bips, pred.watts
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Statistical-quality integration tests: the regression machinery's
+//! behaviour on the real simulator, beyond raw prediction error.
+
+use udse::core::model::{design_dataset, paper_terms, performance_spec, power_spec};
+use udse::core::oracle::{Metrics, Oracle, SimOracle};
+use udse::core::space::DesignSpace;
+use udse::regress::{
+    k_fold_cv, rank_predictors, residual_report, ModelSpec, ResponseTransform,
+};
+use udse::trace::Benchmark;
+
+fn observations(
+    oracle: &SimOracle,
+    b: Benchmark,
+    n: usize,
+    seed: u64,
+) -> (udse::regress::Dataset, Vec<f64>, Vec<f64>) {
+    let samples = DesignSpace::paper().sample_uar(n, seed);
+    let metrics: Vec<Metrics> = samples.iter().map(|p| oracle.evaluate(b, p)).collect();
+    let data = design_dataset(&samples).unwrap();
+    let bips = metrics.iter().map(|m| m.bips).collect();
+    let watts = metrics.iter().map(|m| m.watts).collect();
+    (data, bips, watts)
+}
+
+#[test]
+fn depth_is_a_strong_predictor_of_power() {
+    // The paper gives depth 4 knots because of its strong association with
+    // the responses; verify the screening machinery agrees on simulated
+    // data: depth must rank in the top predictors for power.
+    let oracle = SimOracle::with_trace_len(8_000);
+    let (data, _bips, watts) = observations(&oracle, Benchmark::Gzip, 150, 11);
+    let ranking = rank_predictors(&data, &watts).unwrap();
+    let depth_rank = ranking.iter().position(|a| a.name == "depth_fo4").unwrap();
+    assert!(depth_rank <= 1, "depth ranked {depth_rank} for power: {ranking:?}");
+    // And its association is negative (shallower pipeline = less power).
+    assert!(ranking[depth_rank].rho < -0.5);
+}
+
+#[test]
+fn width_is_a_strong_predictor_of_power() {
+    let oracle = SimOracle::with_trace_len(8_000);
+    let (data, _bips, watts) = observations(&oracle, Benchmark::Mesa, 150, 13);
+    let ranking = rank_predictors(&data, &watts).unwrap();
+    let width_rank = ranking.iter().position(|a| a.name == "width").unwrap();
+    assert!(width_rank <= 1, "width ranked {width_rank}: {ranking:?}");
+    assert!(ranking[width_rank].rho > 0.5, "wider must mean more power");
+}
+
+#[test]
+fn cross_validation_matches_holdout_accuracy() {
+    // 5-fold CV error on the training set should roughly agree with the
+    // error measured on fresh designs — no gross overfitting.
+    let oracle = SimOracle::with_trace_len(8_000);
+    let (data, bips, _) = observations(&oracle, Benchmark::Twolf, 200, 17);
+    let cv = k_fold_cv(&performance_spec(), &data, &bips, 5, 3).unwrap();
+    assert!(cv.median_ape < 0.15, "CV median APE {}", cv.median_ape);
+
+    let model = performance_spec().fit(&data, &bips).unwrap();
+    let fresh = DesignSpace::paper().sample_uar(40, 999);
+    let mut apes = Vec::new();
+    for p in &fresh {
+        let obs = oracle.evaluate(Benchmark::Twolf, p).bips;
+        let pred = model.predict_row(&p.predictors()).unwrap();
+        apes.push(((obs - pred) / pred).abs());
+    }
+    let holdout = udse::stats::median(&apes);
+    assert!(
+        (cv.median_ape - holdout).abs() < 0.1,
+        "CV {} vs holdout {holdout}",
+        cv.median_ape
+    );
+}
+
+#[test]
+fn log_transform_improves_power_residuals_on_simulated_data() {
+    let oracle = SimOracle::with_trace_len(8_000);
+    let (data, _, watts) = observations(&oracle, Benchmark::Ammp, 200, 23);
+    let with_log = power_spec().fit(&data, &watts).unwrap();
+    let without = ModelSpec::new(ResponseTransform::Identity)
+        .with_terms(paper_terms())
+        .fit(&data, &watts)
+        .unwrap();
+    let r_log = residual_report(&with_log, &data, &watts).unwrap();
+    let r_id = residual_report(&without, &data, &watts).unwrap();
+    // The log response must reduce both skewness and the
+    // variance-vs-level trend, as the paper's §3.3 argues.
+    assert!(
+        r_log.skewness.abs() < r_id.skewness.abs(),
+        "log skew {} vs identity skew {}",
+        r_log.skewness,
+        r_id.skewness
+    );
+    assert!(
+        r_log.spread_trend < r_id.spread_trend,
+        "log spread {} vs identity spread {}",
+        r_log.spread_trend,
+        r_id.spread_trend
+    );
+}
+
+#[test]
+fn significant_terms_include_depth_spline_for_power() {
+    let oracle = SimOracle::with_trace_len(8_000);
+    let (data, _, watts) = observations(&oracle, Benchmark::Gcc, 250, 29);
+    let model = power_spec().fit(&data, &watts).unwrap();
+    let table = model.coefficient_table();
+    // The linear depth column must be overwhelmingly significant.
+    let depth = table.iter().find(|c| c.name == "depth_fo4").unwrap();
+    assert!(depth.significant_at(0.001), "depth p-value {}", depth.p_value);
+    // And the intercept too (log-watts baseline level).
+    assert!(table[0].significant_at(0.001));
+}

@@ -1,0 +1,239 @@
+//! Property-based tests over cross-crate invariants.
+
+use proptest::prelude::*;
+use udse::cluster::{KMeans, MinMaxScaler};
+use udse::core::pareto::ParetoFrontier;
+use udse::core::space::DesignSpace;
+use udse::linalg::{lstsq, Matrix, Qr};
+use udse::regress::{spline_basis, ResponseTransform};
+use udse::stats::{quantile, Boxplot};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn design_space_index_bijection(idx in 0u64..375_000) {
+        let space = DesignSpace::paper();
+        let p = space.decode(idx).unwrap();
+        prop_assert_eq!(space.encode(&p), Some(idx));
+        // Every decoded point materializes a valid machine.
+        prop_assert!(p.to_machine_config().validate().is_ok());
+    }
+
+    #[test]
+    fn exploration_points_live_in_sampling_space(idx in 0u64..262_500) {
+        let exp = DesignSpace::exploration();
+        let paper = DesignSpace::paper();
+        let p = exp.decode(idx).unwrap();
+        prop_assert!(paper.encode(&p).is_some());
+    }
+
+    #[test]
+    fn pareto_frontier_is_non_dominated(
+        pts in prop::collection::vec((0.1f64..10.0, 1.0f64..200.0), 1..200),
+        bins in 1usize..64,
+    ) {
+        let f = ParetoFrontier::from_points(&pts, bins);
+        prop_assert!(!f.is_empty());
+        prop_assert!(f.is_non_dominated(&pts));
+        // Skyline ordering.
+        for w in f.points().windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 > w[1].1);
+        }
+    }
+
+    #[test]
+    fn boxplot_invariants(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let bp = Boxplot::from_samples(&xs);
+        prop_assert!(bp.min <= bp.lower_whisker);
+        prop_assert!(bp.lower_whisker <= bp.q1 + 1e-9);
+        prop_assert!(bp.q1 <= bp.median);
+        prop_assert!(bp.median <= bp.q3);
+        prop_assert!(bp.q3 <= bp.upper_whisker + 1e-9);
+        prop_assert!(bp.upper_whisker <= bp.max);
+        prop_assert_eq!(bp.n, xs.len());
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+    }
+
+    #[test]
+    fn qr_reconstructs_random_matrices(
+        rows in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 4),
+            4..12,
+        ),
+    ) {
+        let a = Matrix::from_rows(&rows);
+        let qr = Qr::new(&a).unwrap();
+        let recon = qr.q().matmul(&qr.r()).unwrap();
+        let err = recon.sub(&a).unwrap().max_abs();
+        prop_assert!(err < 1e-8, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonal(
+        xs in prop::collection::vec(-10.0f64..10.0, 8..40),
+        noise in prop::collection::vec(-0.5f64..0.5, 8..40),
+    ) {
+        let n = xs.len().min(noise.len());
+        let rows: Vec<Vec<f64>> = xs[..n].iter().map(|&x| vec![1.0, x]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = xs[..n].iter().zip(&noise[..n]).map(|(x, e)| 2.0 + x + e).collect();
+        // Skip degenerate designs (all x equal -> rank deficient).
+        let distinct = xs[..n].iter().any(|&v| (v - xs[0]).abs() > 1e-6);
+        prop_assume!(distinct);
+        let beta = lstsq(&x, &y).unwrap();
+        let yhat = x.matvec(&beta).unwrap();
+        let resid: Vec<f64> = y.iter().zip(&yhat).map(|(a, b)| a - b).collect();
+        let xtr = x.tr_matvec(&resid).unwrap();
+        for v in xtr {
+            prop_assert!(v.abs() < 1e-6, "non-orthogonal residual: {v}");
+        }
+    }
+
+    #[test]
+    fn spline_linear_outside_knots(x in 10.0f64..100.0, shift in 0.1f64..5.0) {
+        // Beyond the last knot the basis must be affine: equal second
+        // differences.
+        let knots = [1.0, 2.0, 4.0, 8.0];
+        let b0 = spline_basis(x, &knots);
+        let b1 = spline_basis(x + shift, &knots);
+        let b2 = spline_basis(x + 2.0 * shift, &knots);
+        for c in 0..b0.len() {
+            let d1 = b1[c] - b0[c];
+            let d2 = b2[c] - b1[c];
+            prop_assert!((d1 - d2).abs() < 1e-6 * (1.0 + d1.abs()), "col {c} not affine");
+        }
+    }
+
+    #[test]
+    fn transforms_roundtrip(y in 0.001f64..1e6) {
+        for t in [ResponseTransform::Identity, ResponseTransform::Sqrt, ResponseTransform::Log] {
+            let z = t.apply(y).unwrap();
+            let back = t.invert(z);
+            prop_assert!((back - y).abs() < 1e-9 * y.max(1.0));
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_never_increases_with_k(
+        pts in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 2),
+            6..30,
+        ),
+    ) {
+        let scaler = MinMaxScaler::fit(&pts);
+        let norm = scaler.transform_all(&pts);
+        let i1 = KMeans::new(1).with_restarts(4).run(&norm, 1).inertia();
+        let i3 = KMeans::new(3).with_restarts(8).run(&norm, 1).inertia();
+        prop_assert!(i3 <= i1 + 1e-9);
+    }
+
+    #[test]
+    fn scaler_roundtrip(
+        pts in prop::collection::vec(
+            prop::collection::vec(-1e3f64..1e3, 3),
+            2..20,
+        ),
+    ) {
+        let scaler = MinMaxScaler::fit(&pts);
+        for p in &pts {
+            let back = scaler.inverse(&scaler.transform(p));
+            for (a, b) in back.iter().zip(p) {
+                prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+            }
+        }
+    }
+}
+
+proptest! {
+    // Simulation is comparatively expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_design_point_simulates_to_finite_metrics(idx in 0u64..375_000) {
+        use udse::core::oracle::{Oracle, SimOracle};
+        use udse::trace::Benchmark;
+        let space = DesignSpace::paper();
+        let p = space.decode(idx).unwrap();
+        let oracle = SimOracle::with_trace_len(2_000);
+        let m = oracle.evaluate(Benchmark::Twolf, &p);
+        prop_assert!(m.bips.is_finite() && m.bips > 0.0);
+        prop_assert!(m.watts.is_finite() && m.watts > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn t_cdf_is_monotone_and_quantile_inverts(
+        a in -20.0f64..20.0,
+        b in -20.0f64..20.0,
+        dof in 1.0f64..200.0,
+    ) {
+        use udse::stats::{student_t_cdf, student_t_quantile};
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(student_t_cdf(lo, dof) <= student_t_cdf(hi, dof) + 1e-12);
+        // Roundtrip only where the CDF has not saturated to float
+        // precision (far tails lose the information to invert).
+        let p = student_t_cdf(a, dof);
+        prop_assume!(p > 1e-8 && p < 1.0 - 1e-8);
+        let q = student_t_quantile(p, dof);
+        prop_assert!((q - a).abs() < 1e-4 * (1.0 + a.abs()), "{q} vs {a}");
+    }
+
+    #[test]
+    fn incomplete_beta_is_monotone_in_x(
+        a in 0.2f64..10.0,
+        b in 0.2f64..10.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        use udse::stats::regularized_incomplete_beta;
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let vlo = regularized_incomplete_beta(a, b, lo);
+        let vhi = regularized_incomplete_beta(a, b, hi);
+        prop_assert!(vlo <= vhi + 1e-10);
+        prop_assert!((0.0..=1.0).contains(&vlo));
+    }
+
+    #[test]
+    fn hill_climb_never_beats_exhaustive_on_its_own_surface(
+        seed in 0u64..1_000,
+        peak_shift in -5.0f64..5.0,
+    ) {
+        use udse::core::search::random_restart_hill_climb;
+        let space = DesignSpace::exploration();
+        let objective = move |p: &udse::core::space::DesignPoint| {
+            let v = p.predictors();
+            -((v[0] - 20.0 - peak_shift) / 9.0).powi(2) - ((v[6] - 10.0) / 2.0).powi(2)
+        };
+        let r = random_restart_hill_climb(&space, 3, seed, objective);
+        let exhaustive = space.iter().map(|p| objective(&p)).fold(f64::MIN, f64::max);
+        prop_assert!(r.best_value <= exhaustive + 1e-12);
+        // The surface is separable and unimodal on the grid, so any
+        // climb reaches the global optimum.
+        prop_assert!((r.best_value - exhaustive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_ci_contains_sample_mean(
+        xs in prop::collection::vec(-100.0f64..100.0, 2..60),
+        level in 0.5f64..0.99,
+    ) {
+        use udse::stats::mean_confidence_interval;
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let (lo, hi) = mean_confidence_interval(&xs, level);
+        prop_assert!(lo <= mean + 1e-9 && mean <= hi + 1e-9);
+    }
+}

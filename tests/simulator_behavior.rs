@@ -1,0 +1,166 @@
+//! Cross-crate behavioral invariants of the simulator: the directional
+//! responses the design space studies rely on.
+
+use udse::sim::{MachineConfig, Simulator};
+use udse::trace::{Benchmark, Trace};
+
+const N: usize = 60_000;
+const WARMUP: usize = 15_000;
+
+fn run(b: Benchmark, cfg: MachineConfig) -> udse::sim::SimResult {
+    let trace = Trace::generate(b, N, 5);
+    Simulator::new(cfg).run_with_warmup(&trace, WARMUP)
+}
+
+#[test]
+fn deeper_pipeline_raises_frequency_but_lowers_ipc() {
+    let mut deep = MachineConfig::power4_baseline();
+    deep.fo4_per_stage = 12;
+    let mut shallow = MachineConfig::power4_baseline();
+    shallow.fo4_per_stage = 30;
+    for b in [Benchmark::Gzip, Benchmark::Ammp, Benchmark::Gcc] {
+        let rd = run(b, deep);
+        let rs = run(b, shallow);
+        assert!(rd.frequency_ghz > 2.0 * rs.frequency_ghz, "{b}: frequency scaling");
+        assert!(rd.ipc < rs.ipc, "{b}: deep pipeline should lower IPC");
+        assert!(rd.watts > rs.watts, "{b}: deep pipeline should burn more power");
+    }
+}
+
+#[test]
+fn bigger_l2_never_hurts_memory_bound_performance() {
+    let mut small = MachineConfig::power4_baseline();
+    small.l2_kb = 256;
+    let mut big = MachineConfig::power4_baseline();
+    big.l2_kb = 4096;
+    let rs = run(Benchmark::Mcf, small);
+    let rb = run(Benchmark::Mcf, big);
+    assert!(rb.bips > rs.bips * 1.15, "mcf should gain >15% from 16x L2: {} vs {}", rb.bips, rs.bips);
+    assert!(rb.l2_miss_rate < rs.l2_miss_rate);
+}
+
+#[test]
+fn compute_bound_benchmark_ignores_l2_capacity() {
+    let mut small = MachineConfig::power4_baseline();
+    small.l2_kb = 256;
+    let mut big = MachineConfig::power4_baseline();
+    big.l2_kb = 4096;
+    let rs = run(Benchmark::Gzip, small);
+    let rb = run(Benchmark::Gzip, big);
+    let gain = rb.bips / rs.bips;
+    assert!(gain < 1.05, "gzip should be L2-insensitive, saw {gain}x");
+    // ...but pays the leakage for the bigger array.
+    assert!(rb.watts > rs.watts);
+}
+
+#[test]
+fn wider_machine_helps_ilp_rich_more_than_serial_code() {
+    let wide = {
+        let mut c = MachineConfig::power4_baseline();
+        c.decode_width = 8;
+        c.lsq_entries = 45;
+        c.store_queue_entries = 42;
+        c.units_per_class = 4;
+        c
+    };
+    let narrow = {
+        let mut c = MachineConfig::power4_baseline();
+        c.decode_width = 2;
+        c.lsq_entries = 15;
+        c.store_queue_entries = 14;
+        c.units_per_class = 1;
+        c
+    };
+    let gain = |b: Benchmark| run(b, wide).bips / run(b, narrow).bips;
+    let ammp = gain(Benchmark::Ammp);
+    let mcf = gain(Benchmark::Mcf);
+    assert!(ammp > 1.2, "ILP-rich ammp should gain from width: {ammp}");
+    assert!(ammp > mcf + 0.1, "ammp ({ammp}) should gain more than serial mcf ({mcf})");
+}
+
+#[test]
+fn more_registers_help_wide_machines() {
+    let mut few = MachineConfig::power4_baseline();
+    few.decode_width = 8;
+    few.lsq_entries = 45;
+    few.store_queue_entries = 42;
+    few.units_per_class = 4;
+    few.gpr = 40;
+    few.fpr = 40;
+    few.spr = 42;
+    let mut many = few;
+    many.gpr = 130;
+    many.fpr = 112;
+    many.spr = 96;
+    let rf = run(Benchmark::Ammp, few);
+    let rm = run(Benchmark::Ammp, many);
+    assert!(rm.bips > rf.bips * 1.1, "registers should unlock ILP: {} vs {}", rm.bips, rf.bips);
+}
+
+#[test]
+fn bigger_icache_helps_code_heavy_benchmark() {
+    let mut small = MachineConfig::power4_baseline();
+    small.il1_kb = 16;
+    let mut big = MachineConfig::power4_baseline();
+    big.il1_kb = 256;
+    let rs = run(Benchmark::Mesa, small);
+    let rb = run(Benchmark::Mesa, big);
+    assert!(rb.il1_miss_rate < rs.il1_miss_rate * 0.7);
+    assert!(rb.bips > rs.bips);
+}
+
+#[test]
+fn in_order_mode_never_beats_out_of_order() {
+    for b in [Benchmark::Ammp, Benchmark::Gzip, Benchmark::Mcf] {
+        let ooo = MachineConfig::power4_baseline();
+        let mut ino = ooo;
+        ino.in_order = true;
+        let r_ooo = run(b, ooo);
+        let r_ino = run(b, ino);
+        assert!(
+            r_ino.bips <= r_ooo.bips * 1.001,
+            "{b}: in-order ({}) must not beat out-of-order ({})",
+            r_ino.bips,
+            r_ooo.bips
+        );
+    }
+}
+
+#[test]
+fn higher_associativity_does_not_raise_miss_rate_on_average() {
+    let mut direct = MachineConfig::power4_baseline();
+    direct.dl1_assoc = 1;
+    let mut assoc = MachineConfig::power4_baseline();
+    assoc.dl1_assoc = 8;
+    // Average across benchmarks: associativity should reduce conflicts.
+    let mut sum_direct = 0.0;
+    let mut sum_assoc = 0.0;
+    for b in [Benchmark::Twolf, Benchmark::Gcc, Benchmark::Jbb] {
+        sum_direct += run(b, direct).dl1_miss_rate;
+        sum_assoc += run(b, assoc).dl1_miss_rate;
+    }
+    assert!(sum_assoc <= sum_direct * 1.02, "assoc {sum_assoc} vs direct {sum_direct}");
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let cfg = MachineConfig::power4_baseline();
+    let a = run(Benchmark::Equake, cfg);
+    let b = run(Benchmark::Equake, cfg);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.bips, b.bips);
+    assert_eq!(a.watts, b.watts);
+}
+
+#[test]
+fn benchmarks_have_distinct_characters_at_baseline() {
+    let cfg = MachineConfig::power4_baseline();
+    let mcf = run(Benchmark::Mcf, cfg);
+    let gzip = run(Benchmark::Gzip, cfg);
+    let applu = run(Benchmark::Applu, cfg);
+    // mcf is the slowest, applu among the fastest.
+    assert!(mcf.bips < 0.5 * gzip.bips);
+    assert!(applu.bips > gzip.bips);
+    // mcf thrashes the D-L1; gzip does not.
+    assert!(mcf.dl1_miss_rate > 5.0 * gzip.dl1_miss_rate);
+}

@@ -1,0 +1,370 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API
+//! that the udse workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces the registry dependency with this path crate. It keeps the
+//! same bench-authoring surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups, throughput,
+//! `iter_batched`) and implements a straightforward measurement loop:
+//!
+//! 1. warm up for ~0.5 s to stabilize frequency and caches;
+//! 2. calibrate an iteration count so one sample takes ≳10 ms;
+//! 3. collect `sample_size` samples and report min / median / max
+//!    per-iteration time, plus element throughput when configured.
+//!
+//! There is no statistical outlier analysis, HTML report, or saved
+//! baseline; results are printed to stdout in a stable, greppable
+//! format: `bench: <name> ... time: [<min> <median> <max>]`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time for one measured sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(10);
+/// Warmup budget per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(200);
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost; the shim re-runs setup per
+/// batch regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from one parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The measurement driver handed to each bench target.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.to_string(), throughput: None, sample_size }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing loop driver passed to the closure of each benchmark.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly, timing whole samples of many iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.calibrating {
+            let t0 = Instant::now();
+            black_box(f());
+            self.calibrate(t0.elapsed());
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Measures `routine` on inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.calibrating {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.calibrate(t0.elapsed());
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn calibrate(&mut self, one_iter: Duration) {
+        let per_iter = one_iter.max(Duration::from_nanos(1));
+        let n = (TARGET_SAMPLE_TIME.as_nanos() / per_iter.as_nanos()).max(1);
+        self.iters_per_sample = u64::try_from(n).unwrap_or(u64::MAX).min(1_000_000);
+    }
+}
+
+fn run_benchmark<F>(name: &str, throughput: Option<Throughput>, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration pass: run single iterations until the warmup budget is
+    // spent, deriving the per-sample iteration count.
+    let mut b =
+        Bencher { iters_per_sample: 1, samples: Vec::new(), sample_size, calibrating: true };
+    let warm_start = Instant::now();
+    loop {
+        f(&mut b);
+        if warm_start.elapsed() >= WARMUP_TIME {
+            break;
+        }
+    }
+
+    // Measurement pass.
+    b.calibrating = false;
+    b.samples.clear();
+    f(&mut b);
+
+    if b.samples.is_empty() {
+        println!("bench: {name:<40} (no samples collected)");
+        return;
+    }
+    let iters = b.iters_per_sample;
+    let mut per_iter: Vec<f64> =
+        b.samples.iter().map(|d| d.as_nanos() as f64 / iters as f64).collect();
+    per_iter.sort_by(f64::total_cmp);
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    let median = per_iter[per_iter.len() / 2];
+    let mut line =
+        format!("bench: {name:<40} time: [{} {} {}]", fmt_ns(min), fmt_ns(median), fmt_ns(max));
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = count as f64 / (median / 1e9);
+        line.push_str(&format!("  thrpt: {} {unit}", fmt_rate(rate)));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Declares a group of bench targets sharing one [`Criterion`]
+/// configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = ::core::default::Default::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        // Must simply complete quickly and not panic.
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_with_throughput_and_inputs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let data = vec![1u64, 2, 3];
+        g.bench_with_input(BenchmarkId::from_parameter("vec3"), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![0u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("gzip").to_string(), "gzip");
+        assert_eq!(BenchmarkId::new("fit", 1000).to_string(), "fit/1000");
+    }
+}

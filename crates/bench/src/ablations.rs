@@ -201,10 +201,8 @@ pub fn transforms(ctx: &Context) -> String {
 /// Ablation: training sample size (the paper's "1,000 samples suffice").
 pub fn sample_size(ctx: &Context) -> String {
     let cfg = ctx.config();
-    let sizes: Vec<usize> = [50usize, 100, 200, 500, 1_000]
-        .into_iter()
-        .filter(|&n| n <= cfg.train_samples)
-        .collect();
+    let sizes: Vec<usize> =
+        [50usize, 100, 200, 500, 1_000].into_iter().filter(|&n| n <= cfg.train_samples).collect();
     let data = gather(ctx, cfg.train_samples, cfg.validation_samples);
     let mut terms = spline_terms(4, 3);
     terms.extend(interaction_terms());

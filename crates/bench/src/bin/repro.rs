@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] <artifact>...
+//! repro [--quick] [--verbose] [--csv <dir>] [--manifest <path>] <artifact>...
 //!
 //! artifacts:
 //!   space     Table 1 design space summary
@@ -34,12 +34,22 @@
 //! `--quick` uses reduced samples and short traces (smoke test); the
 //! default is the paper-scale configuration (1,000 training samples,
 //! exhaustive 262,500-point evaluation).
+//!
+//! `--verbose` raises logging to `info` (equivalent to `UDSE_LOG=info`;
+//! never lowers an explicit `UDSE_LOG`) and prints an end-of-run span
+//! timing table to stderr. `--manifest <path>` writes a JSON run manifest
+//! with per-artifact wall times, metric snapshots (simulated
+//! instructions, oracle cache hits/misses, sweep throughput, …), and span
+//! totals. Only the paper's tables and figures go to stdout.
 
 use std::process::ExitCode;
 
-use udse_bench::{ablations, csv_export, depth_figs, extensions, figures, hetero_figs, plot_export, Context};
+use udse_bench::{
+    ablations, csv_export, depth_figs, extensions, figures, hetero_figs, plot_export, Context,
+};
 use udse_core::report::format_table;
 use udse_core::space::DesignSpace;
+use udse_obs::{span, Json, Level, RunManifest};
 use udse_sim::MachineConfig;
 
 fn print_space() -> String {
@@ -149,20 +159,50 @@ fn run(artifact: &str, ctx: &Context) -> Result<(), String> {
 }
 
 const ALL: [&str; 22] = [
-    "space", "baseline", "fig1", "fig2", "fig3", "fig4", "table2", "fig5a", "fig5b", "fig6",
-    "fig7", "table4", "fig8", "fig9", "search", "stalls", "assoc", "inorder", "workloads",
-    "residuals", "significance", "ablations",
+    "space",
+    "baseline",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "table2",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "table4",
+    "fig8",
+    "fig9",
+    "search",
+    "stalls",
+    "assoc",
+    "inorder",
+    "workloads",
+    "residuals",
+    "significance",
+    "ablations",
 ];
 
+const USAGE: &str =
+    "usage: repro [--quick] [--verbose] [--csv <dir>] [--manifest <path>] <artifact>...";
+
 fn main() -> ExitCode {
+    udse_obs::log::init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
+    if verbose {
+        udse_obs::log::raise_level(Level::Info);
+    }
     // --csv <dir>: also export tabular series next to the text output.
-    let csv_dir: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
+    let arg_value = |flag: &str| -> Option<std::path::PathBuf> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from)
+    };
+    let csv_dir = arg_value("--csv");
+    let manifest_path = arg_value("--manifest");
     let mut skip_next = false;
     let mut artifacts: Vec<&str> = Vec::new();
     for a in &args {
@@ -170,54 +210,86 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--csv" {
+        if a == "--csv" || a == "--manifest" {
             skip_next = true;
             continue;
         }
-        if !a.starts_with("--") {
+        if !a.starts_with('-') {
             artifacts.push(a.as_str());
         }
     }
     if args.iter().any(|a| a == "--help" || a == "-h") || artifacts.is_empty() {
-        eprintln!("usage: repro [--quick] [--csv <dir>] <artifact>...\nartifacts: {} all", ALL.join(" "));
+        eprintln!("{USAGE}\nartifacts: {} all", ALL.join(" "));
         return if artifacts.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
     if artifacts.contains(&"all") {
         artifacts = ALL.to_vec();
     }
     let ctx = Context::new(quick);
+    let mut manifest = RunManifest::new("repro");
+    manifest.set("quick", Json::Bool(quick));
+    manifest.set("seed", Json::Int(ctx.config().seed as i64));
+    manifest.set("train_samples", Json::Int(ctx.config().train_samples as i64));
+    manifest.set("eval_stride", Json::Int(ctx.config().eval_stride as i64));
+    manifest.set("trace_len", Json::Int(ctx.sim_oracle().trace_len() as i64));
     let t0 = std::time::Instant::now();
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("error: cannot create csv directory {}: {e}", dir.display());
+            udse_obs::error!("repro", "cannot create csv directory {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
     for artifact in artifacts {
         println!("==================== {artifact} ====================");
-        if let Err(e) = run(artifact, &ctx) {
-            eprintln!("error: {e}");
+        let started = std::time::Instant::now();
+        let guard = span::enter(artifact);
+        let outcome = run(artifact, &ctx);
+        drop(guard);
+        if let Err(e) = outcome {
+            udse_obs::error!("repro", "{e}");
             return ExitCode::FAILURE;
         }
+        manifest.record_artifact(artifact, started.elapsed().as_secs_f64());
         if let Some(dir) = &csv_dir {
             match csv_export::export(&ctx, artifact, dir) {
-                Ok(Some(path)) => eprintln!("[csv] wrote {}", path.display()),
+                Ok(Some(path)) => udse_obs::info!("csv", "wrote {}", path.display()),
                 Ok(None) => {}
                 Err(e) => {
-                    eprintln!("error: csv export for {artifact}: {e}");
+                    udse_obs::error!("repro", "csv export for {artifact}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
             match plot_export::export(artifact, dir) {
-                Ok(Some(path)) => eprintln!("[gp] wrote {}", path.display()),
+                Ok(Some(path)) => udse_obs::info!("gp", "wrote {}", path.display()),
                 Ok(None) => {}
                 Err(e) => {
-                    eprintln!("error: gnuplot export for {artifact}: {e}");
+                    udse_obs::error!("repro", "gnuplot export for {artifact}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
         }
     }
-    eprintln!("[repro] completed in {:.1}s", t0.elapsed().as_secs_f64());
+    manifest.set(
+        "oracle_cache",
+        Json::obj([
+            ("hits", Json::Int(ctx.oracle().hits() as i64)),
+            ("misses", Json::Int(ctx.oracle().misses() as i64)),
+        ]),
+    );
+    if let Some(path) = &manifest_path {
+        match manifest.write_to_path(path) {
+            Ok(()) => udse_obs::info!("repro", "wrote manifest {}", path.display()),
+            Err(e) => {
+                udse_obs::error!("repro", "cannot write manifest {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if udse_obs::log::enabled(Level::Info) {
+        if let Some(table) = span::global().report_table() {
+            eprintln!("\n{table}");
+        }
+    }
+    udse_obs::info!("repro", "completed in {:.1}s", t0.elapsed().as_secs_f64());
     ExitCode::SUCCESS
 }

@@ -65,8 +65,9 @@ impl Context {
             let t0 = std::time::Instant::now();
             let suite = TrainedSuite::train(&self.oracle, &self.config)
                 .expect("paper-standard models fit on UAR samples");
-            eprintln!(
-                "[context] trained 9 benchmark model pairs on {} samples in {:.1}s",
+            udse_obs::info!(
+                "context",
+                "trained 9 benchmark model pairs on {} samples in {:.1}s",
                 self.config.train_samples,
                 t0.elapsed().as_secs_f64()
             );

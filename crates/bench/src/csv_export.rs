@@ -100,8 +100,17 @@ pub fn export(ctx: &Context, artifact: &str, dir: &Path) -> io::Result<Option<Pa
             write_csv(
                 &path,
                 &[
-                    "bench", "fo4", "width", "gpr", "il1_kb", "dl1_kb", "l2_kb", "delay_pred",
-                    "delay_err", "power_pred", "power_err",
+                    "bench",
+                    "fo4",
+                    "width",
+                    "gpr",
+                    "il1_kb",
+                    "dl1_kb",
+                    "l2_kb",
+                    "delay_pred",
+                    "delay_err",
+                    "power_pred",
+                    "power_err",
                 ],
                 &rows,
             )?;
@@ -131,8 +140,16 @@ pub fn export(ctx: &Context, artifact: &str, dir: &Path) -> io::Result<Option<Pa
             write_csv(
                 &path,
                 &[
-                    "fo4", "orig_line", "whisk_lo", "q1", "median", "q3", "whisk_hi", "bound",
-                    "bound_rel", "frac_above_orig",
+                    "fo4",
+                    "orig_line",
+                    "whisk_lo",
+                    "q1",
+                    "median",
+                    "q3",
+                    "whisk_hi",
+                    "bound",
+                    "bound_rel",
+                    "frac_above_orig",
                 ],
                 &rows,
             )?;

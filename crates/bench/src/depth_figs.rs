@@ -80,10 +80,7 @@ pub fn fig6(ctx: &Context) -> String {
          (relative to each source's original optimum; paper: models pick the optimal\n\
           depth to within 3 FO4, penalties sharper in simulation)\n\n{}\n\
          model optimal depth {} FO4 vs simulated optimal depth {} FO4\n",
-        format_table(
-            &["fo4", "orig_pred", "orig_sim", "enh_pred", "enh_sim"],
-            &rows
-        ),
+        format_table(&["fo4", "orig_pred", "orig_sim", "enh_pred", "enh_sim"], &rows),
         study.optimal_original_depth(),
         val.simulated_optimal_depth(),
     )
@@ -113,11 +110,7 @@ pub fn fig7(ctx: &Context) -> String {
         "Figure 7: suite-average (a) performance and (b) power, predicted vs simulated\n\
          (bips and watts; 'orig' = baseline sweep, 'enh' = bound architectures)\n\n{}",
         format_table(
-            &[
-                "fo4",
-                "bips_op", "bips_os", "bips_ep", "bips_es",
-                "w_op", "w_os", "w_ep", "w_es"
-            ],
+            &["fo4", "bips_op", "bips_os", "bips_ep", "bips_es", "w_op", "w_os", "w_ep", "w_es"],
             &rows
         )
     )

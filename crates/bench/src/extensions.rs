@@ -5,7 +5,9 @@
 
 use udse_core::model::paper_terms;
 use udse_core::report::{fmt, format_table};
-use udse_core::search::{genetic_search, random_restart_hill_climb, simulated_annealing, GeneticConfig};
+use udse_core::search::{
+    genetic_search, random_restart_hill_climb, simulated_annealing, GeneticConfig,
+};
 use udse_core::space::{DesignPoint, DesignSpace};
 use udse_core::studies::strided_points;
 use udse_regress::{residual_report, Dataset, ModelSpec, ResponseTransform, TermSpec};
@@ -51,7 +53,16 @@ pub fn search(ctx: &Context) -> String {
         "Extension (paper <<8): heuristic search vs exhaustive prediction\n\
          (percent of the exhaustive optimum found, and objective evaluations spent)\n\n{}",
         format_table(
-            &["bench", "hillclimb%", "hc_evals", "anneal%", "sa_evals", "genetic%", "ga_evals", "exhaustive_evals"],
+            &[
+                "bench",
+                "hillclimb%",
+                "hc_evals",
+                "anneal%",
+                "sa_evals",
+                "genetic%",
+                "ga_evals",
+                "exhaustive_evals"
+            ],
             &rows
         )
     )
@@ -84,10 +95,7 @@ pub fn stalls(ctx: &Context) -> String {
         "Diagnostics: delay attribution on the Table 3 baseline\n\
          (cycle-sums per 1,000 instructions; causes may overlap)\n\n{}",
         format_table(
-            &[
-                "bench", "redirect", "icache", "rob", "registers", "resv", "lsq", "stq",
-                "dominant"
-            ],
+            &["bench", "redirect", "icache", "rob", "registers", "resv", "lsq", "stq", "dominant"],
             &rows
         )
     )
@@ -272,7 +280,15 @@ pub fn workloads(ctx: &Context) -> String {
 {}",
         format_table(
             &[
-                "bench", "mem", "branch", "dep", "cover%", "bips", "dl1%", "l2%", "misp%",
+                "bench",
+                "mem",
+                "branch",
+                "dep",
+                "cover%",
+                "bips",
+                "dl1%",
+                "l2%",
+                "misp%",
                 "deviations"
             ],
             &rows
@@ -295,8 +311,14 @@ pub fn significance(ctx: &Context) -> String {
                 fmt(c.std_error, 4),
                 format!("{:+.2}", c.t_value),
                 fmt(c.p_value, 4),
-                if c.significant_at(0.01) { "**" } else if c.significant_at(0.05) { "*" } else { "" }
-                    .to_string(),
+                if c.significant_at(0.01) {
+                    "**"
+                } else if c.significant_at(0.05) {
+                    "*"
+                } else {
+                    ""
+                }
+                .to_string(),
             ]
         })
         .collect();
@@ -350,9 +372,10 @@ mod tests {
         let ctx = Context::new(true);
         let s = workloads(&ctx);
         // Every row's deviation count (last column) should be zero.
-        for line in s.lines().filter(|l| {
-            Benchmark::ALL.iter().any(|b| l.trim_start().starts_with(b.name()))
-        }) {
+        for line in s
+            .lines()
+            .filter(|l| Benchmark::ALL.iter().any(|b| l.trim_start().starts_with(b.name())))
+        {
             let last = line.split_whitespace().last().unwrap();
             assert_eq!(last, "0", "unexpected deviations in: {line}");
         }

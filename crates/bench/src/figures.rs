@@ -104,10 +104,7 @@ pub fn fig3(ctx: &Context) -> String {
             "== {} ({} frontier designs) ==\n{}\n",
             b.name(),
             fs.designs.len(),
-            format_table(
-                &["depth/width", "delay_pred", "delay_sim", "pow_pred", "pow_sim"],
-                &rows
-            )
+            format_table(&["depth/width", "delay_pred", "delay_sim", "pow_pred", "pow_sim"], &rows)
         ));
     }
     out
@@ -134,9 +131,7 @@ pub fn fig4(ctx: &Context) -> String {
             fmt(power.p90 * 100.0, 1),
         ]);
     }
-    let med = |v: &[f64]| {
-        udse_stats::median(v) * 100.0
-    };
+    let med = |v: &[f64]| udse_stats::median(v) * 100.0;
     format!(
         "Figure 4: prediction error on pareto frontier designs\n\
          (paper: overall medians 8.7% perf / 5.5% power — consistent with Fig 1)\n\n{}\n\
@@ -176,8 +171,8 @@ pub fn table2(ctx: &Context) -> String {
          (delay in seconds per 10^9 instructions; errors are (sim-pred)/pred)\n\n{}",
         format_table(
             &[
-                "bench", "depth", "width", "reg", "resv", "I$KB", "D$KB", "L2MB",
-                "delay", "d_err", "power", "p_err"
+                "bench", "depth", "width", "reg", "resv", "I$KB", "D$KB", "L2MB", "delay", "d_err",
+                "power", "p_err"
             ],
             &rows
         )

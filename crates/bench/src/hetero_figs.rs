@@ -39,8 +39,17 @@ pub fn table4(ctx: &Context) -> String {
          (paper: four clusters capturing all depth-width combinations)\n\n{}",
         format_table(
             &[
-                "cluster", "depth", "width", "reg", "resv", "I$KB", "D$KB", "L2MB",
-                "avg_delay", "avg_power", "benchmarks"
+                "cluster",
+                "depth",
+                "width",
+                "reg",
+                "resv",
+                "I$KB",
+                "D$KB",
+                "L2MB",
+                "avg_delay",
+                "avg_power",
+                "benchmarks"
             ],
             &rows
         )

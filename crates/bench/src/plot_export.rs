@@ -13,7 +13,8 @@ use std::path::{Path, PathBuf};
 /// plot is defined for it.
 pub fn script(artifact: &str) -> Option<String> {
     let body = match artifact {
-        "fig1" => "\
+        "fig1" => {
+            "\
 set title 'Figure 1: median prediction error per benchmark'\n\
 set ylabel 'median |obs-pred|/pred'\n\
 set style data histogram\n\
@@ -21,36 +22,45 @@ set style histogram clustered\n\
 set style fill solid 0.7\n\
 set yrange [0:*]\n\
 plot 'fig1.csv' using 2:xtic(1) title 'performance', \
-     '' using 5 title 'power'\n",
-        "fig3" => "\
+     '' using 5 title 'power'\n"
+        }
+        "fig3" => {
+            "\
 set title 'Figure 3: pareto frontier, predicted vs simulated'\n\
 set xlabel 'delay (s per 10^9 instructions)'\n\
 set ylabel 'power (W)'\n\
 plot 'fig3.csv' using 2:3 with points pt 7 title 'predicted', \
-     '' using 4:5 with points pt 6 title 'simulated'\n",
-        "fig5a" => "\
+     '' using 4:5 with points pt 6 title 'simulated'\n"
+        }
+        "fig5a" => {
+            "\
 set title 'Figure 5a: efficiency vs pipeline depth'\n\
 set xlabel 'FO4 per stage'\n\
 set ylabel 'relative bips^3/w'\n\
 set key bottom\n\
 plot 'fig5a.csv' using 1:4:3:7 with yerrorbars title 'enhanced (q1..q3 around median)', \
      '' using 1:2 with linespoints lw 2 title 'original analysis', \
-     '' using 1:8 with linespoints title 'bound architecture'\n",
-        "fig5b" => "\
+     '' using 1:8 with linespoints title 'bound architecture'\n"
+        }
+        "fig5b" => {
+            "\
 set title 'Figure 5b: D-L1 sizes among top designs per depth'\n\
 set xlabel 'FO4 per stage'\n\
 set ylabel 'fraction of 95th-percentile designs'\n\
 set key outside\n\
 plot for [kb in '8 16 32 64 128'] \
 '<awk -F, -v k='.kb.' \"$2==k\" fig5b.csv' using 1:3 \
-with linespoints title kb.' KB'\n",
-        "fig9" => "\
+with linespoints title kb.' KB'\n"
+        }
+        "fig9" => {
+            "\
 set title 'Figure 9: efficiency gain vs heterogeneity (cluster count)'\n\
 set xlabel 'clusters (K)'\n\
 set ylabel 'bips^3/w gain vs baseline'\n\
 set key left\n\
 plot 'fig9.csv' using 1:3 with points pt 7 ps 0.5 title 'per-benchmark predicted', \
-     '' using 1:4 with points pt 6 ps 0.5 title 'per-benchmark simulated'\n",
+     '' using 1:4 with points pt 6 ps 0.5 title 'per-benchmark simulated'\n"
+        }
         _ => return None,
     };
     Some(format!(

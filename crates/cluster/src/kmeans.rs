@@ -142,9 +142,7 @@ impl KMeans {
                     let (far_idx, _) = points
                         .iter()
                         .enumerate()
-                        .map(|(i, p)| {
-                            (i, weighted_sq_distance(p, &centroids[assignments[i]], w))
-                        })
+                        .map(|(i, p)| (i, weighted_sq_distance(p, &centroids[assignments[i]], w)))
                         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
                         .expect("non-empty points");
                     centroids[c] = points[far_idx].clone();
@@ -239,11 +237,7 @@ impl Clustering {
 
     /// Indices of the points in cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| (a == c).then_some(i))
-            .collect()
+        self.assignments.iter().enumerate().filter_map(|(i, &a)| (a == c).then_some(i)).collect()
     }
 }
 
@@ -333,12 +327,7 @@ mod tests {
     fn weights_change_the_partition() {
         // Two natural splits: by dim 0 (distance 1 apart) or dim 1
         // (distance 10 apart). Weighting dim 0 heavily flips the result.
-        let pts = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 10.0],
-            vec![1.0, 0.0],
-            vec![1.0, 10.0],
-        ];
+        let pts = vec![vec![0.0, 0.0], vec![0.0, 10.0], vec![1.0, 0.0], vec![1.0, 10.0]];
         let by_dim1 = KMeans::new(2).run(&pts, 9);
         assert_eq!(by_dim1.assignments()[0], by_dim1.assignments()[2]);
         let by_dim0 = KMeans::new(2).with_weights(vec![1000.0, 1.0]).run(&pts, 9);

@@ -67,10 +67,7 @@ mod tests {
     #[test]
     fn distance_basics() {
         assert_eq!(weighted_sq_distance(&[0.0, 0.0], &[3.0, 4.0], None), 25.0);
-        assert_eq!(
-            weighted_sq_distance(&[0.0, 0.0], &[3.0, 4.0], Some(&[1.0, 0.0])),
-            9.0
-        );
+        assert_eq!(weighted_sq_distance(&[0.0, 0.0], &[3.0, 4.0], Some(&[1.0, 0.0])), 9.0);
     }
 
     #[test]

@@ -184,8 +184,7 @@ mod tests {
     impl Oracle for FakeOracle {
         fn evaluate(&self, _b: Benchmark, p: &DesignPoint) -> Metrics {
             let v = p.predictors();
-            let bips = (8.0 / v[0]) * (1.0 + 0.2 * v[1].ln()) * (1.0 + 0.002 * v[2])
-                + 0.05 * v[6];
+            let bips = (8.0 / v[0]) * (1.0 + 0.2 * v[1].ln()) * (1.0 + 0.002 * v[2]) + 0.05 * v[6];
             let watts = (1.5 + 30.0 / v[0] + 0.8 * v[1] + 0.4 * v[6]).exp().ln() * 6.0 + 4.0;
             Metrics { bips, watts }
         }

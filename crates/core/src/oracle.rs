@@ -202,10 +202,12 @@ impl<O: Oracle> Oracle for CachedOracle<O> {
         let key = (benchmark, *point);
         if let Some(m) = self.cache.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
+            udse_obs::metrics::counter("oracle.cache.hits").inc();
             return *m;
         }
         let m = self.inner.evaluate(benchmark, point);
         self.misses.set(self.misses.get() + 1);
+        udse_obs::metrics::counter("oracle.cache.misses").inc();
         self.cache.borrow_mut().insert(key, m);
         m
     }

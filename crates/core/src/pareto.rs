@@ -101,9 +101,9 @@ impl ParetoFrontier {
     /// Verifies that no frontier point is dominated by any input point
     /// (within a tolerance); used by property tests.
     pub fn is_non_dominated(&self, all: &[(f64, f64)]) -> bool {
-        self.points.iter().all(|&(d, p)| {
-            !all.iter().any(|&(d2, p2)| d2 < d - 1e-12 && p2 < p - 1e-12)
-        })
+        self.points
+            .iter()
+            .all(|&(d, p)| !all.iter().any(|&(d2, p2)| d2 < d - 1e-12 && p2 < p - 1e-12))
     }
 }
 

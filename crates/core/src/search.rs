@@ -25,6 +25,18 @@ use rand::{Rng, SeedableRng};
 
 use crate::space::{DesignPoint, DesignSpace};
 
+/// Records a finished search in the global registry and debug log so
+/// heuristic cost is visible next to exhaustive-sweep cost in manifests.
+fn record_search(kind: &str, result: &SearchResult) {
+    udse_obs::metrics::counter("search.evaluations").add(result.evaluations);
+    udse_obs::debug!(
+        "search",
+        "{kind}: best {:.4} after {} evaluations",
+        result.best_value,
+        result.evaluations
+    );
+}
+
 /// Outcome of a heuristic search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchResult {
@@ -81,7 +93,9 @@ where
                 current_value = v;
             }
             None => {
-                return SearchResult { best: current, best_value: current_value, evaluations }
+                let result = SearchResult { best: current, best_value: current_value, evaluations };
+                record_search("hill_climb", &result);
+                return result;
             }
         }
     }
@@ -176,7 +190,9 @@ where
         }
         temp *= cooling;
     }
-    SearchResult { best, best_value, evaluations }
+    let result = SearchResult { best, best_value, evaluations };
+    record_search("simulated_annealing", &result);
+    result
 }
 
 /// Configuration for [`genetic_search`].
@@ -245,11 +261,8 @@ where
             (p, v)
         })
         .collect();
-    let mut best = pop
-        .iter()
-        .cloned()
-        .max_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty population");
+    let mut best =
+        pop.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty population");
 
     for _ in 0..config.generations {
         pop.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -287,7 +300,9 @@ where
         }
         pop = next;
     }
-    SearchResult { best: best.0, best_value: best.1, evaluations }
+    let result = SearchResult { best: best.0, best_value: best.1, evaluations };
+    record_search("genetic_search", &result);
+    result
 }
 
 #[cfg(test)]

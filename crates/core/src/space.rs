@@ -360,9 +360,7 @@ impl DesignSpace {
     pub fn sample_uar(&self, n: usize, seed: u64) -> Vec<DesignPoint> {
         let mut rng = StdRng::seed_from_u64(seed);
         let len = self.len();
-        (0..n)
-            .map(|_| self.decode(rng.gen_range(0..len)).expect("index in range"))
-            .collect()
+        (0..n).map(|_| self.decode(rng.gen_range(0..len)).expect("index in range")).collect()
     }
 
     /// Returns the point of this space nearest to an arbitrary parameter

@@ -49,6 +49,7 @@ pub struct DepthStudy {
 impl DepthStudy {
     /// Runs the §5.1 analysis with the trained models.
     pub fn run(suite: &TrainedSuite, config: &StudyConfig) -> Self {
+        let _span = udse_obs::span::enter("depth_study");
         let space = DesignSpace::exploration();
         let depths: Vec<u32> = space.depths().to_vec();
         let original_points: Vec<DesignPoint> =
@@ -97,11 +98,8 @@ impl DepthStudy {
             let pts = &pts_by_depth[di];
             assert!(!effs.is_empty(), "stride too large: no designs at depth index {di}");
             enhanced_boxplots.push(Boxplot::from_samples(effs));
-            let (best_idx, best_eff) = effs
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .expect("non-empty");
+            let (best_idx, best_eff) =
+                effs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty");
             bound_points.push(pts[best_idx]);
             bound_raw.push(*best_eff);
             let above = effs.iter().filter(|&&e| e > original_optimum).count();
@@ -192,6 +190,7 @@ impl DepthValidation {
     /// Simulates the original and bound designs at every depth and
     /// assembles the comparison curves.
     pub fn run<O: Oracle + ?Sized>(oracle: &O, suite: &TrainedSuite, study: &DepthStudy) -> Self {
+        let _span = udse_obs::span::enter("depth_validation");
         let suite_metrics = |points: &[DesignPoint], simulate: bool| {
             // Returns per-depth (eff_rel, bips_avg, watts_avg) using either
             // the oracle or the models.
@@ -212,19 +211,15 @@ impl DepthValidation {
                 .collect();
             (0..points.len())
                 .map(|i| {
-                    let bips =
-                        per_bench.iter().map(|v| v[i].bips).sum::<f64>() / 9.0;
-                    let watts =
-                        per_bench.iter().map(|v| v[i].watts).sum::<f64>() / 9.0;
+                    let bips = per_bench.iter().map(|v| v[i].bips).sum::<f64>() / 9.0;
+                    let watts = per_bench.iter().map(|v| v[i].watts).sum::<f64>() / 9.0;
                     (bips, watts)
                 })
                 .collect::<Vec<(f64, f64)>>()
         };
         // Relative efficiency per source: per-benchmark refs from that
         // source's own baseline sweep maxima.
-        let rel_curve = |points: &[DesignPoint],
-                         originals: &[DesignPoint],
-                         simulate: bool| {
+        let rel_curve = |points: &[DesignPoint], originals: &[DesignPoint], simulate: bool| {
             let per_bench_eff = |p: &DesignPoint, b: Benchmark| {
                 if simulate {
                     oracle.evaluate(b, p).bips_cubed_per_watt()
@@ -235,10 +230,7 @@ impl DepthValidation {
             let refs: Vec<f64> = Benchmark::ALL
                 .iter()
                 .map(|&b| {
-                    originals
-                        .iter()
-                        .map(|p| per_bench_eff(p, b))
-                        .fold(f64::NEG_INFINITY, f64::max)
+                    originals.iter().map(|p| per_bench_eff(p, b)).fold(f64::NEG_INFINITY, f64::max)
                 })
                 .collect();
             points

@@ -35,9 +35,7 @@ impl BenchmarkArchitectures {
             .map(|&b| {
                 let m = suite.models(b);
                 let best = strided_points(&space, config.eval_stride)
-                    .max_by(|p, q| {
-                        m.predict_efficiency(p).total_cmp(&m.predict_efficiency(q))
-                    })
+                    .max_by(|p, q| m.predict_efficiency(p).total_cmp(&m.predict_efficiency(q)))
                     .expect("non-empty space");
                 (b, best)
             })
@@ -79,8 +77,7 @@ pub fn compromise_clusters(
 ) -> Vec<CompromiseCluster> {
     assert!(k >= 1 && k <= optima.optima.len(), "k must be in 1..=9");
     let space = DesignSpace::exploration();
-    let vectors: Vec<Vec<f64>> =
-        optima.optima.iter().map(|(_, p)| p.cluster_vector()).collect();
+    let vectors: Vec<Vec<f64>> = optima.optima.iter().map(|(_, p)| p.cluster_vector()).collect();
     let scaler = MinMaxScaler::fit(&vectors);
     let normalized = scaler.transform_all(&vectors);
     let clustering = KMeans::new(k).with_restarts(16).run(&normalized, seed);
@@ -88,15 +85,10 @@ pub fn compromise_clusters(
         .map(|c| {
             let raw_centroid = scaler.inverse(&clustering.centroids()[c]);
             let architecture = space.nearest(&raw_centroid);
-            let members: Vec<Benchmark> = clustering
-                .members(c)
-                .into_iter()
-                .map(|i| optima.optima[i].0)
-                .collect();
-            let metrics: Vec<Metrics> = members
-                .iter()
-                .map(|&b| suite.models(b).predict_metrics(&architecture))
-                .collect();
+            let members: Vec<Benchmark> =
+                clustering.members(c).into_iter().map(|i| optima.optima[i].0).collect();
+            let metrics: Vec<Metrics> =
+                members.iter().map(|&b| suite.models(b).predict_metrics(&architecture)).collect();
             let n = metrics.len().max(1) as f64;
             CompromiseCluster {
                 architecture,
@@ -145,8 +137,7 @@ where
     F: FnMut(Benchmark, &DesignPoint) -> f64,
 {
     let base = baseline_point();
-    let base_eff: Vec<f64> =
-        Benchmark::ALL.iter().map(|&b| efficiency(b, &base)).collect();
+    let base_eff: Vec<f64> = Benchmark::ALL.iter().map(|&b| efficiency(b, &base)).collect();
     let mut k_values = vec![0usize];
     let mut gains = vec![vec![1.0; 9]];
     for k in 1..=9 {
@@ -201,11 +192,8 @@ pub fn scatter_data(
     k: usize,
     seed: u64,
 ) -> ScatterData {
-    let optima_points = optima
-        .optima
-        .iter()
-        .map(|&(b, p)| (b, suite.models(b).predict_metrics(&p)))
-        .collect();
+    let optima_points =
+        optima.optima.iter().map(|&(b, p)| (b, suite.models(b).predict_metrics(&p))).collect();
     let compromise_points = compromise_clusters(suite, optima, k, seed)
         .into_iter()
         .map(|c| {
@@ -248,8 +236,7 @@ mod tests {
         for k in [1usize, 4, 9] {
             let clusters = compromise_clusters(&suite, &optima, k, 7);
             assert_eq!(clusters.len(), k);
-            let mut all: Vec<Benchmark> =
-                clusters.iter().flat_map(|c| c.members.clone()).collect();
+            let mut all: Vec<Benchmark> = clusters.iter().flat_map(|c| c.members.clone()).collect();
             all.sort();
             all.dedup();
             assert_eq!(all.len(), 9, "every benchmark appears exactly once");
@@ -303,8 +290,7 @@ mod tests {
         let sd = scatter_data(&suite, &optima, 4, 7);
         assert_eq!(sd.optima_points.len(), 9);
         assert_eq!(sd.compromise_points.len(), 4);
-        let member_total: usize =
-            sd.compromise_points.iter().map(|(_, m)| m.len()).sum();
+        let member_total: usize = sd.compromise_points.iter().map(|(_, m)| m.len()).sum();
         assert_eq!(member_total, 9);
     }
 

@@ -89,10 +89,14 @@ impl TrainedSuite {
         oracle: &O,
         config: &StudyConfig,
     ) -> Result<Self, RegressError> {
+        let _span = udse_obs::span::enter("train");
         let samples = DesignSpace::paper().sample_uar(config.train_samples, config.seed);
         let models = Benchmark::ALL
             .iter()
-            .map(|&b| PaperModels::train(oracle, b, &samples))
+            .map(|&b| {
+                udse_obs::debug!("train", "fitting {b:?} on {} samples", samples.len());
+                PaperModels::train(oracle, b, &samples)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(TrainedSuite { models, samples })
     }

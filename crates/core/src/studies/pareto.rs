@@ -57,9 +57,26 @@ pub fn characterize(
     space: &DesignSpace,
     config: &StudyConfig,
 ) -> Characterization {
+    let _span = udse_obs::span::enter("sweep");
+    let expected = space.len().div_ceil(config.eval_stride.max(1) as u64);
+    let mut progress =
+        udse_obs::Progress::new(&format!("sweep {:?}", models.benchmark()), expected);
     let designs: Vec<PredictedDesign> = strided_points(space, config.eval_stride)
-        .map(|point| PredictedDesign { point, predicted: models.predict_metrics(&point) })
+        .map(|point| {
+            progress.advance(1);
+            PredictedDesign { point, predicted: models.predict_metrics(&point) }
+        })
         .collect();
+    let rate = progress.finish();
+    udse_obs::metrics::counter("sweep.designs").add(designs.len() as u64);
+    udse_obs::metrics::gauge("sweep.designs_per_sec").set(rate);
+    udse_obs::info!(
+        "sweep",
+        "characterized {} designs for {:?} at {:.0} designs/sec",
+        designs.len(),
+        models.benchmark(),
+        rate
+    );
     // Cluster summaries keyed by (depth, width).
     let mut clusters: Vec<ClusterSummary> = Vec::new();
     for d in &designs {
@@ -112,6 +129,7 @@ impl FrontierStudy {
         characterization: &Characterization,
         config: &StudyConfig,
     ) -> Self {
+        let _span = udse_obs::span::enter("frontier");
         let pts: Vec<(f64, f64)> = characterization
             .designs
             .iter()
@@ -122,10 +140,8 @@ impl FrontierStudy {
             frontier.indices().iter().map(|&i| characterization.designs[i].point).collect();
         let predicted: Vec<Metrics> =
             frontier.indices().iter().map(|&i| characterization.designs[i].predicted).collect();
-        let simulated: Vec<Metrics> = designs
-            .iter()
-            .map(|p| oracle.evaluate(characterization.benchmark, p))
-            .collect();
+        let simulated: Vec<Metrics> =
+            designs.iter().map(|p| oracle.evaluate(characterization.benchmark, p)).collect();
         FrontierStudy { benchmark: characterization.benchmark, designs, predicted, simulated }
     }
 
@@ -180,11 +196,10 @@ pub fn efficiency_optimum<O: Oracle + ?Sized>(
     space: &DesignSpace,
     config: &StudyConfig,
 ) -> EfficiencyOptimum {
+    let _span = udse_obs::span::enter("optimum");
     let (point, predicted) = strided_points(space, config.eval_stride)
         .map(|p| (p, models.predict_metrics(&p)))
-        .max_by(|a, b| {
-            a.1.bips_cubed_per_watt().total_cmp(&b.1.bips_cubed_per_watt())
-        })
+        .max_by(|a, b| a.1.bips_cubed_per_watt().total_cmp(&b.1.bips_cubed_per_watt()))
         .expect("exploration space is non-empty");
     let simulated = oracle.evaluate(models.benchmark(), &point);
     EfficiencyOptimum { benchmark: models.benchmark(), point, predicted, simulated }

@@ -38,11 +38,8 @@ impl ValidationStudy {
     /// Runs the validation: `config.validation_samples` UAR designs from
     /// the *sampling* space, simulated for every benchmark and compared
     /// against the trained models.
-    pub fn run<O: Oracle + ?Sized>(
-        oracle: &O,
-        suite: &TrainedSuite,
-        config: &StudyConfig,
-    ) -> Self {
+    pub fn run<O: Oracle + ?Sized>(oracle: &O, suite: &TrainedSuite, config: &StudyConfig) -> Self {
+        let _span = udse_obs::span::enter("validation");
         // Offset seed so validation never reuses training designs.
         let points =
             DesignSpace::paper().sample_uar(config.validation_samples, config.seed ^ 0xA11D);
@@ -78,12 +75,8 @@ impl ValidationStudy {
             }
             let performance = ErrorSummary::from_pairs(&obs_bips, &pred_bips);
             let power = ErrorSummary::from_pairs(&obs_watts, &pred_watts);
-            all_perf.extend(
-                obs_bips.iter().zip(&pred_bips).map(|(o, p)| ((o - p) / p).abs()),
-            );
-            all_power.extend(
-                obs_watts.iter().zip(&pred_watts).map(|(o, p)| ((o - p) / p).abs()),
-            );
+            all_perf.extend(obs_bips.iter().zip(&pred_bips).map(|(o, p)| ((o - p) / p).abs()));
+            all_power.extend(obs_watts.iter().zip(&pred_watts).map(|(o, p)| ((o - p) / p).abs()));
             per_benchmark.push(BenchmarkValidation { benchmark: b, performance, power });
         }
         ValidationStudy {

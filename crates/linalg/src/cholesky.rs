@@ -118,10 +118,7 @@ mod tests {
     #[test]
     fn not_positive_definite_rejected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
-        assert!(matches!(
-            Cholesky::new(&a),
-            Err(LinalgError::NotPositiveDefinite { index: 1 })
-        ));
+        assert!(matches!(Cholesky::new(&a), Err(LinalgError::NotPositiveDefinite { index: 1 })));
     }
 
     #[test]

@@ -183,9 +183,7 @@ impl Matrix {
                 right: (v.len(), 1),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Computes `self^T * self`, the Gram matrix (symmetric positive

@@ -233,11 +233,7 @@ mod tests {
 
     #[test]
     fn q_has_orthonormal_columns() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
         let q = Qr::new(&a).unwrap().q();
         let qtq = q.transpose().matmul(&q).unwrap();
         assert!(qtq.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
@@ -318,11 +314,7 @@ mod tests {
     #[test]
     fn rank_deficient_solve_is_reported() {
         // Two identical columns.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![3.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
         let qr = Qr::new(&a).unwrap();
         assert!(matches!(qr.solve(&[1.0, 2.0, 3.0]), Err(LinalgError::RankDeficient { .. })));
     }
@@ -336,11 +328,7 @@ mod tests {
 
     #[test]
     fn zero_column_handled() {
-        let a = Matrix::from_rows(&[
-            vec![0.0, 1.0],
-            vec![0.0, 2.0],
-            vec![0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]]);
         let qr = Qr::new(&a).unwrap();
         // R(0,0) is zero so solve must report rank deficiency rather than
         // produce NaN.

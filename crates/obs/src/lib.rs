@@ -1,0 +1,57 @@
+//! # udse-obs — observability substrate for the sim→fit→sweep pipeline
+//!
+//! The paper's argument is that regression models replace opaque,
+//! hours-long simulation with fast prediction; this crate makes the
+//! pipeline itself transparent so that claim is measurable. It has zero
+//! external dependencies (the build must work offline) and provides four
+//! facilities:
+//!
+//! - [`span`] — hierarchical RAII wall-clock timers feeding a
+//!   thread-safe global collector ([`span::enter`], [`span::Collector`]);
+//! - [`metrics`] — a registry of atomic [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and fixed-bucket [`metrics::Histogram`]s
+//!   (simulated instructions, oracle cache hits/misses, Cholesky→QR
+//!   fallbacks, sweep throughput, …);
+//! - [`log`] — leveled structured logging to stderr, gated by the
+//!   `UDSE_LOG` environment variable (`off`, `error`, `warn`, `info`,
+//!   `debug`, `trace`), with a rate-limited [`progress::Progress`] meter
+//!   for long sweeps;
+//! - [`manifest`] — a [`manifest::RunManifest`] capturing per-artifact
+//!   wall time, metric snapshots, span totals, seeds, and configuration,
+//!   serialized with the hand-rolled JSON writer/parser in [`json`].
+//!
+//! # Conventions
+//!
+//! Metric names are dotted lowercase paths, namespaced by subsystem:
+//! `sim.instructions`, `oracle.cache.hits`, `regress.cholesky_fallbacks`,
+//! `sweep.designs_per_sec`. Span names are short path segments; nesting
+//! produces `repro/fig3/sweep`-style paths in the collector.
+//!
+//! # Examples
+//!
+//! ```
+//! use udse_obs::{metrics, span};
+//!
+//! let registry = metrics::Registry::new();
+//! registry.counter("sim.instructions").add(20_000);
+//! {
+//!     let _outer = span::enter("study");
+//!     let _inner = span::enter("sweep");
+//!     // timed work ...
+//! }
+//! assert_eq!(registry.counter("sim.instructions").get(), 20_000);
+//! ```
+
+pub mod json;
+pub mod log;
+pub mod manifest;
+pub mod metrics;
+pub mod progress;
+pub mod span;
+
+pub use json::Json;
+pub use log::Level;
+pub use manifest::RunManifest;
+pub use metrics::Registry;
+pub use progress::Progress;
+pub use span::SpanGuard;

@@ -1,0 +1,222 @@
+//! Leveled structured logging to stderr, gated by `UDSE_LOG`.
+//!
+//! The level is resolved once, lazily, from the `UDSE_LOG` environment
+//! variable (`off`, `error`, `warn`, `info`, `debug`, `trace`;
+//! case-insensitive; unknown values fall back to the default). The
+//! default is [`Level::Warn`] so normal runs keep stderr quiet, and
+//! `repro --verbose` raises it to [`Level::Info`] programmatically via
+//! [`set_level`].
+//!
+//! Records go to stderr so stdout stays reserved for the paper's tables
+//! and figures. The format is one line per record:
+//!
+//! ```text
+//! [   2.134s INFO  context] trained 9 benchmark model pairs in 1.9s
+//! ```
+//!
+//! Use through the macros:
+//!
+//! ```
+//! udse_obs::info!("sweep", "evaluated {} designs", 262_500);
+//! udse_obs::debug!("fit", "cholesky accepted (cond ~ {:.1e})", 1e6);
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log verbosity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// Stage-level narrative (training finished, sweep throughput).
+    Info = 3,
+    /// Per-decision detail (fallbacks, cache fills).
+    Debug = 4,
+    /// High-volume tracing.
+    Trace = 5,
+}
+
+impl Level {
+    fn parse_spec(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN ",
+            Level::Info => "INFO ",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// Resolved level encoding: 0 = not yet resolved, 1 = off, otherwise
+/// `Level as u8 + 1`.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn start_instant() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+fn resolve_from_env() -> u8 {
+    let parsed = std::env::var("UDSE_LOG").ok().and_then(|v| Level::parse_spec(v.trim()));
+    match parsed {
+        Some(None) => 1,
+        Some(Some(level)) => level as u8 + 1,
+        // Unset or unparseable: default to warnings.
+        None => Level::Warn as u8 + 1,
+    }
+}
+
+fn current() -> u8 {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let resolved = resolve_from_env();
+    // A concurrent set_level wins; only fill in if still unresolved.
+    let _ = LEVEL.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+    LEVEL.load(Ordering::Relaxed)
+}
+
+/// Anchors the elapsed-time column at the current instant and resolves
+/// the level. Call once at program start so record timestamps measure
+/// from process launch rather than from the first record.
+pub fn init() {
+    let _ = start_instant();
+    let _ = current();
+}
+
+/// Overrides the log level (e.g. from a `--verbose` flag). `None`
+/// silences logging entirely.
+pub fn set_level(level: Option<Level>) {
+    LEVEL.store(level.map_or(1, |l| l as u8 + 1), Ordering::Relaxed);
+    // Anchor the elapsed-time column at configuration time if nothing
+    // logged earlier.
+    let _ = start_instant();
+}
+
+/// Raises the level to at least `level`, never lowering an already more
+/// verbose setting (so `--verbose` composes with `UDSE_LOG=trace`).
+pub fn raise_level(level: Level) {
+    let target = level as u8 + 1;
+    if current() < target {
+        LEVEL.store(target, Ordering::Relaxed);
+    }
+}
+
+/// Whether a record at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    current() > level as u8
+}
+
+/// Emits one record. Prefer the [`error!`](crate::error!) /
+/// [`warn!`](crate::warn!) / [`info!`](crate::info!) /
+/// [`debug!`](crate::debug!) / [`trace!`](crate::trace!) macros.
+pub fn log(level: Level, module: &str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let elapsed = start_instant().elapsed().as_secs_f64();
+    eprintln!("[{:>8.3}s {} {}] {}", elapsed, level.label(), module, args);
+}
+
+/// Logs at [`Level::Error`]: `udse_obs::error!("module", "fmt", args...)`.
+#[macro_export]
+macro_rules! error {
+    ($module:expr, $($arg:tt)+) => {
+        $crate::log::log($crate::Level::Error, $module, format_args!($($arg)+))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($module:expr, $($arg:tt)+) => {
+        $crate::log::log($crate::Level::Warn, $module, format_args!($($arg)+))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($module:expr, $($arg:tt)+) => {
+        $crate::log::log($crate::Level::Info, $module, format_args!($($arg)+))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($module:expr, $($arg:tt)+) => {
+        $crate::log::log($crate::Level::Debug, $module, format_args!($($arg)+))
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($module:expr, $($arg:tt)+) => {
+        $crate::log::log($crate::Level::Trace, $module, format_args!($($arg)+))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Level state is process-global, so exercise transitions in a single
+    // test to avoid cross-test interference.
+    #[test]
+    fn level_ordering_and_overrides() {
+        assert!(Level::Error < Level::Trace);
+
+        set_level(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+
+        // raise_level never lowers.
+        raise_level(Level::Info);
+        assert!(enabled(Level::Info));
+        raise_level(Level::Error);
+        assert!(enabled(Level::Info), "raise_level must not lower verbosity");
+
+        set_level(None);
+        assert!(!enabled(Level::Error));
+
+        set_level(Some(Level::Trace));
+        assert!(enabled(Level::Trace));
+        // Emitting with every macro must not panic.
+        crate::error!("test", "e {}", 1);
+        crate::warn!("test", "w");
+        crate::info!("test", "i");
+        crate::debug!("test", "d");
+        crate::trace!("test", "t");
+        set_level(Some(Level::Warn));
+    }
+
+    #[test]
+    fn parse_env_values() {
+        assert_eq!(Level::parse_spec("off"), Some(None));
+        assert_eq!(Level::parse_spec("ERROR"), Some(Some(Level::Error)));
+        assert_eq!(Level::parse_spec("Info"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse_spec("bogus"), None);
+    }
+}

@@ -1,0 +1,233 @@
+//! Run manifests: a machine-readable record of what a run did.
+//!
+//! A [`RunManifest`] accumulates per-artifact wall times plus arbitrary
+//! configuration entries (seeds, study config, command line), and at
+//! write time folds in a snapshot of the global metrics registry and
+//! span collector. The result is a single JSON document (see
+//! [`crate::json`]) that answers "what ran, how long did each piece
+//! take, and what did the counters say" without scraping logs.
+//!
+//! # Examples
+//!
+//! ```
+//! use udse_obs::{Json, RunManifest};
+//!
+//! let mut m = RunManifest::new("repro");
+//! m.set("quick", Json::Bool(true));
+//! m.record_artifact("fig3", 0.25);
+//! let doc = m.to_json();
+//! assert_eq!(doc.get("tool").and_then(Json::as_str), Some("repro"));
+//! ```
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+use crate::metrics::MetricValue;
+use crate::{metrics, span};
+
+/// Manifest JSON layout version, bumped on incompatible changes.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// One produced artifact and how long it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactRecord {
+    /// Artifact name as passed to the producing command (e.g. `fig3`).
+    pub name: String,
+    /// Wall-clock seconds spent producing it.
+    pub wall_seconds: f64,
+}
+
+/// An in-progress record of a run, serialized to JSON at the end.
+#[derive(Debug)]
+pub struct RunManifest {
+    tool: String,
+    command: Vec<String>,
+    custom: Vec<(String, Json)>,
+    artifacts: Vec<ArtifactRecord>,
+}
+
+impl RunManifest {
+    /// Starts a manifest for the named tool, capturing the process
+    /// command line.
+    pub fn new(tool: &str) -> Self {
+        RunManifest {
+            tool: tool.to_string(),
+            command: std::env::args().collect(),
+            custom: Vec::new(),
+            artifacts: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a configuration entry such as a seed or flag.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Some(slot) = self.custom.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.custom.push((key.to_string(), value));
+        }
+    }
+
+    /// Records that `name` was produced in `wall_seconds`.
+    pub fn record_artifact(&mut self, name: &str, wall_seconds: f64) {
+        self.artifacts.push(ArtifactRecord { name: name.to_string(), wall_seconds });
+    }
+
+    /// Artifacts recorded so far, in execution order.
+    pub fn artifacts(&self) -> &[ArtifactRecord] {
+        &self.artifacts
+    }
+
+    /// Assembles the manifest document, snapshotting the global metrics
+    /// registry and span collector at call time.
+    pub fn to_json(&self) -> Json {
+        let created_unix_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as i64).unwrap_or(0);
+
+        let artifacts = Json::Arr(
+            self.artifacts
+                .iter()
+                .map(|a| {
+                    Json::obj([
+                        ("name", Json::str(a.name.as_str())),
+                        ("wall_seconds", Json::Float(a.wall_seconds)),
+                    ])
+                })
+                .collect(),
+        );
+
+        let metrics = Json::Obj(
+            metrics::global()
+                .snapshot()
+                .into_iter()
+                .map(|m| (m.name.to_string(), metric_to_json(&m.value)))
+                .collect(),
+        );
+
+        let spans = Json::Obj(
+            span::global()
+                .snapshot()
+                .into_iter()
+                .map(|(path, s)| {
+                    (
+                        path,
+                        Json::obj([
+                            ("count", Json::Int(s.count as i64)),
+                            ("total_seconds", Json::Float(s.total.as_secs_f64())),
+                            ("max_seconds", Json::Float(s.max.as_secs_f64())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+
+        Json::obj([
+            ("schema_version", Json::Int(SCHEMA_VERSION)),
+            ("tool", Json::str(self.tool.as_str())),
+            ("created_unix_ms", Json::Int(created_unix_ms)),
+            ("command", Json::Arr(self.command.iter().map(|a| Json::str(a.as_str())).collect())),
+            ("config", Json::Obj(self.custom.clone())),
+            ("artifacts", artifacts),
+            ("metrics", metrics),
+            ("spans", spans),
+        ])
+    }
+
+    /// Writes the pretty-printed manifest to `path`.
+    pub fn write_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string_pretty())
+    }
+}
+
+fn metric_to_json(value: &MetricValue) -> Json {
+    match value {
+        MetricValue::Counter(v) => Json::Int(*v as i64),
+        MetricValue::Gauge(v) => Json::Float(*v),
+        MetricValue::Histogram { count, sum, buckets } => Json::obj([
+            ("count", Json::Int(*count as i64)),
+            ("sum", Json::Float(*sum)),
+            (
+                "buckets",
+                Json::Arr(
+                    buckets
+                        .iter()
+                        .map(|(le, n)| {
+                            Json::obj([
+                                (
+                                    "le",
+                                    if le.is_finite() {
+                                        Json::Float(*le)
+                                    } else {
+                                        Json::str("+inf")
+                                    },
+                                ),
+                                ("count", Json::Int(*n as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let mut m = RunManifest::new("repro-test");
+        m.set("seed", Json::Int(20071215));
+        m.set("quick", Json::Bool(true));
+        m.set("seed", Json::Int(42)); // replace, not duplicate
+        m.record_artifact("fig3", 0.125);
+        m.record_artifact("tab4", 2.5);
+
+        let text = m.to_json().to_string_pretty();
+        let back = Json::parse(&text).expect("manifest is valid JSON");
+
+        assert_eq!(back.get("schema_version").and_then(Json::as_i64), Some(SCHEMA_VERSION));
+        assert_eq!(back.get("tool").and_then(Json::as_str), Some("repro-test"));
+        assert!(back.get("created_unix_ms").and_then(Json::as_i64).unwrap_or(0) > 0);
+        let config = back.get("config").expect("config object");
+        assert_eq!(config.get("seed").and_then(Json::as_i64), Some(42));
+        assert_eq!(config.get("quick"), Some(&Json::Bool(true)));
+
+        let artifacts = back.get("artifacts").and_then(Json::as_arr).expect("artifacts");
+        assert_eq!(artifacts.len(), 2);
+        assert_eq!(artifacts[0].get("name").and_then(Json::as_str), Some("fig3"));
+        assert_eq!(artifacts[1].get("wall_seconds").and_then(Json::as_f64), Some(2.5));
+
+        // Metrics and spans sections exist even when empty.
+        assert!(back.get("metrics").is_some());
+        assert!(back.get("spans").is_some());
+    }
+
+    #[test]
+    fn manifest_includes_global_metrics_and_spans() {
+        metrics::counter("manifest.test.counter").add(7);
+        {
+            let _g = span::enter("manifest_test_span");
+        }
+        let m = RunManifest::new("t");
+        let doc = m.to_json();
+        let metrics = doc.get("metrics").expect("metrics");
+        // The registry is process-global, so other tests may also bump it.
+        assert!(metrics.get("manifest.test.counter").and_then(Json::as_i64).unwrap_or(0) >= 7);
+        let spans = doc.get("spans").expect("spans");
+        assert!(spans.get("manifest_test_span").is_some());
+    }
+
+    #[test]
+    fn write_to_path_emits_parseable_file() {
+        let mut m = RunManifest::new("writer");
+        m.record_artifact("a", 0.0);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("udse_obs_manifest_test_{}.json", std::process::id()));
+        m.write_to_path(&path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let back = Json::parse(&text).expect("valid JSON on disk");
+        assert_eq!(back.get("tool").and_then(Json::as_str), Some("writer"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

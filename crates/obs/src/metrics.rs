@@ -1,0 +1,443 @@
+//! Metrics registry: named atomic counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! The hot paths touch only atomics; registration (name lookup) takes a
+//! mutex and should be done once per stage, not per event. A process-wide
+//! [`global`] registry backs the pipeline; tests build private
+//! [`Registry`] instances to stay isolated.
+//!
+//! # Examples
+//!
+//! ```
+//! use udse_obs::metrics::Registry;
+//!
+//! let r = Registry::new();
+//! r.counter("oracle.cache.hits").add(3);
+//! r.gauge("sweep.designs_per_sec").set(125_000.0);
+//! let h = r.histogram("fit.seconds", &[0.01, 0.1, 1.0, 10.0]);
+//! h.observe(0.25);
+//! assert_eq!(r.counter("oracle.cache.hits").get(), 3);
+//! assert!(h.quantile(0.5) > 0.1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-wins floating-point measurement.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram with fixed, ascending upper bucket bounds plus an
+/// implicit overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket at the end.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Atomic f64 accumulation via CAS on the bit pattern.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The configured upper bounds (without the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Estimates the `q`-quantile (`0 <= q <= 1`) by linear interpolation
+    /// inside the bucket containing the target rank. Observations beyond
+    /// the last bound are attributed to the last bound (the usual
+    /// Prometheus convention), so the estimate saturates there.
+    ///
+    /// Returns `f64::NAN` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = q * total as f64;
+        let mut cumulative = 0u64;
+        let counts = self.bucket_counts();
+        for (i, &c) in counts.iter().enumerate() {
+            let next = cumulative + c;
+            if (next as f64) >= target && c > 0 {
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    return *self.bounds.last().expect("non-empty bounds");
+                };
+                let lo = if i == 0 { 0.0f64.min(hi) } else { self.bounds[i - 1] };
+                let frac = (target - cumulative as f64) / c as f64;
+                return lo + frac.clamp(0.0, 1.0) * (hi - lo);
+            }
+            cumulative = next;
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
+}
+
+/// Snapshot of one metric, for reporting and manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary: count, sum, and `(upper_bound, count)` pairs
+    /// with the overflow bucket encoded as `f64::INFINITY`.
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: f64,
+        /// Per-bucket `(upper_bound, count)`.
+        buckets: Vec<(f64, u64)>,
+    },
+}
+
+/// A named metric snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A collection of named metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<HashMap<&'static str, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entry =
+            metrics.entry(name).or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+        match entry {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Returns the gauge `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entry =
+            metrics.entry(name).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())));
+        match entry {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram `name`, registering it with `bounds` on
+    /// first use (later calls keep the original bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind,
+    /// or if `bounds` is empty or not strictly ascending.
+    pub fn histogram(&self, name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))));
+        match entry {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Snapshots every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out: Vec<MetricSnapshot> = metrics
+            .iter()
+            .map(|(&name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut buckets: Vec<(f64, u64)> = h
+                            .bounds()
+                            .iter()
+                            .copied()
+                            .chain(std::iter::once(f64::INFINITY))
+                            .zip(counts)
+                            .collect();
+                        // Drop a trailing empty overflow bucket for tidier
+                        // manifests.
+                        if let Some(&(_, 0)) = buckets.last() {
+                            buckets.pop();
+                        }
+                        MetricValue::Histogram { count: h.count(), sum: h.sum(), buckets }
+                    }
+                };
+                MetricSnapshot { name: name.to_string(), value }
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+/// The process-wide registry used by the pipeline crates.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Shorthand for `global().counter(name)`.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    global().counter(name)
+}
+
+/// Shorthand for `global().gauge(name)`.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Shorthand for `global().histogram(name, bounds)`.
+pub fn histogram(name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+    global().histogram(name, bounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("a.b");
+        c.inc();
+        c.add(9);
+        assert_eq!(r.counter("a.b").get(), 10);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_all_land() {
+        let r = Arc::new(Registry::new());
+        let c = r.counter("contended");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("incrementer thread panicked");
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let r = Registry::new();
+        r.gauge("g").set(1.5);
+        r.gauge("g").set(-2.5);
+        assert_eq!(r.gauge("g").get(), -2.5);
+    }
+
+    #[test]
+    fn histogram_counts_sums_and_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.5).abs() < 1e-12);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let h = Histogram::new(&[10.0, 20.0, 30.0]);
+        // 10 observations uniform in (0, 10], 10 in (10, 20].
+        for i in 0..10 {
+            h.observe(0.5 + i as f64);
+            h.observe(10.5 + i as f64);
+        }
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q75 = h.quantile(0.75);
+        assert!((q25 - 5.0).abs() < 1.0, "q25 = {q25}");
+        assert!((q50 - 10.0).abs() < 1.0, "q50 = {q50}");
+        assert!((q75 - 15.0).abs() < 1.0, "q75 = {q75}");
+        assert!(q25 <= q50 && q50 <= q75, "quantiles must be monotone");
+        // Overflow saturates at the last bound.
+        h.observe(1e9);
+        assert_eq!(h.quantile(1.0), 30.0);
+        // Empty histogram has no quantile.
+        assert!(Histogram::new(&[1.0]).quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn concurrent_histogram_observations_all_land() {
+        let h = Arc::new(Histogram::new(&[0.5]));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        h.observe(1.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("observer thread panicked");
+        }
+        assert_eq!(h.count(), 20_000);
+        assert!((h.sum() - 20_000.0).abs() < 1e-9, "CAS sum lost updates: {}", h.sum());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("z.count").add(2);
+        r.gauge("a.rate").set(3.0);
+        r.histogram("m.hist", &[1.0]).observe(0.5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a.rate", "m.hist", "z.count"]);
+        assert_eq!(snap[2].value, MetricValue::Counter(2));
+        match &snap[1].value {
+            MetricValue::Histogram { count, buckets, .. } => {
+                assert_eq!(*count, 1);
+                assert_eq!(buckets, &[(1.0, 1)]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("same.name");
+        r.counter("same.name");
+    }
+}

@@ -1,0 +1,237 @@
+//! Hierarchical RAII wall-clock spans with a thread-safe collector.
+//!
+//! [`enter`] starts a span and returns a guard; dropping the guard stops
+//! the clock and records the duration under the span's *path* — the
+//! `/`-joined names of every span still open on the current thread, so
+//! nested work is attributed hierarchically (`all/fig3/sweep`). Per-path
+//! statistics (call count, total, max) accumulate in a global
+//! [`Collector`] that [`report_table`](Collector::report_table) renders
+//! as the end-of-run timing summary.
+//!
+//! # Examples
+//!
+//! ```
+//! use udse_obs::span;
+//!
+//! {
+//!     let _study = span::enter("depth_study");
+//!     let _inner = span::enter("sweep");
+//! } // both recorded on drop
+//! let stats = span::global().snapshot();
+//! assert!(stats.iter().any(|(path, _)| path == "depth_study/sweep"));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Accumulated timing for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed executions.
+    pub count: u64,
+    /// Total wall time across executions.
+    pub total: Duration,
+    /// Longest single execution.
+    pub max: Duration,
+}
+
+/// Thread-safe sink of completed span timings.
+#[derive(Debug, Default)]
+pub struct Collector {
+    stats: Mutex<HashMap<String, SpanStat>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Records one completed execution of `path`.
+    pub fn record(&self, path: &str, elapsed: Duration) {
+        let mut stats = self.stats.lock().expect("span collector poisoned");
+        let s = stats.entry(path.to_string()).or_default();
+        s.count += 1;
+        s.total += elapsed;
+        s.max = s.max.max(elapsed);
+    }
+
+    /// All recorded paths with their statistics, sorted by path so
+    /// parents precede children.
+    pub fn snapshot(&self) -> Vec<(String, SpanStat)> {
+        let stats = self.stats.lock().expect("span collector poisoned");
+        let mut out: Vec<(String, SpanStat)> = stats.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Renders the timing summary table. Returns `None` when nothing was
+    /// recorded.
+    pub fn report_table(&self) -> Option<String> {
+        let snap = self.snapshot();
+        if snap.is_empty() {
+            return None;
+        }
+        let name_width = snap.iter().map(|(p, _)| p.len()).max().unwrap_or(4).max("span".len());
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+            "span", "calls", "total", "mean", "max"
+        ));
+        for (path, s) in &snap {
+            let mean = s.total.as_secs_f64() / s.count.max(1) as f64;
+            out.push_str(&format!(
+                "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+                path,
+                s.count,
+                fmt_duration(s.total.as_secs_f64()),
+                fmt_duration(mean),
+                fmt_duration(s.max.as_secs_f64()),
+            ));
+        }
+        Some(out)
+    }
+}
+
+/// Formats seconds with a unit that keeps 3–4 significant digits.
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 100.0 {
+        format!("{secs:.0} s")
+    } else if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.1} us", secs * 1e6)
+    }
+}
+
+/// The process-wide collector used by [`enter`].
+pub fn global() -> &'static Collector {
+    static GLOBAL: OnceLock<Collector> = OnceLock::new();
+    GLOBAL.get_or_init(Collector::new)
+}
+
+/// An open span; dropping it records the elapsed time.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately records a ~zero-length span"]
+pub struct SpanGuard {
+    path: String,
+    start: Instant,
+}
+
+/// Opens a span named `name` nested under the thread's currently open
+/// spans.
+pub fn enter(name: &str) -> SpanGuard {
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name.to_string());
+        stack.join("/")
+    });
+    SpanGuard { path, start: Instant::now() }
+}
+
+impl SpanGuard {
+    /// The full `/`-joined path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        global().record(&self.path, elapsed);
+        crate::trace!("span", "{} took {}", self.path, fmt_duration(elapsed.as_secs_f64()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_paths() {
+        let outer = enter("outer_span_test");
+        assert_eq!(outer.path(), "outer_span_test");
+        let inner = enter("inner");
+        assert_eq!(inner.path(), "outer_span_test/inner");
+        drop(inner);
+        let sibling = enter("sibling");
+        assert_eq!(sibling.path(), "outer_span_test/sibling");
+        drop(sibling);
+        drop(outer);
+        let stats = global().snapshot();
+        assert!(stats.iter().any(|(p, s)| p == "outer_span_test" && s.count >= 1));
+        assert!(stats.iter().any(|(p, _)| p == "outer_span_test/inner"));
+    }
+
+    #[test]
+    fn timing_is_monotone_and_nested_time_bounded_by_parent() {
+        let c = Collector::new();
+        let t0 = Instant::now();
+        {
+            let outer_start = Instant::now();
+            std::thread::sleep(Duration::from_millis(5));
+            {
+                let inner_start = Instant::now();
+                std::thread::sleep(Duration::from_millis(5));
+                c.record("outer/inner", inner_start.elapsed());
+            }
+            c.record("outer", outer_start.elapsed());
+        }
+        let wall = t0.elapsed();
+        let snap: HashMap<String, SpanStat> = c.snapshot().into_iter().collect();
+        let outer = snap["outer"];
+        let inner = snap["outer/inner"];
+        assert!(inner.total >= Duration::from_millis(5), "inner {:?}", inner.total);
+        assert!(outer.total >= inner.total, "parent must cover child");
+        assert!(outer.total <= wall, "span cannot exceed wall clock");
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        let c = Collector::new();
+        for _ in 0..3 {
+            c.record("repeat", Duration::from_micros(100));
+        }
+        c.record("repeat", Duration::from_micros(700));
+        let snap = c.snapshot();
+        let (_, s) = snap.iter().find(|(p, _)| p == "repeat").expect("recorded");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.total, Duration::from_micros(1_000));
+        assert_eq!(s.max, Duration::from_micros(700));
+    }
+
+    #[test]
+    fn report_table_lists_every_path() {
+        let c = Collector::new();
+        assert!(c.report_table().is_none());
+        c.record("a", Duration::from_millis(2));
+        c.record("a/b", Duration::from_millis(1));
+        let table = c.report_table().expect("non-empty");
+        assert!(table.contains("span"));
+        assert!(table.contains("a/b"));
+        assert!(table.contains("calls"));
+    }
+
+    #[test]
+    fn spans_on_different_threads_do_not_interleave_paths() {
+        let t = std::thread::spawn(|| {
+            let g = enter("thread_root");
+            assert_eq!(g.path(), "thread_root");
+        });
+        let g = enter("main_root_span");
+        assert_eq!(g.path(), "main_root_span");
+        t.join().expect("thread panicked");
+    }
+}

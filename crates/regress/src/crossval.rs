@@ -64,8 +64,7 @@ pub fn k_fold_cv(
     let mut held_out_total = 0usize;
 
     for fold in 0..k {
-        let test_idx: Vec<usize> =
-            order.iter().copied().skip(fold).step_by(k).collect();
+        let test_idx: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
         let test_set: std::collections::HashSet<usize> = test_idx.iter().copied().collect();
         let mut train_rows = Vec::with_capacity(n - test_idx.len());
         let mut train_y = Vec::with_capacity(n - test_idx.len());

@@ -90,10 +90,7 @@ mod tests {
 
     #[test]
     fn rejects_ragged_and_empty() {
-        assert_eq!(
-            Dataset::new(vec!["a".into()], vec![]),
-            Err(RegressError::MalformedDataset)
-        );
+        assert_eq!(Dataset::new(vec!["a".into()], vec![]), Err(RegressError::MalformedDataset));
         assert_eq!(
             Dataset::new(vec!["a".into()], vec![vec![1.0], vec![1.0, 2.0]]),
             Err(RegressError::MalformedDataset)

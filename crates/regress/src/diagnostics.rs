@@ -46,11 +46,8 @@ impl FitDiagnostics {
         }
         let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
         let dof = (n.saturating_sub(p)).max(1) as f64;
-        let adjusted = if ss_tot == 0.0 {
-            1.0
-        } else {
-            1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / dof
-        };
+        let adjusted =
+            if ss_tot == 0.0 { 1.0 } else { 1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / dof };
         FitDiagnostics {
             r_squared,
             adjusted_r_squared: adjusted,

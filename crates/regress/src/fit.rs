@@ -1,4 +1,4 @@
-use udse_linalg::{Matrix, Qr};
+use udse_linalg::{Cholesky, Matrix, Qr};
 
 use crate::inference::{coefficient_stats, CoefficientStat};
 
@@ -79,8 +79,7 @@ impl FittedModel {
             }
         }
         let x = Matrix::from_vec(data.len(), p, flat);
-        let qr = Qr::new(&x)?;
-        let beta = qr.solve(&z)?;
+        let (beta, r_factor) = solve_least_squares(&x, &z)?;
         // Diagnostics on the transformed scale.
         let zhat = x.matvec(&beta).expect("matching dimensions");
         let diagnostics = FitDiagnostics::compute(&z, &zhat, p);
@@ -91,7 +90,7 @@ impl FittedModel {
             beta,
             width: data.width(),
             diagnostics,
-            r_factor: qr.r(),
+            r_factor,
             column_names,
         })
     }
@@ -184,6 +183,50 @@ impl FittedModel {
         assert!(dof > 0, "no residual degrees of freedom for inference");
         let sigma2 = d.residual_std_error * d.residual_std_error;
         coefficient_stats(&self.column_names, &self.beta, &self.r_factor, sigma2, dof)
+    }
+}
+
+/// Solves `min ||X b - z||_2`, preferring the normal-equations Cholesky
+/// fast path (one `p x p` Gram product instead of a full Householder
+/// factorization of the `n x p` design matrix) and falling back to QR
+/// when `X'X` is not safely positive definite. Either way the returned
+/// factor `R` is upper triangular with `R'R = X'X`, which is all that
+/// coefficient inference needs.
+fn solve_least_squares(x: &Matrix, z: &[f64]) -> Result<(Vec<f64>, Matrix), RegressError> {
+    let xtx = x.gram();
+    if let Some(chol) = well_conditioned_cholesky(&xtx) {
+        let xtz = x.tr_matvec(z).expect("matching dimensions");
+        let beta = chol.solve(&xtz)?;
+        udse_obs::metrics::counter("regress.cholesky_fits").inc();
+        return Ok((beta, chol.l().transpose()));
+    }
+    udse_obs::metrics::counter("regress.cholesky_fallbacks").inc();
+    udse_obs::debug!("fit", "normal equations ill-conditioned; falling back to Householder QR");
+    let qr = Qr::new(x)?;
+    let beta = qr.solve(z)?;
+    Ok((beta, qr.r()))
+}
+
+/// Factorizes `X'X` if it is positive definite *and* comfortably
+/// conditioned. Squaring the design matrix squares its condition number,
+/// so the fast path is only trusted while `diag(L)` stays within a
+/// `sqrt(1e10)` dynamic range; collinear spline bases beyond that go to
+/// the numerically safer QR route.
+fn well_conditioned_cholesky(xtx: &Matrix) -> Option<Cholesky> {
+    const MAX_DIAG_CONDITION: f64 = 1e10;
+    let chol = Cholesky::new(xtx).ok()?;
+    let l = chol.l();
+    let mut dmin = f64::INFINITY;
+    let mut dmax = 0.0f64;
+    for i in 0..l.rows() {
+        let d = l[(i, i)];
+        dmin = dmin.min(d);
+        dmax = dmax.max(d);
+    }
+    if dmax * dmax <= MAX_DIAG_CONDITION * dmin * dmin {
+        Some(chol)
+    } else {
+        None
     }
 }
 
@@ -333,6 +376,66 @@ mod tests {
             .fit(&data, &[1.0, 2.0])
             .unwrap_err();
         assert_eq!(err, RegressError::MalformedDataset);
+    }
+
+    #[test]
+    fn cholesky_and_qr_paths_agree() {
+        let (data, y) = grid_dataset();
+        let spec = ModelSpec::new(ResponseTransform::Sqrt)
+            .with_term(TermSpec::Linear(0))
+            .with_term(TermSpec::Linear(1))
+            .with_term(TermSpec::Interaction(0, 1));
+        let resolved = spec.resolve(&data).unwrap();
+        let p: usize = 1 + resolved.iter().map(ResolvedTerm::columns).sum::<usize>();
+        let mut flat = Vec::new();
+        for row in data.rows() {
+            flat.push(1.0);
+            for term in &resolved {
+                term.expand_into(row, &mut flat);
+            }
+        }
+        let x = Matrix::from_vec(data.len(), p, flat);
+        let z: Vec<f64> = y.iter().map(|v| v.sqrt()).collect();
+
+        let (beta_fast, r_fast) = solve_least_squares(&x, &z).unwrap();
+        let qr = Qr::new(&x).unwrap();
+        let beta_qr = qr.solve(&z).unwrap();
+        for (a, b) in beta_fast.iter().zip(&beta_qr) {
+            assert!((a - b).abs() < 1e-9, "cholesky {a} vs qr {b}");
+        }
+        // Both factors must reproduce the Gram matrix: R'R = X'X.
+        let gram = x.gram();
+        for r in [&r_fast, &qr.r()] {
+            let rtr = r.transpose().matmul(r).unwrap();
+            for i in 0..p {
+                for j in 0..p {
+                    assert!(
+                        (rtr[(i, j)] - gram[(i, j)]).abs() < 1e-6 * (1.0 + gram[(i, j)].abs()),
+                        "R'R mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ill_conditioned_design_falls_back_to_qr() {
+        // Two nearly identical predictors make X'X catastrophically
+        // conditioned; the fit must still succeed (via QR) and count the
+        // fallback.
+        let fallbacks = || udse_obs::metrics::counter("regress.cholesky_fallbacks").get();
+        let before = fallbacks();
+        let rows: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![i as f64, i as f64 + 1e-9 * (i % 3) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 1.0 + r[0] + r[1]).collect();
+        let data = Dataset::new(vec!["a".into(), "b".into()], rows).unwrap();
+        let model = ModelSpec::new(ResponseTransform::Identity)
+            .with_term(TermSpec::Linear(0))
+            .with_term(TermSpec::Linear(1))
+            .fit(&data, &y)
+            .unwrap();
+        assert!(model.r_squared() > 0.9999);
+        assert!(fallbacks() > before, "collinear design should take the QR path");
     }
 
     #[test]

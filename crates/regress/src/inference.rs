@@ -90,10 +90,6 @@ pub fn coefficient_stats(
 mod tests {
     use super::*;
 
-
-
-
-
     #[test]
     fn coefficient_stats_flag_true_signal() {
         use udse_linalg::Qr;
@@ -123,8 +119,7 @@ mod tests {
         let ss_res: f64 = y.iter().zip(&yhat).map(|(a, b)| (a - b) * (a - b)).sum();
         let dof = n - 3;
         let sigma2 = ss_res / dof as f64;
-        let names: Vec<String> =
-            ["intercept", "x1", "x2"].iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = ["intercept", "x1", "x2"].iter().map(|s| s.to_string()).collect();
         let stats = coefficient_stats(&names, &beta, &qr.r(), sigma2, dof);
         assert!(stats[0].significant_at(0.001), "intercept should be significant");
         assert!(stats[1].significant_at(0.001), "x1 should be significant");
@@ -136,12 +131,7 @@ mod tests {
     #[should_panic(expected = "p x p")]
     fn wrong_r_shape_panics() {
         let r = Matrix::identity(2);
-        let _ = coefficient_stats(
-            &["a".into(), "b".into(), "c".into()],
-            &[1.0, 2.0, 3.0],
-            &r,
-            1.0,
-            5,
-        );
+        let _ =
+            coefficient_stats(&["a".into(), "b".into(), "c".into()], &[1.0, 2.0, 3.0], &r, 1.0, 5);
     }
 }

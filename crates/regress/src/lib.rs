@@ -51,8 +51,8 @@ pub use diagnostics::FitDiagnostics;
 pub use error::RegressError;
 pub use fit::FittedModel;
 pub use inference::{
-    coefficient_stats, ln_gamma, regularized_incomplete_beta, student_t_cdf,
-    two_sided_t_pvalue, CoefficientStat,
+    coefficient_stats, ln_gamma, regularized_incomplete_beta, student_t_cdf, two_sided_t_pvalue,
+    CoefficientStat,
 };
 pub use residuals::{residual_report, ResidualReport};
 pub use screening::{auto_spec, rank_predictors, redundancy_pairs, Association};

@@ -62,9 +62,7 @@ pub fn residual_report(
     let mut resid = Vec::with_capacity(y.len());
     let mut fitted = Vec::with_capacity(y.len());
     for (i, &yi) in y.iter().enumerate() {
-        let z = transform
-            .apply(yi)
-            .ok_or(RegressError::InvalidResponse { index: i, value: yi })?;
+        let z = transform.apply(yi).ok_or(RegressError::InvalidResponse { index: i, value: yi })?;
         let zhat = model.predict_transformed(data.row(i))?;
         resid.push(z - zhat);
         fitted.push(zhat);
@@ -75,11 +73,8 @@ pub fn residual_report(
     let m3 = resid.iter().map(|r| (r - mean).powi(3)).sum::<f64>() / n;
     let m4 = resid.iter().map(|r| (r - mean).powi(4)).sum::<f64>() / n;
     let sd = m2.sqrt();
-    let (skewness, excess_kurtosis) = if sd > 0.0 {
-        (m3 / sd.powi(3), m4 / (m2 * m2) - 3.0)
-    } else {
-        (0.0, 0.0)
-    };
+    let (skewness, excess_kurtosis) =
+        if sd > 0.0 { (m3 / sd.powi(3), m4 / (m2 * m2) - 3.0) } else { (0.0, 0.0) };
     let jb = n / 6.0 * (skewness * skewness + excess_kurtosis * excess_kurtosis / 4.0);
     // Chi-squared(2) survival function has the closed form exp(-x/2).
     let jb_p = (-jb / 2.0).exp();

@@ -86,8 +86,7 @@ pub fn auto_spec(
     let ranking = rank_predictors(data, y)?;
     let mut spec = ModelSpec::new(transform);
     // Preserve the dataset's column order for reproducible term layout.
-    let mut by_var: Vec<(usize, f64)> =
-        ranking.iter().map(|a| (a.var, a.rho.abs())).collect();
+    let mut by_var: Vec<(usize, f64)> = ranking.iter().map(|a| (a.var, a.rho.abs())).collect();
     by_var.sort_by_key(|&(var, _)| var);
     for (var, strength) in by_var {
         let knots = if strength >= strong_threshold { strong_knots } else { weak_knots };
@@ -145,11 +144,8 @@ mod tests {
             y.push(a + 3.0 * b + 0.1 * rnd());
         }
         (
-            Dataset::new(
-                vec!["a".into(), "b".into(), "noise".into(), "a_dup".into()],
-                rows,
-            )
-            .unwrap(),
+            Dataset::new(vec!["a".into(), "b".into(), "noise".into(), "a_dup".into()], rows)
+                .unwrap(),
             y,
         )
     }

@@ -141,7 +141,10 @@ impl ModelSpec {
         let mut resolved = Vec::with_capacity(self.terms.len());
         for term in &self.terms {
             if term.max_var() >= width {
-                return Err(RegressError::UnknownVariable { var: term.max_var(), available: width });
+                return Err(RegressError::UnknownVariable {
+                    var: term.max_var(),
+                    available: width,
+                });
             }
             resolved.push(match *term {
                 TermSpec::Linear(v) => ResolvedTerm::Linear(v),

@@ -75,10 +75,7 @@ pub fn knot_quantiles(xs: &[f64], k: usize) -> Vec<f64> {
 pub fn spline_basis(x: f64, knots: &[f64]) -> Vec<f64> {
     let k = knots.len();
     assert!(k >= 3, "restricted cubic splines need at least 3 knots");
-    assert!(
-        knots.windows(2).all(|w| w[0] < w[1]),
-        "knots must be strictly increasing"
-    );
+    assert!(knots.windows(2).all(|w| w[0] < w[1]), "knots must be strictly increasing");
     let t_last = knots[k - 1];
     let t_penult = knots[k - 2];
     let tau = (t_last - knots[0]) * (t_last - knots[0]);
@@ -90,8 +87,7 @@ pub fn spline_basis(x: f64, knots: &[f64]) -> Vec<f64> {
     basis.push(x);
     for j in 0..k - 2 {
         let tj = knots[j];
-        let num = cube_plus(x - tj)
-            - cube_plus(x - t_penult) * (t_last - tj) / (t_last - t_penult)
+        let num = cube_plus(x - tj) - cube_plus(x - t_penult) * (t_last - tj) / (t_last - t_penult)
             + cube_plus(x - t_last) * (t_penult - tj) / (t_last - t_penult);
         basis.push(num / tau);
     }

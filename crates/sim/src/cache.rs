@@ -217,7 +217,7 @@ mod tests {
         // Direct-mapped 1-set scenario: 2 blocks, 2-way -> one set.
         let mut c = SetAssocCache::new(1, 2);
         assert_eq!(c.sets(), 4); // 1 KB / 128 B = 8 blocks / 2-way = 4 sets
-        // Find three blocks mapping to the same set.
+                                 // Find three blocks mapping to the same set.
         let mut same_set = Vec::new();
         let target = (mix(0) as usize) % c.sets();
         let mut b = 0u64;

@@ -169,18 +169,29 @@ impl MachineConfig {
             "fo4_per_stage",
             "must exceed latch overhead",
         )?;
-        check(self.decode_width >= 1 && self.decode_width <= 16, "decode_width", "must be in 1..=16")?;
+        check(
+            self.decode_width >= 1 && self.decode_width <= 16,
+            "decode_width",
+            "must be in 1..=16",
+        )?;
         check(self.lsq_entries >= 1, "lsq_entries", "must be positive")?;
         check(self.store_queue_entries >= 1, "store_queue_entries", "must be positive")?;
         check(self.units_per_class >= 1, "units_per_class", "must be positive")?;
-        check(self.gpr >= 34, "gpr", "must cover the 32 architected registers plus renaming slack")?;
-        check(self.fpr >= 34, "fpr", "must cover the 32 architected registers plus renaming slack")?;
+        check(
+            self.gpr >= 34,
+            "gpr",
+            "must cover the 32 architected registers plus renaming slack",
+        )?;
+        check(
+            self.fpr >= 34,
+            "fpr",
+            "must cover the 32 architected registers plus renaming slack",
+        )?;
         check(self.spr >= 10, "spr", "must cover the architected special registers")?;
         check(self.resv_br >= 1, "resv_br", "must be positive")?;
         check(self.resv_fx >= 1, "resv_fx", "must be positive")?;
         check(self.resv_fp >= 1, "resv_fp", "must be positive")?;
-        for (kb, field) in
-            [(self.il1_kb, "il1_kb"), (self.dl1_kb, "dl1_kb"), (self.l2_kb, "l2_kb")]
+        for (kb, field) in [(self.il1_kb, "il1_kb"), (self.dl1_kb, "dl1_kb"), (self.l2_kb, "l2_kb")]
         {
             check(kb >= 1, field, "must be positive")?;
             check((kb * 1024) % BLOCK_BYTES == 0, field, "must hold whole blocks")?;
@@ -192,8 +203,16 @@ impl MachineConfig {
         ] {
             check(assoc >= 1, field, "must be positive")?;
         }
-        check(self.il1_kb * 1024 / BLOCK_BYTES >= self.il1_assoc, "il1_assoc", "exceeds block count")?;
-        check(self.dl1_kb * 1024 / BLOCK_BYTES >= self.dl1_assoc, "dl1_assoc", "exceeds block count")?;
+        check(
+            self.il1_kb * 1024 / BLOCK_BYTES >= self.il1_assoc,
+            "il1_assoc",
+            "exceeds block count",
+        )?;
+        check(
+            self.dl1_kb * 1024 / BLOCK_BYTES >= self.dl1_assoc,
+            "dl1_assoc",
+            "exceeds block count",
+        )?;
         check(self.l2_kb * 1024 / BLOCK_BYTES >= self.l2_assoc, "l2_assoc", "exceeds block count")?;
         check(self.bht_entries.is_power_of_two(), "bht_entries", "must be a power of two")?;
         check(

@@ -78,10 +78,7 @@ impl Simulator {
     ///
     /// Panics if `warmup_insts >= trace.len()`.
     pub fn run_with_warmup(&self, trace: &Trace, warmup_insts: usize) -> SimResult {
-        assert!(
-            warmup_insts < trace.len(),
-            "warmup must leave at least one measured instruction"
-        );
+        assert!(warmup_insts < trace.len(), "warmup must leave at least one measured instruction");
         let cfg = &self.config;
         let t = cfg.timing();
 
@@ -250,9 +247,7 @@ impl Simulator {
                     let lat = match caches.access_data(inst.data_block as u64) {
                         AccessOutcome::L1 => t.dl1_latency,
                         AccessOutcome::L2 => t.dl1_latency + t.l2_latency,
-                        AccessOutcome::Memory => {
-                            t.dl1_latency + t.l2_latency + t.memory_latency
-                        }
+                        AccessOutcome::Memory => t.dl1_latency + t.l2_latency + t.memory_latency,
                     };
                     iss + 1 + lat
                 }
@@ -328,6 +323,10 @@ impl Simulator {
         }
 
         acts.instructions = (trace.len() - warmup_insts) as u64;
+        // One registry update per run (never per instruction) keeps the
+        // accounting overhead invisible next to the simulation itself.
+        udse_obs::metrics::counter("sim.runs").inc();
+        udse_obs::metrics::counter("sim.instructions").add(trace.len() as u64);
         acts.cycles = final_commit.saturating_sub(warmup_commit).max(1);
         acts.il1_accesses = caches.il1().accesses();
         acts.il1_misses = caches.il1().misses();
@@ -521,12 +520,7 @@ mod tests {
         let mut starved_cfg = relaxed_config();
         starved_cfg.gpr = 36; // only 4 rename registers beyond architected
         let starved = Simulator::new(starved_cfg).run(&trace);
-        assert!(
-            starved.ipc < rich.ipc * 0.7,
-            "starved {} vs rich {}",
-            starved.ipc,
-            rich.ipc
-        );
+        assert!(starved.ipc < rich.ipc * 0.7, "starved {} vs rich {}", starved.ipc, rich.ipc);
     }
 
     #[test]
@@ -696,10 +690,8 @@ mod tests {
     fn commit_is_monotone_nondecreasing_in_trace_length() {
         // Simulating a prefix takes no more cycles than the whole trace.
         let trace = synthetic_trace(10_000);
-        let prefix = Trace::from_instructions(
-            Benchmark::Applu,
-            trace.instructions()[..5_000].to_vec(),
-        );
+        let prefix =
+            Trace::from_instructions(Benchmark::Applu, trace.instructions()[..5_000].to_vec());
         let sim = Simulator::new(MachineConfig::power4_baseline());
         let full = sim.run(&trace);
         let half = sim.run(&prefix);

@@ -86,10 +86,7 @@ impl ResourcePool {
     /// Panics if called more times than `acquire` (occupancy underflow is a
     /// program error).
     pub fn release_at(&mut self, cycle: u64) {
-        assert!(
-            self.releases.len() < self.capacity,
-            "release_at without matching acquire"
-        );
+        assert!(self.releases.len() < self.capacity, "release_at without matching acquire");
         self.releases.push(Reverse(cycle));
     }
 

@@ -184,11 +184,7 @@ mod tests {
 
     fn mk_result(ipc_num: u64, cycles: u64) -> SimResult {
         let cfg = MachineConfig::power4_baseline();
-        let acts = ActivityCounts {
-            instructions: ipc_num,
-            cycles,
-            ..ActivityCounts::default()
-        };
+        let acts = ActivityCounts { instructions: ipc_num, cycles, ..ActivityCounts::default() };
         let power = crate::power::PowerModel::new(&cfg).evaluate(&acts);
         SimResult::new(&cfg, &acts, power, StallBreakdown::default())
     }

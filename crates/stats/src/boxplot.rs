@@ -56,22 +56,15 @@ impl Boxplot {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let lower_whisker = sorted
-            .iter()
-            .copied()
-            .find(|&x| x >= lo_fence)
-            .unwrap_or(sorted[0]);
+        let lower_whisker = sorted.iter().copied().find(|&x| x >= lo_fence).unwrap_or(sorted[0]);
         let upper_whisker = sorted
             .iter()
             .rev()
             .copied()
             .find(|&x| x <= hi_fence)
             .unwrap_or(*sorted.last().expect("non-empty"));
-        let outliers: Vec<f64> = sorted
-            .iter()
-            .copied()
-            .filter(|&x| x < lo_fence || x > hi_fence)
-            .collect();
+        let outliers: Vec<f64> =
+            sorted.iter().copied().filter(|&x| x < lo_fence || x > hi_fence).collect();
         Boxplot {
             q1,
             median: med,

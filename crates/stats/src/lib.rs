@@ -40,7 +40,9 @@ mod summary;
 
 pub use boxplot::Boxplot;
 pub use correlation::{pearson, spearman};
-pub use errors::{abs_rel_errors, median_abs_rel_error, rel_error, signed_rel_errors, ErrorSummary};
+pub use errors::{
+    abs_rel_errors, median_abs_rel_error, rel_error, signed_rel_errors, ErrorSummary,
+};
 pub use histogram::Histogram;
 pub use quantiles::{median, quantile, quantiles};
 pub use special::{

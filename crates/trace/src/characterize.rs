@@ -79,10 +79,7 @@ mod tests {
         for b in Benchmark::ALL {
             let report = characterize(b, 40_000, 3);
             let deviations = report.check(0.12);
-            assert!(
-                deviations.is_empty(),
-                "{b}: profile deviations {deviations:?}"
-            );
+            assert!(deviations.is_empty(), "{b}: profile deviations {deviations:?}");
         }
     }
 

@@ -196,10 +196,7 @@ mod tests {
         let mut buf = Vec::new();
         t.write_to(&mut buf).unwrap();
         buf[17] = 9; // corrupt first record's opcode
-        assert!(matches!(
-            Trace::read_from(buf.as_slice()),
-            Err(TraceIoError::UnknownOpcode(9))
-        ));
+        assert!(matches!(Trace::read_from(buf.as_slice()), Err(TraceIoError::UnknownOpcode(9))));
     }
 
     #[test]

@@ -25,8 +25,7 @@ impl Oracle for CustomOracle {
     fn evaluate(&self, _b: Benchmark, p: &DesignPoint) -> Metrics {
         let gen = TraceGenerator::with_profile(self.profile.clone(), 99);
         let trace = Trace::from_instructions(Benchmark::Jbb, gen.take(self.trace_len).collect());
-        let r = Simulator::new(p.to_machine_config())
-            .run_with_warmup(&trace, self.trace_len / 4);
+        let r = Simulator::new(p.to_machine_config()).run_with_warmup(&trace, self.trace_len / 4);
         Metrics { bips: r.bips, watts: r.watts }
     }
 }
@@ -73,12 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         models.power_model().r_squared()
     );
 
-    let best = udse::core::search::random_restart_hill_climb(
-        &DesignSpace::exploration(),
-        12,
-        3,
-        |p| models.predict_efficiency(p),
-    );
+    let best =
+        udse::core::search::random_restart_hill_climb(&DesignSpace::exploration(), 12, 3, |p| {
+            models.predict_efficiency(p)
+        });
     let p = best.best;
     println!(
         "predicted optimal core: {} FO4, width {}, {} GPR, I$ {}K, D$ {}K, L2 {}K",

@@ -56,9 +56,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bar = "#".repeat((avg * 20.0) as usize);
         println!("  K={k}: {avg:>5.2}x {bar}");
     }
-    println!(
-        "\ntheoretical upper bound (one core per benchmark): {:.2}x",
-        gains.upper_bound()
-    );
+    println!("\ntheoretical upper bound (one core per benchmark): {:.2}x", gains.upper_bound());
     Ok(())
 }

@@ -11,11 +11,8 @@ use udse::core::space::DesignSpace;
 use udse::trace::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench: Benchmark = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(Benchmark::Twolf);
+    let bench: Benchmark =
+        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(Benchmark::Twolf);
 
     let oracle = SimOracle::with_trace_len(50_000);
     let samples = DesignSpace::paper().sample_uar(400, 21);
@@ -27,10 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reference: exhaustive prediction (cheap with a model, impossible
     // with a simulator).
     let t0 = std::time::Instant::now();
-    let exhaustive = space
-        .iter()
-        .map(|p| objective(&p))
-        .fold(f64::NEG_INFINITY, f64::max);
+    let exhaustive = space.iter().map(|p| objective(&p)).fold(f64::NEG_INFINITY, f64::max);
     println!(
         "exhaustive optimum: {exhaustive:.5} ({} evaluations, {:.1}s)",
         space.len(),

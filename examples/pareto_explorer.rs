@@ -14,11 +14,8 @@ use udse::core::space::DesignSpace;
 use udse::trace::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench: Benchmark = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(Benchmark::Mcf);
+    let bench: Benchmark =
+        std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(Benchmark::Mcf);
 
     let oracle = SimOracle::with_trace_len(50_000);
     let samples = DesignSpace::paper().sample_uar(400, 7);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 build/test gate.
+#
+# Everything here is offline-safe: all dependencies are workspace path
+# crates (including the `compat/` stand-ins for rand/proptest/criterion),
+# so no network access is required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "ci: all checks passed"

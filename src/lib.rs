@@ -13,6 +13,7 @@
 //! - [`regress`] — restricted cubic spline regression models
 //! - [`cluster`] — K-means clustering
 //! - [`core`] — Table 1 design space, baseline, and the three paper studies
+//! - [`obs`] — observability: spans, metrics, `UDSE_LOG` logging, run manifests
 //!
 //! # Quickstart
 //!
@@ -36,6 +37,7 @@
 pub use udse_cluster as cluster;
 pub use udse_core as core;
 pub use udse_linalg as linalg;
+pub use udse_obs as obs;
 pub use udse_regress as regress;
 pub use udse_sim as sim;
 pub use udse_stats as stats;

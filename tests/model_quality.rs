@@ -4,9 +4,7 @@
 use udse::core::model::{design_dataset, paper_terms, performance_spec, power_spec};
 use udse::core::oracle::{Metrics, Oracle, SimOracle};
 use udse::core::space::DesignSpace;
-use udse::regress::{
-    k_fold_cv, rank_predictors, residual_report, ModelSpec, ResponseTransform,
-};
+use udse::regress::{k_fold_cv, rank_predictors, residual_report, ModelSpec, ResponseTransform};
 use udse::trace::Benchmark;
 
 fn observations(
@@ -65,11 +63,7 @@ fn cross_validation_matches_holdout_accuracy() {
         apes.push(((obs - pred) / pred).abs());
     }
     let holdout = udse::stats::median(&apes);
-    assert!(
-        (cv.median_ape - holdout).abs() < 0.1,
-        "CV {} vs holdout {holdout}",
-        cv.median_ape
-    );
+    assert!((cv.median_ape - holdout).abs() < 0.1, "CV {} vs holdout {holdout}", cv.median_ape);
 }
 
 #[test]

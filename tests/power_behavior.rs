@@ -96,8 +96,8 @@ fn cache_capacity_costs_leakage_linearly() {
 fn power_breakdown_sums_to_total_in_real_runs() {
     for b in [Benchmark::Mcf, Benchmark::Mesa] {
         let trace = Trace::generate(b, 10_000, 1);
-        let r = Simulator::new(MachineConfigBuilder::power4_baseline().build().unwrap())
-            .run(&trace);
+        let r =
+            Simulator::new(MachineConfigBuilder::power4_baseline().build().unwrap()).run(&trace);
         let p = r.power;
         let sum = p.front_w
             + p.rename_w

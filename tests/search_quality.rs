@@ -23,9 +23,8 @@ fn all_searchers_approach_the_strided_reference() {
     let objective = |p: &udse::core::space::DesignPoint| models.predict_efficiency(p);
     // Reference: a dense strided scan (1/20th of the space, all dims
     // covered by the coprime walk).
-    let reference = strided_points(&space, 20)
-        .map(|p| objective(&p))
-        .fold(f64::NEG_INFINITY, f64::max);
+    let reference =
+        strided_points(&space, 20).map(|p| objective(&p)).fold(f64::NEG_INFINITY, f64::max);
 
     let hc = random_restart_hill_climb(&space, 16, 5, objective);
     let sa = simulated_annealing(&space, 25_000, reference.abs() * 0.2, 5, objective);
@@ -37,11 +36,7 @@ fn all_searchers_approach_the_strided_reference() {
             "{name} reached {:.5} vs reference {reference:.5}",
             r.best_value
         );
-        assert!(
-            r.evaluations < 40_000,
-            "{name} overspent: {} evaluations",
-            r.evaluations
-        );
+        assert!(r.evaluations < 40_000, "{name} overspent: {} evaluations", r.evaluations);
     }
 }
 

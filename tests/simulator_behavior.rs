@@ -35,7 +35,12 @@ fn bigger_l2_never_hurts_memory_bound_performance() {
     big.l2_kb = 4096;
     let rs = run(Benchmark::Mcf, small);
     let rb = run(Benchmark::Mcf, big);
-    assert!(rb.bips > rs.bips * 1.15, "mcf should gain >15% from 16x L2: {} vs {}", rb.bips, rs.bips);
+    assert!(
+        rb.bips > rs.bips * 1.15,
+        "mcf should gain >15% from 16x L2: {} vs {}",
+        rb.bips,
+        rs.bips
+    );
     assert!(rb.l2_miss_rate < rs.l2_miss_rate);
 }
 

@@ -1,0 +1,157 @@
+//! `udse-inspect` — summarize, diff, and trace-export run manifests.
+//!
+//! Usage:
+//!
+//! ```text
+//! udse-inspect show <manifest>
+//! udse-inspect diff <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>]
+//!                                    [--warn-wall]
+//! udse-inspect trace <manifest | events.jsonl> [-o <out.trace.json>]
+//! ```
+//!
+//! `show` prints a human-readable summary (artifacts, model quality,
+//! spans, metrics). `diff` compares a new run against a baseline and
+//! exits nonzero when wall time or model quality regressed beyond
+//! tolerance — the CI gate used by `scripts/ci.sh`. `trace` emits Chrome
+//! `trace_event` JSON (open in Perfetto or `chrome://tracing`), either
+//! from a JSONL event stream recorded with `UDSE_TRACE=1` or synthesized
+//! from a manifest's span totals.
+//!
+//! Exit codes: 0 success / within tolerance, 1 regression detected,
+//! 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use udse_bench::inspect::{self, DiffTolerances};
+use udse_obs::manifest::{write_with_parents, ParsedManifest};
+use udse_obs::trace;
+
+const USAGE: &str = "usage: udse-inspect <command>\n\
+  show  <manifest>                                 summarize one run\n\
+  diff  <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>] [--warn-wall]\n\
+                                                   gate a run against a baseline\n\
+  trace <manifest | events.jsonl> [-o <path>]      export Chrome trace_event JSON";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("udse-inspect: {message}");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ParsedManifest, String> {
+    ParsedManifest::read_from_path(Path::new(path))
+}
+
+fn main() -> ExitCode {
+    udse_obs::log::init();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Flags that consume the next argument; everything else non-dashed
+    // is positional.
+    const VALUE_FLAGS: [&str; 3] = ["--tol-wall", "--tol-quality", "-o"];
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with('-') {
+            positional.push(a);
+        }
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") || positional.is_empty() {
+        eprintln!("{USAGE}");
+        return if positional.is_empty() { ExitCode::from(2) } else { ExitCode::SUCCESS };
+    }
+    let flag_value = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+    };
+    let parse_f64 = |flag: &str| -> Result<Option<f64>, String> {
+        flag_value(flag)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("{flag} expects a number, got `{v}`")))
+            .transpose()
+    };
+
+    match positional[0].as_str() {
+        "show" => {
+            let [_, path] = positional[..] else {
+                return fail("show expects exactly one manifest path");
+            };
+            match load(path) {
+                Ok(m) => {
+                    print!("{}", inspect::show(&m));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "diff" => {
+            let [_, old_path, new_path] = positional[..] else {
+                return fail("diff expects exactly two manifest paths");
+            };
+            let mut tol = DiffTolerances {
+                warn_wall: args.iter().any(|a| a == "--warn-wall"),
+                ..DiffTolerances::default()
+            };
+            match (parse_f64("--tol-wall"), parse_f64("--tol-quality")) {
+                (Ok(wall), Ok(quality)) => {
+                    if let Some(w) = wall {
+                        tol.wall_pct = w;
+                    }
+                    if let Some(q) = quality {
+                        tol.quality_abs = q;
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            }
+            let (old, new) = match (load(old_path), load(new_path)) {
+                (Ok(o), Ok(n)) => (o, n),
+                (Err(e), _) | (_, Err(e)) => return fail(&e),
+            };
+            let report = inspect::diff(&old, &new, &tol);
+            print!("{}", report.render());
+            if report.is_regression() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        "trace" => {
+            let [_, input] = positional[..] else {
+                return fail("trace expects exactly one input path");
+            };
+            let doc = if input.ends_with(".jsonl") {
+                let text = match std::fs::read_to_string(input.as_str()) {
+                    Ok(t) => t,
+                    Err(e) => return fail(&format!("reading events {input}: {e}")),
+                };
+                match trace::parse_jsonl(&text) {
+                    Ok(events) => trace::chrome_trace_json(&events),
+                    Err(e) => return fail(&format!("events {input}: {e}")),
+                }
+            } else {
+                match load(input) {
+                    Ok(m) => inspect::trace_from_manifest(&m),
+                    Err(e) => return fail(&e),
+                }
+            };
+            let text = doc.to_string_pretty();
+            match flag_value("-o") {
+                Some(out) => {
+                    let out = PathBuf::from(out);
+                    if let Err(e) = write_with_parents(&out, &text) {
+                        return fail(&e.to_string());
+                    }
+                    eprintln!("udse-inspect: wrote {}", out.display());
+                }
+                None => print!("{text}"),
+            }
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown command `{other}`\n{USAGE}")),
+    }
+}

@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--verbose] [--csv <dir>] [--manifest <path>] <artifact>...
+//! repro [--quick] [--verbose] [--csv <dir>] [--manifest <path>]
+//!       [--trace <path>] <artifact>...
 //!
 //! artifacts:
 //!   space     Table 1 design space summary
@@ -39,8 +40,11 @@
 //! never lowers an explicit `UDSE_LOG`) and prints an end-of-run span
 //! timing table to stderr. `--manifest <path>` writes a JSON run manifest
 //! with per-artifact wall times, metric snapshots (simulated
-//! instructions, oracle cache hits/misses, sweep throughput, …), and span
-//! totals. Only the paper's tables and figures go to stdout.
+//! instructions, oracle cache hits/misses, sweep throughput, …), span
+//! totals, and model-quality records (`udse-inspect` consumes these).
+//! `--trace <path>` records discrete span events (like `UDSE_TRACE=1`)
+//! and writes them as Chrome `trace_event` JSON loadable in Perfetto.
+//! Only the paper's tables and figures go to stdout.
 
 use std::process::ExitCode;
 
@@ -183,8 +187,8 @@ const ALL: [&str; 22] = [
     "ablations",
 ];
 
-const USAGE: &str =
-    "usage: repro [--quick] [--verbose] [--csv <dir>] [--manifest <path>] <artifact>...";
+const USAGE: &str = "usage: repro [--quick] [--verbose] [--csv <dir>] [--manifest <path>] \
+     [--trace <path>] <artifact>...";
 
 fn main() -> ExitCode {
     udse_obs::log::init();
@@ -203,6 +207,10 @@ fn main() -> ExitCode {
     };
     let csv_dir = arg_value("--csv");
     let manifest_path = arg_value("--manifest");
+    let trace_path = arg_value("--trace");
+    if trace_path.is_some() {
+        udse_obs::trace::enable();
+    }
     let mut skip_next = false;
     let mut artifacts: Vec<&str> = Vec::new();
     for a in &args {
@@ -210,7 +218,7 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--csv" || a == "--manifest" {
+        if a == "--csv" || a == "--manifest" || a == "--trace" {
             skip_next = true;
             continue;
         }
@@ -280,7 +288,29 @@ fn main() -> ExitCode {
         match manifest.write_to_path(path) {
             Ok(()) => udse_obs::info!("repro", "wrote manifest {}", path.display()),
             Err(e) => {
-                udse_obs::error!("repro", "cannot write manifest {}: {e}", path.display());
+                udse_obs::error!("repro", "cannot write manifest: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &trace_path {
+        let events = udse_obs::trace::global().snapshot();
+        let dropped = udse_obs::trace::global().dropped();
+        if dropped > 0 {
+            udse_obs::warn!("repro", "trace buffer full: {dropped} events dropped");
+        }
+        let doc = udse_obs::trace::chrome_trace_json(&events).to_string_pretty();
+        match udse_obs::manifest::write_with_parents(path, &doc) {
+            Ok(()) => {
+                udse_obs::info!(
+                    "repro",
+                    "wrote {} trace events to {}",
+                    events.len(),
+                    path.display()
+                );
+            }
+            Err(e) => {
+                udse_obs::error!("repro", "cannot write trace: {e}");
                 return ExitCode::FAILURE;
             }
         }

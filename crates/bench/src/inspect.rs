@@ -1,0 +1,425 @@
+//! Manifest inspection: summaries, cross-run regression diffs, and
+//! Chrome-trace export — the analysis layer over `udse-obs` manifests.
+//!
+//! [`show`] renders one manifest for humans; [`diff`] compares two runs
+//! (wall time, metrics, model quality) against configurable tolerances
+//! and reports regressions — the CI gate behind `scripts/bench.sh`;
+//! [`trace_from_manifest`] turns a manifest's span totals into a
+//! Perfetto-loadable Chrome `trace_event` document.
+
+use udse_obs::manifest::ParsedManifest;
+use udse_obs::{trace, Json};
+
+/// Thresholds for [`diff`]. Wall time and model quality gate hard;
+/// counter drift only warns (legitimate code changes move instruction
+/// counts, and the warning is the point).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffTolerances {
+    /// Allowed relative wall-time growth per artifact and in total, in
+    /// percent.
+    pub wall_pct: f64,
+    /// Absolute wall-time slack in seconds, so microsecond-scale
+    /// artifacts don't trip the relative gate on scheduler noise.
+    pub wall_floor_seconds: f64,
+    /// Allowed absolute increase in any quality error statistic
+    /// (p50/p90/|bias| are fractions, so 0.02 = two error points).
+    pub quality_abs: f64,
+    /// Counter drift (percent) beyond which a warning is emitted.
+    pub counter_warn_pct: f64,
+    /// Demote wall-time regressions to warnings (CI runs on shared,
+    /// differently-sized machines; quality stays gated).
+    pub warn_wall: bool,
+}
+
+impl Default for DiffTolerances {
+    fn default() -> Self {
+        DiffTolerances {
+            wall_pct: 25.0,
+            wall_floor_seconds: 0.05,
+            quality_abs: 0.02,
+            counter_warn_pct: 10.0,
+            warn_wall: false,
+        }
+    }
+}
+
+/// Outcome of a [`diff`]: informational lines, warnings, and gating
+/// regressions.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Per-comparison detail lines, for display.
+    pub lines: Vec<String>,
+    /// Suspicious but non-gating observations.
+    pub warnings: Vec<String>,
+    /// Tolerance violations; any entry means the gate fails.
+    pub regressions: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the diff found a gating regression.
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// The full human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        for r in &self.regressions {
+            out.push_str(&format!("REGRESSION: {r}\n"));
+        }
+        if self.regressions.is_empty() {
+            out.push_str("diff: within tolerances\n");
+        } else {
+            out.push_str(&format!("diff: {} regression(s)\n", self.regressions.len()));
+        }
+        out
+    }
+}
+
+/// Compares run `new` against baseline `old`.
+pub fn diff(old: &ParsedManifest, new: &ParsedManifest, tol: &DiffTolerances) -> DiffReport {
+    let mut report = DiffReport::default();
+    diff_wall(old, new, tol, &mut report);
+    diff_quality(old, new, tol, &mut report);
+    diff_counters(old, new, tol, &mut report);
+    report
+}
+
+fn gate_wall(tol: &DiffTolerances, report: &mut DiffReport, message: String) {
+    if tol.warn_wall {
+        report.warnings.push(message);
+    } else {
+        report.regressions.push(message);
+    }
+}
+
+fn diff_wall(
+    old: &ParsedManifest,
+    new: &ParsedManifest,
+    tol: &DiffTolerances,
+    report: &mut DiffReport,
+) {
+    let factor = 1.0 + tol.wall_pct / 100.0;
+    for a in &old.artifacts {
+        let Some(b) = new.artifact_wall_seconds(&a.name) else {
+            report.warnings.push(format!("artifact `{}` missing from new run", a.name));
+            continue;
+        };
+        report.lines.push(format!(
+            "wall {:<12} {:>9.3}s -> {:>9.3}s ({:+.1}%)",
+            a.name,
+            a.wall_seconds,
+            b,
+            pct_change(a.wall_seconds, b)
+        ));
+        if b > a.wall_seconds * factor && b - a.wall_seconds > tol.wall_floor_seconds {
+            gate_wall(
+                tol,
+                report,
+                format!(
+                    "artifact `{}` wall time {:.3}s -> {:.3}s exceeds +{}% tolerance",
+                    a.name, a.wall_seconds, b, tol.wall_pct
+                ),
+            );
+        }
+    }
+    for b in &new.artifacts {
+        if old.artifact_wall_seconds(&b.name).is_none() {
+            report.warnings.push(format!("artifact `{}` only in new run", b.name));
+        }
+    }
+    let (old_total, new_total) = (old.total_wall_seconds(), new.total_wall_seconds());
+    report.lines.push(format!(
+        "wall {:<12} {:>9.3}s -> {:>9.3}s ({:+.1}%)",
+        "TOTAL",
+        old_total,
+        new_total,
+        pct_change(old_total, new_total)
+    ));
+    if new_total > old_total * factor && new_total - old_total > tol.wall_floor_seconds {
+        gate_wall(
+            tol,
+            report,
+            format!(
+                "total wall time {old_total:.3}s -> {new_total:.3}s exceeds +{}% tolerance",
+                tol.wall_pct
+            ),
+        );
+    }
+}
+
+fn diff_quality(
+    old: &ParsedManifest,
+    new: &ParsedManifest,
+    tol: &DiffTolerances,
+    report: &mut DiffReport,
+) {
+    for o in &old.quality {
+        let Some(n) = new.quality_record(&o.key) else {
+            report.regressions.push(format!(
+                "quality record `{}` disappeared (telemetry lost or stage skipped)",
+                o.key
+            ));
+            continue;
+        };
+        report.lines.push(format!(
+            "quality {:<28} p50 {:>6.2}% -> {:>6.2}%  p90 {:>6.2}% -> {:>6.2}%",
+            o.key,
+            o.p50 * 100.0,
+            n.p50 * 100.0,
+            o.p90 * 100.0,
+            n.p90 * 100.0
+        ));
+        for (stat, old_v, new_v) in
+            [("p50", o.p50, n.p50), ("p90", o.p90, n.p90), ("bias", o.bias.abs(), n.bias.abs())]
+        {
+            if new_v - old_v > tol.quality_abs {
+                report.regressions.push(format!(
+                    "quality `{}` {stat} worsened {:.4} -> {:.4} (tolerance +{:.4})",
+                    o.key, old_v, new_v, tol.quality_abs
+                ));
+            }
+        }
+        if o.r_squared.is_finite() && n.r_squared.is_finite() && o.r_squared - n.r_squared > 0.05 {
+            report.warnings.push(format!(
+                "quality `{}` R² fell {:.4} -> {:.4}",
+                o.key, o.r_squared, n.r_squared
+            ));
+        }
+    }
+    for n in &new.quality {
+        if old.quality_record(&n.key).is_none() {
+            report.lines.push(format!("quality {:<28} new record (no baseline)", n.key));
+        }
+    }
+}
+
+fn diff_counters(
+    old: &ParsedManifest,
+    new: &ParsedManifest,
+    tol: &DiffTolerances,
+    report: &mut DiffReport,
+) {
+    for (name, old_v) in &old.metrics {
+        let (Some(o), Some(n)) = (old_v.as_i64(), new.metric(name).and_then(Json::as_i64)) else {
+            continue; // gauges/histograms: timing-dependent, not diffed
+        };
+        if o == n {
+            continue;
+        }
+        let change = pct_change(o as f64, n as f64);
+        report.lines.push(format!("counter {name} {o} -> {n} ({change:+.1}%)"));
+        if change.abs() > tol.counter_warn_pct {
+            report.warnings.push(format!(
+                "counter `{name}` moved {change:+.1}% (> {}%): workload shape changed",
+                tol.counter_warn_pct
+            ));
+        }
+    }
+}
+
+fn pct_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+/// Renders one manifest as a human-readable summary.
+pub fn show(m: &ParsedManifest) -> String {
+    let mut out = format!(
+        "tool: {}  (manifest schema v{}, created unix ms {})\n",
+        m.tool, m.schema_version, m.created_unix_ms
+    );
+    if !m.config.is_empty() {
+        out.push_str("config:\n");
+        for (k, v) in &m.config {
+            out.push_str(&format!("  {k} = {}\n", v.to_string_compact()));
+        }
+    }
+    if !m.artifacts.is_empty() {
+        out.push_str("\nartifacts:\n");
+        for a in &m.artifacts {
+            out.push_str(&format!("  {:<14} {:>10.3}s\n", a.name, a.wall_seconds));
+        }
+        out.push_str(&format!("  {:<14} {:>10.3}s\n", "TOTAL", m.total_wall_seconds()));
+    }
+    if !m.quality.is_empty() {
+        out.push_str(&format!(
+            "\nmodel quality (relative error):\n  {:<28} {:>5} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+            "key", "n", "p50%", "p90%", "max%", "bias%", "R2"
+        ));
+        for q in &m.quality {
+            out.push_str(&format!(
+                "  {:<28} {:>5} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8}\n",
+                q.key,
+                q.n,
+                q.p50 * 100.0,
+                q.p90 * 100.0,
+                q.max * 100.0,
+                q.bias * 100.0,
+                if q.r_squared.is_finite() { format!("{:.4}", q.r_squared) } else { "-".into() },
+            ));
+        }
+    }
+    if !m.spans.is_empty() {
+        out.push_str("\nspans (total seconds):\n");
+        for (path, s) in &m.spans {
+            out.push_str(&format!(
+                "  {:<36} {:>6} calls {:>10.3}s\n",
+                path, s.count, s.total_seconds
+            ));
+        }
+    }
+    if !m.metrics.is_empty() {
+        out.push_str("\nmetrics:\n");
+        for (name, v) in &m.metrics {
+            out.push_str(&format!("  {name} = {}\n", v.to_string_compact()));
+        }
+    }
+    out
+}
+
+/// Synthesizes a Chrome `trace_event` document from a manifest's span
+/// totals (see [`trace::synthesize_from_spans`] for the layout rules).
+pub fn trace_from_manifest(m: &ParsedManifest) -> Json {
+    let totals: Vec<(String, f64)> =
+        m.spans.iter().map(|(path, s)| (path.clone(), s.total_seconds)).collect();
+    trace::chrome_trace_json(&trace::synthesize_from_spans(&totals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udse_obs::manifest::{ArtifactRecord, SpanTotal};
+    use udse_obs::QualityRecord;
+
+    fn manifest(
+        artifacts: &[(&str, f64)],
+        quality: &[(&str, f64, f64)], // (key, p50, p90)
+        counters: &[(&str, i64)],
+    ) -> ParsedManifest {
+        ParsedManifest {
+            schema_version: 2,
+            tool: "repro".into(),
+            created_unix_ms: 1,
+            config: vec![],
+            artifacts: artifacts
+                .iter()
+                .map(|&(n, w)| ArtifactRecord { name: n.into(), wall_seconds: w })
+                .collect(),
+            metrics: counters.iter().map(|&(n, v)| (n.to_string(), Json::Int(v))).collect(),
+            spans: vec![(
+                "all".into(),
+                SpanTotal { count: 1, total_seconds: 1.0, max_seconds: 1.0 },
+            )],
+            quality: quality
+                .iter()
+                .map(|&(key, p50, p90)| QualityRecord {
+                    key: key.into(),
+                    n: 25,
+                    p50,
+                    p90,
+                    max: p90 * 2.0,
+                    bias: -0.001,
+                    rmse: p90,
+                    r_squared: 0.99,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let m = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.02, 0.06)], &[("c", 5)]);
+        let report = diff(&m, &m, &DiffTolerances::default());
+        assert!(!report.is_regression(), "report: {}", report.render());
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn quality_regression_beyond_tolerance_gates() {
+        let old = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.02, 0.06)], &[]);
+        let new = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.08, 0.06)], &[]);
+        let report = diff(&old, &new, &DiffTolerances::default());
+        assert!(report.is_regression());
+        assert!(report.regressions[0].contains("p50"), "{:?}", report.regressions);
+        // Within tolerance: fine.
+        let ok = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.03, 0.06)], &[]);
+        assert!(!diff(&old, &ok, &DiffTolerances::default()).is_regression());
+        // Improvement is never a regression.
+        let better = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.01, 0.02)], &[]);
+        assert!(!diff(&old, &better, &DiffTolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn lost_quality_record_gates() {
+        let old = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.02, 0.06)], &[]);
+        let new = manifest(&[("fig1", 3.0)], &[], &[]);
+        let report = diff(&old, &new, &DiffTolerances::default());
+        assert!(report.is_regression());
+        assert!(report.regressions[0].contains("disappeared"));
+    }
+
+    #[test]
+    fn wall_regression_gates_unless_warn_only() {
+        let old = manifest(&[("fig1", 2.0)], &[], &[]);
+        let new = manifest(&[("fig1", 3.0)], &[], &[]);
+        assert!(diff(&old, &new, &DiffTolerances::default()).is_regression());
+        let tol = DiffTolerances { warn_wall: true, ..DiffTolerances::default() };
+        let report = diff(&old, &new, &tol);
+        assert!(!report.is_regression());
+        assert!(!report.warnings.is_empty(), "demoted to warning");
+        // Sub-floor jitter on a tiny artifact never gates.
+        let old = manifest(&[("space", 0.001)], &[], &[]);
+        let new = manifest(&[("space", 0.010)], &[], &[]);
+        assert!(!diff(&old, &new, &DiffTolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn counter_drift_warns_but_does_not_gate() {
+        let old = manifest(&[("fig1", 1.0)], &[], &[("sim.instructions", 1_000)]);
+        let new = manifest(&[("fig1", 1.0)], &[], &[("sim.instructions", 2_000)]);
+        let report = diff(&old, &new, &DiffTolerances::default());
+        assert!(!report.is_regression());
+        assert!(report.warnings.iter().any(|w| w.contains("sim.instructions")));
+    }
+
+    #[test]
+    fn show_renders_every_section() {
+        let m = manifest(
+            &[("fig1", 3.0)],
+            &[("validation.ammp.bips", 0.03, 0.07)],
+            &[("oracle.cache.hits", 12)],
+        );
+        let text = show(&m);
+        for needle in
+            ["tool: repro", "fig1", "TOTAL", "validation.ammp.bips", "oracle.cache.hits", "all"]
+        {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn manifest_trace_is_valid_chrome_json() {
+        let m = manifest(&[("fig1", 1.0)], &[], &[]);
+        let doc = trace_from_manifest(&m);
+        let arr = doc.as_arr().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("name").and_then(Json::as_str), Some("all"));
+        assert_eq!(arr[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(arr[0].get("dur").and_then(Json::as_i64), Some(1_000_000));
+    }
+}

@@ -5,7 +5,9 @@
 //! shared [`Context`] that trains the regression models once. The
 //! `repro` binary is a thin CLI over these functions; the criterion
 //! benches in `benches/` measure the speed claims (model formulation and
-//! prediction cost, simulation cost).
+//! prediction cost, simulation cost). The `udse-inspect` binary (over
+//! [`inspect`]) summarizes, diffs, and trace-exports the run manifests
+//! `repro --manifest` writes.
 //!
 //! # Examples
 //!
@@ -26,6 +28,7 @@ pub mod depth_figs;
 pub mod extensions;
 pub mod figures;
 pub mod hetero_figs;
+pub mod inspect;
 pub mod plot_export;
 
 pub use context::Context;

@@ -58,8 +58,8 @@ impl ValidationStudy {
     ) -> Self {
         assert!(!points.is_empty(), "validation needs at least one point");
         let mut per_benchmark = Vec::with_capacity(9);
-        let mut all_perf = Vec::new();
-        let mut all_power = Vec::new();
+        let mut all_perf_signed = Vec::new();
+        let mut all_power_signed = Vec::new();
         for &b in &Benchmark::ALL {
             let models = suite.models(b);
             let mut obs_bips = Vec::with_capacity(points.len());
@@ -75,10 +75,40 @@ impl ValidationStudy {
             }
             let performance = ErrorSummary::from_pairs(&obs_bips, &pred_bips);
             let power = ErrorSummary::from_pairs(&obs_watts, &pred_watts);
-            all_perf.extend(obs_bips.iter().zip(&pred_bips).map(|(o, p)| ((o - p) / p).abs()));
-            all_power.extend(obs_watts.iter().zip(&pred_watts).map(|(o, p)| ((o - p) / p).abs()));
+            let perf_signed: Vec<f64> =
+                obs_bips.iter().zip(&pred_bips).map(|(o, p)| (o - p) / p).collect();
+            let power_signed: Vec<f64> =
+                obs_watts.iter().zip(&pred_watts).map(|(o, p)| (o - p) / p).collect();
+            // Per-benchmark model-quality telemetry, persisted in the
+            // run manifest and gated by `udse-inspect diff`.
+            udse_obs::quality::record(
+                udse_obs::QualityRecord::from_signed_errors(
+                    &format!("validation.{}.bips", b.name()),
+                    &perf_signed,
+                )
+                .with_r_squared(models.performance_model().r_squared()),
+            );
+            udse_obs::quality::record(
+                udse_obs::QualityRecord::from_signed_errors(
+                    &format!("validation.{}.watts", b.name()),
+                    &power_signed,
+                )
+                .with_r_squared(models.power_model().r_squared()),
+            );
+            all_perf_signed.extend(perf_signed);
+            all_power_signed.extend(power_signed);
             per_benchmark.push(BenchmarkValidation { benchmark: b, performance, power });
         }
+        udse_obs::quality::record(udse_obs::QualityRecord::from_signed_errors(
+            "validation.pooled.bips",
+            &all_perf_signed,
+        ));
+        udse_obs::quality::record(udse_obs::QualityRecord::from_signed_errors(
+            "validation.pooled.watts",
+            &all_power_signed,
+        ));
+        let all_perf: Vec<f64> = all_perf_signed.iter().map(|e| e.abs()).collect();
+        let all_power: Vec<f64> = all_power_signed.iter().map(|e| e.abs()).collect();
         ValidationStudy {
             per_benchmark,
             overall_performance_median: median(&all_perf),
@@ -109,6 +139,25 @@ mod tests {
             assert!(bv.performance.boxplot.n > 0);
             assert!(bv.power.median() >= 0.0);
         }
+        // The run left quality telemetry behind for every benchmark plus
+        // the pooled distributions, with R² attached to model records.
+        let quality = udse_obs::quality::global().snapshot();
+        for bv in &study.per_benchmark {
+            for response in ["bips", "watts"] {
+                let key = format!("validation.{}.{}", bv.benchmark.name(), response);
+                let rec = quality.iter().find(|r| r.key == key).expect("per-benchmark record");
+                assert_eq!(rec.n as usize, config.validation_samples);
+                assert!(rec.r_squared.is_finite(), "model records carry R²");
+            }
+        }
+        let pooled =
+            quality.iter().find(|r| r.key == "validation.pooled.bips").expect("pooled record");
+        assert!(
+            (pooled.p50 - study.overall_performance_median).abs() < 1e-12,
+            "pooled p50 {} vs study median {}",
+            pooled.p50,
+            study.overall_performance_median
+        );
     }
 
     #[test]

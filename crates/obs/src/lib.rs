@@ -17,8 +17,15 @@
 //!   `debug`, `trace`), with a rate-limited [`progress::Progress`] meter
 //!   for long sweeps;
 //! - [`manifest`] — a [`manifest::RunManifest`] capturing per-artifact
-//!   wall time, metric snapshots, span totals, seeds, and configuration,
-//!   serialized with the hand-rolled JSON writer/parser in [`json`].
+//!   wall time, metric snapshots, span totals, model quality, seeds, and
+//!   configuration, serialized with the hand-rolled JSON writer/parser in
+//!   [`json`] (and read back by [`manifest::ParsedManifest`]);
+//! - [`quality`] — model-quality telemetry: per-benchmark and pooled
+//!   prediction-error quantiles, signed bias, and R² accumulated in a
+//!   global [`quality::Collector`] and persisted in the manifest;
+//! - [`trace`] — an opt-in (`UDSE_TRACE`) buffer of discrete span/instant
+//!   events exporting to Chrome `trace_event` JSON (Perfetto-loadable)
+//!   and a JSONL stream.
 //!
 //! # Conventions
 //!
@@ -47,11 +54,15 @@ pub mod log;
 pub mod manifest;
 pub mod metrics;
 pub mod progress;
+pub mod quality;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use log::Level;
-pub use manifest::RunManifest;
+pub use manifest::{ParsedManifest, RunManifest};
 pub use metrics::Registry;
 pub use progress::Progress;
+pub use quality::QualityRecord;
 pub use span::SpanGuard;
+pub use trace::TraceEvent;

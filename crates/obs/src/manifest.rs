@@ -23,10 +23,16 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::json::Json;
 use crate::metrics::MetricValue;
-use crate::{metrics, span};
+use crate::quality::QualityRecord;
+use crate::{metrics, quality, span};
 
 /// Manifest JSON layout version, bumped on incompatible changes.
-pub const SCHEMA_VERSION: i64 = 1;
+///
+/// v2 (this version) adds the `quality` section (model-quality records,
+/// see [`crate::quality`]) and p50/p90/p99 quantile fields on histogram
+/// metrics; [`ParsedManifest`] still reads v1 documents, treating both
+/// additions as absent.
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// One produced artifact and how long it took.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,10 +84,20 @@ impl RunManifest {
     }
 
     /// Assembles the manifest document, snapshotting the global metrics
-    /// registry and span collector at call time.
+    /// registry, span collector, and quality collector at call time.
+    ///
+    /// Serialization is deterministic for deterministic content: config
+    /// keys are sorted here, and the metrics, span, and quality
+    /// snapshots are each sorted by their collectors, so two runs that
+    /// measured the same things produce byte-identical documents modulo
+    /// timings (`udse-inspect diff` and committed baselines rely on
+    /// this).
     pub fn to_json(&self) -> Json {
         let created_unix_ms =
             SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as i64).unwrap_or(0);
+
+        let mut config = self.custom.clone();
+        config.sort_by(|a, b| a.0.cmp(&b.0));
 
         let artifacts = Json::Arr(
             self.artifacts
@@ -125,17 +141,46 @@ impl RunManifest {
             ("tool", Json::str(self.tool.as_str())),
             ("created_unix_ms", Json::Int(created_unix_ms)),
             ("command", Json::Arr(self.command.iter().map(|a| Json::str(a.as_str())).collect())),
-            ("config", Json::Obj(self.custom.clone())),
+            ("config", Json::Obj(config)),
             ("artifacts", artifacts),
             ("metrics", metrics),
             ("spans", spans),
+            ("quality", quality::global().to_json()),
         ])
     }
 
-    /// Writes the pretty-printed manifest to `path`.
+    /// Writes the pretty-printed manifest to `path`, creating missing
+    /// parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure is returned with the offending path in the error
+    /// message, so callers can surface it verbatim.
     pub fn write_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json().to_string_pretty())
+        write_with_parents(path, &self.to_json().to_string_pretty())
     }
+}
+
+/// Writes `contents` to `path`, creating missing parent directories and
+/// wrapping any failure with the path it concerns.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures, annotated with the
+/// path.
+pub fn write_with_parents(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("creating directory {} for {}: {e}", parent.display(), path.display()),
+                )
+            })?;
+        }
+    }
+    std::fs::write(path, contents)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("writing {}: {e}", path.display())))
 }
 
 fn metric_to_json(value: &MetricValue) -> Json {
@@ -145,6 +190,9 @@ fn metric_to_json(value: &MetricValue) -> Json {
         MetricValue::Histogram { count, sum, buckets } => Json::obj([
             ("count", Json::Int(*count as i64)),
             ("sum", Json::Float(*sum)),
+            ("p50", value.histogram_quantile(0.5).map(Json::Float).unwrap_or(Json::Null)),
+            ("p90", value.histogram_quantile(0.9).map(Json::Float).unwrap_or(Json::Null)),
+            ("p99", value.histogram_quantile(0.99).map(Json::Float).unwrap_or(Json::Null)),
             (
                 "buckets",
                 Json::Arr(
@@ -167,6 +215,148 @@ fn metric_to_json(value: &MetricValue) -> Json {
                 ),
             ),
         ]),
+    }
+}
+
+/// Aggregated timing of one span path, as stored in a manifest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanTotal {
+    /// Completed executions.
+    pub count: u64,
+    /// Total wall time across executions, seconds.
+    pub total_seconds: f64,
+    /// Longest single execution, seconds.
+    pub max_seconds: f64,
+}
+
+/// A manifest read back from disk, accepting any schema version this
+/// build understands (1 and 2): v1 documents simply have no quality
+/// records and no histogram quantile fields.
+#[derive(Debug, Clone)]
+pub struct ParsedManifest {
+    /// The document's declared layout version.
+    pub schema_version: i64,
+    /// Producing tool (`repro`, …).
+    pub tool: String,
+    /// Creation time, milliseconds since the Unix epoch.
+    pub created_unix_ms: i64,
+    /// Configuration entries (seeds, flags), sorted by key in v2 docs.
+    pub config: Vec<(String, Json)>,
+    /// Artifacts in execution order.
+    pub artifacts: Vec<ArtifactRecord>,
+    /// Metric snapshots by name; values keep their raw JSON form
+    /// (`Int` counters, `Float` gauges, objects for histograms).
+    pub metrics: Vec<(String, Json)>,
+    /// Span totals by path.
+    pub spans: Vec<(String, SpanTotal)>,
+    /// Model-quality records, sorted by key (empty for v1 documents).
+    pub quality: Vec<QualityRecord>,
+}
+
+impl ParsedManifest {
+    /// Reads and parses a manifest file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming `path` for I/O, JSON, and schema
+    /// failures alike.
+    pub fn read_from_path(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading manifest {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("manifest {}: {e}", path.display()))
+    }
+
+    /// Parses a manifest document.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, a missing or non-object layout, or a
+    /// schema version newer than this build writes.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&doc)
+    }
+
+    /// Interprets an already-parsed document as a manifest.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParsedManifest::parse`].
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing schema_version — not a run manifest")?;
+        if !(1..=SCHEMA_VERSION).contains(&version) {
+            return Err(format!(
+                "unsupported schema_version {version} (this build reads 1..={SCHEMA_VERSION})"
+            ));
+        }
+        let obj_entries = |key: &str| -> Vec<(String, Json)> {
+            match doc.get(key) {
+                Some(Json::Obj(pairs)) => pairs.clone(),
+                _ => Vec::new(),
+            }
+        };
+        let artifacts = doc
+            .get("artifacts")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|a| {
+                Some(ArtifactRecord {
+                    name: a.get("name")?.as_str()?.to_string(),
+                    wall_seconds: a.get("wall_seconds")?.as_f64()?,
+                })
+            })
+            .collect();
+        let spans = obj_entries("spans")
+            .into_iter()
+            .filter_map(|(path, s)| {
+                Some((
+                    path,
+                    SpanTotal {
+                        count: s.get("count")?.as_i64()?.max(0) as u64,
+                        total_seconds: s.get("total_seconds")?.as_f64()?,
+                        max_seconds: s.get("max_seconds")?.as_f64()?,
+                    },
+                ))
+            })
+            .collect();
+        let quality = obj_entries("quality")
+            .into_iter()
+            .filter_map(|(key, rec)| QualityRecord::from_json(&key, &rec))
+            .collect();
+        Ok(ParsedManifest {
+            schema_version: version,
+            tool: doc.get("tool").and_then(Json::as_str).unwrap_or("").to_string(),
+            created_unix_ms: doc.get("created_unix_ms").and_then(Json::as_i64).unwrap_or(0),
+            config: obj_entries("config"),
+            artifacts,
+            metrics: obj_entries("metrics"),
+            spans,
+            quality,
+        })
+    }
+
+    /// Sum of per-artifact wall times, seconds.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.artifacts.iter().map(|a| a.wall_seconds).sum()
+    }
+
+    /// The named artifact's wall time, if recorded.
+    pub fn artifact_wall_seconds(&self, name: &str) -> Option<f64> {
+        self.artifacts.iter().find(|a| a.name == name).map(|a| a.wall_seconds)
+    }
+
+    /// The named metric's raw JSON value.
+    pub fn metric(&self, name: &str) -> Option<&Json> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The named quality record.
+    pub fn quality_record(&self, key: &str) -> Option<&QualityRecord> {
+        self.quality.iter().find(|r| r.key == key)
     }
 }
 
@@ -229,5 +419,109 @@ mod tests {
         let back = Json::parse(&text).expect("valid JSON on disk");
         assert_eq!(back.get("tool").and_then(Json::as_str), Some("writer"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_to_path_creates_missing_parents_and_names_path_on_failure() {
+        let m = RunManifest::new("nested");
+        let dir =
+            std::env::temp_dir().join(format!("udse_obs_manifest_parents_{}", std::process::id()));
+        let path = dir.join("deep/run.manifest.json");
+        m.write_to_path(&path).expect("parents are created on demand");
+        assert!(path.is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A path whose parent is a *file* cannot be created; the error
+        // must name the offending path instead of panicking.
+        let blocker =
+            std::env::temp_dir().join(format!("udse_obs_manifest_blocker_{}", std::process::id()));
+        std::fs::write(&blocker, "not a directory").expect("fixture");
+        let bad = blocker.join("child.json");
+        let err = m.write_to_path(&bad).expect_err("file-as-parent must fail");
+        assert!(err.to_string().contains(&blocker.display().to_string()), "error: {err}");
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn serialization_is_deterministic_and_byte_identical_on_round_trip() {
+        let mut m = RunManifest::new("det");
+        // Insert config keys out of order; serialization must sort them.
+        m.set("zeta", Json::Int(1));
+        m.set("alpha", Json::Bool(false));
+        m.record_artifact("fig1", 1.5);
+        let doc = m.to_json();
+        let config = doc.get("config").expect("config");
+        match config {
+            Json::Obj(pairs) => {
+                let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["alpha", "zeta"], "config keys sorted");
+            }
+            other => panic!("config must be an object, got {other:?}"),
+        }
+        // parse → serialize is byte-identical: the committed BENCH
+        // baselines and `udse-inspect diff` depend on a stable layout.
+        let first = doc.to_string_pretty();
+        let second = Json::parse(&first).expect("valid").to_string_pretty();
+        assert_eq!(first, second, "round trip must be byte-identical");
+    }
+
+    #[test]
+    fn manifest_v2_carries_quality_and_histogram_quantiles() {
+        quality::record(
+            crate::quality::QualityRecord::from_signed_errors(
+                "manifest.test.bips",
+                &[0.01, -0.03, 0.05],
+            )
+            .with_r_squared(0.99),
+        );
+        metrics::histogram("manifest.test.hist", &[0.1, 1.0, 10.0]).observe(0.5);
+        let doc = RunManifest::new("q").to_json();
+        assert_eq!(doc.get("schema_version").and_then(Json::as_i64), Some(2));
+        let q = doc.get("quality").expect("quality section");
+        let rec = q.get("manifest.test.bips").expect("recorded key");
+        assert_eq!(rec.get("n").and_then(Json::as_i64), Some(3));
+        assert!(rec.get("p50").and_then(Json::as_f64).expect("p50") > 0.0);
+        let hist = doc.get("metrics").and_then(|m| m.get("manifest.test.hist")).expect("hist");
+        for field in ["p50", "p90", "p99"] {
+            assert!(hist.get(field).and_then(Json::as_f64).is_some(), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn parsed_manifest_reads_v1_and_v2_but_rejects_future() {
+        let v1 = r#"{
+            "schema_version": 1,
+            "tool": "repro",
+            "created_unix_ms": 5,
+            "command": ["repro"],
+            "config": {"seed": 2007},
+            "artifacts": [{"name": "fig1", "wall_seconds": 2.0}],
+            "metrics": {"sim.instructions": 100},
+            "spans": {"fig1": {"count": 1, "total_seconds": 2.0, "max_seconds": 2.0}}
+        }"#;
+        let m = ParsedManifest::parse(v1).expect("v1 parses");
+        assert_eq!(m.schema_version, 1);
+        assert_eq!(m.tool, "repro");
+        assert!(m.quality.is_empty(), "v1 has no quality section");
+        assert_eq!(m.artifact_wall_seconds("fig1"), Some(2.0));
+        assert_eq!(m.total_wall_seconds(), 2.0);
+        assert_eq!(m.metric("sim.instructions").and_then(Json::as_i64), Some(100));
+        assert_eq!(m.spans[0].1.count, 1);
+
+        quality::record(crate::quality::QualityRecord::from_signed_errors(
+            "parse.test.watts",
+            &[0.02],
+        ));
+        let mut native = RunManifest::new("v2");
+        native.record_artifact("a", 1.0);
+        let m = ParsedManifest::parse(&native.to_json().to_string_pretty()).expect("v2 parses");
+        assert_eq!(m.schema_version, SCHEMA_VERSION);
+        assert!(m.quality_record("parse.test.watts").is_some());
+
+        let future = r#"{"schema_version": 99, "tool": "x"}"#;
+        let err = ParsedManifest::parse(future).expect_err("future version rejected");
+        assert!(err.contains("unsupported schema_version 99"), "err: {err}");
+        assert!(ParsedManifest::parse("{}").is_err(), "missing version rejected");
+        assert!(ParsedManifest::parse("not json").is_err());
     }
 }

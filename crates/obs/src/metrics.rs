@@ -167,6 +167,16 @@ impl Histogram {
         }
         *self.bounds.last().expect("non-empty bounds")
     }
+
+    /// [`Histogram::quantile`] evaluated at several points — the manifest
+    /// export path uses this for the standard p50/p90/p99 triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `q` is outside `[0, 1]`.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
 }
 
 /// Snapshot of one metric, for reporting and manifests.
@@ -186,6 +196,42 @@ pub enum MetricValue {
         /// Per-bucket `(upper_bound, count)`.
         buckets: Vec<(f64, u64)>,
     },
+}
+
+impl MetricValue {
+    /// Estimates the `q`-quantile of a [`MetricValue::Histogram`] from
+    /// its bucket snapshot, with the same interpolation and saturation
+    /// rules as [`Histogram::quantile`]. Returns `None` for other metric
+    /// kinds and for empty histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn histogram_quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let MetricValue::Histogram { count, buckets, .. } = self else {
+            return None;
+        };
+        if *count == 0 || buckets.is_empty() {
+            return None;
+        }
+        let last_finite = buckets.iter().rev().map(|&(le, _)| le).find(|le| le.is_finite())?;
+        let target = q * *count as f64;
+        let mut cumulative = 0u64;
+        for (i, &(le, c)) in buckets.iter().enumerate() {
+            let next = cumulative + c;
+            if (next as f64) >= target && c > 0 {
+                if !le.is_finite() {
+                    return Some(last_finite);
+                }
+                let lo = if i == 0 { 0.0f64.min(le) } else { buckets[i - 1].0 };
+                let frac = (target - cumulative as f64) / c as f64;
+                return Some(lo + frac.clamp(0.0, 1.0) * (le - lo));
+            }
+            cumulative = next;
+        }
+        Some(last_finite)
+    }
 }
 
 /// A named metric snapshot.
@@ -431,6 +477,40 @@ mod tests {
             }
             other => panic!("expected histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_live_histogram() {
+        let r = Registry::new();
+        let h = r.histogram("q.hist", &[1.0, 2.0, 4.0, 8.0]);
+        for i in 0..100 {
+            h.observe(0.08 * i as f64);
+        }
+        let snap = r.snapshot();
+        let value = &snap.iter().find(|s| s.name == "q.hist").expect("registered").value;
+        for q in [0.5, 0.9, 0.99] {
+            let from_snapshot = value.histogram_quantile(q).expect("histogram");
+            let live = h.quantile(q);
+            assert!(
+                (from_snapshot - live).abs() < 1e-9,
+                "q{q}: snapshot {from_snapshot} vs live {live}"
+            );
+        }
+        assert_eq!(h.quantiles(&[0.5, 0.9]), vec![h.quantile(0.5), h.quantile(0.9)]);
+        // Non-histograms and empty histograms have no quantiles.
+        r.counter("q.count").inc();
+        let snap = r.snapshot();
+        let counter = &snap.iter().find(|s| s.name == "q.count").unwrap().value;
+        assert_eq!(counter.histogram_quantile(0.5), None);
+        let empty = MetricValue::Histogram { count: 0, sum: 0.0, buckets: vec![] };
+        assert_eq!(empty.histogram_quantile(0.5), None);
+        // Overflow-heavy distributions saturate at the last finite bound.
+        let overflow = MetricValue::Histogram {
+            count: 10,
+            sum: 1e4,
+            buckets: vec![(1.0, 0), (f64::INFINITY, 10)],
+        };
+        assert_eq!(overflow.histogram_quantile(0.5), Some(1.0));
     }
 
     #[test]

@@ -151,6 +151,7 @@ impl Drop for SpanGuard {
             stack.borrow_mut().pop();
         });
         global().record(&self.path, elapsed);
+        crate::trace::record_complete(&self.path, elapsed);
         crate::trace!("span", "{} took {}", self.path, fmt_duration(elapsed.as_secs_f64()));
     }
 }

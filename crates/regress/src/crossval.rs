@@ -24,8 +24,25 @@ pub struct CvResult {
     pub mae: f64,
     /// Median absolute relative error over all held-out predictions.
     pub median_ape: f64,
+    /// Signed relative error `(obs - pred) / pred` of every held-out
+    /// prediction, in fold order (rows with a zero prediction are
+    /// skipped). Feeds [`CvResult::to_quality`].
+    pub signed_errors: Vec<f64>,
     /// Number of folds actually evaluated.
     pub folds: usize,
+}
+
+impl CvResult {
+    /// Summarizes the held-out error distribution as a model-quality
+    /// telemetry record under `key` (e.g. `crossval.knots4.bips`),
+    /// ready for [`udse_obs::quality::record`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if every held-out prediction was zero (no errors kept).
+    pub fn to_quality(&self, key: &str) -> udse_obs::QualityRecord {
+        udse_obs::QualityRecord::from_signed_errors(key, &self.signed_errors)
+    }
 }
 
 /// Runs `k`-fold cross-validation of `spec` on `(data, y)`.
@@ -61,6 +78,7 @@ pub fn k_fold_cv(
     let mut sq_sum = 0.0;
     let mut abs_sum = 0.0;
     let mut apes: Vec<f64> = Vec::with_capacity(n);
+    let mut signed_errors: Vec<f64> = Vec::with_capacity(n);
     let mut held_out_total = 0usize;
 
     for fold in 0..k {
@@ -83,9 +101,10 @@ pub fn k_fold_cv(
             sq_sum += err * err;
             abs_sum += err.abs();
             if pred != 0.0 {
-                let ape = (err / pred).abs();
-                fold_apes.push(ape);
-                apes.push(ape);
+                let signed = err / pred;
+                signed_errors.push(signed);
+                fold_apes.push(signed.abs());
+                apes.push(signed.abs());
             }
             held_out_total += 1;
         }
@@ -99,6 +118,7 @@ pub fn k_fold_cv(
         rmse: (sq_sum / denom).sqrt(),
         mae: abs_sum / denom,
         median_ape: if apes.is_empty() { 0.0 } else { udse_stats::median(&apes) },
+        signed_errors,
         folds: k,
     })
 }
@@ -158,6 +178,21 @@ mod tests {
             cv_spline.rmse,
             cv_line.rmse
         );
+    }
+
+    #[test]
+    fn cv_quality_record_matches_summary() {
+        let (data, y) = linear_world(40, 0.2);
+        let spec = ModelSpec::new(ResponseTransform::Identity).with_term(TermSpec::Linear(0));
+        let cv = k_fold_cv(&spec, &data, &y, 4, 3).unwrap();
+        assert_eq!(cv.signed_errors.len(), 40, "every held-out row kept");
+        let q = cv.to_quality("crossval.test.linear");
+        assert_eq!(q.key, "crossval.test.linear");
+        assert_eq!(q.n, 40);
+        // Both use R type-7 quantiles over the same sample.
+        assert!((q.p50 - cv.median_ape).abs() < 1e-12);
+        assert!(q.p50 <= q.p90 && q.p90 <= q.max);
+        assert!(q.bias.abs() <= q.max);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fixed-seed benchmark run: produces BENCH_<shortsha>.json, a schema-v2
+# run manifest with per-benchmark model-quality quantiles, metric
+# snapshots, and span wall times for `udse-inspect diff` gating.
+#
+# The run is `repro --quick fig1` with the baked-in seed (2007), so the
+# quality section (error p50/p90/max, bias, RMSE, R² per benchmark and
+# pooled) is bit-identical across runs on any machine — quality drift in
+# a diff always means a code change, never noise. Wall times DO vary by
+# machine, which is why the CI gate (scripts/ci.sh) runs the diff with
+# --warn-wall: quality regressions beyond the default tolerance
+# (±0.02 absolute on error fractions, i.e. two percentage points) fail
+# the gate hard, while wall-time drift beyond the default band
+# (+25% and >0.05s absolute) only warns.
+#
+# Usage: scripts/bench.sh [out.json]
+#   Default output: BENCH_<shortsha>.json at the repo root (the baseline
+#   naming convention; commit it to move the baseline).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shortsha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
+out="${1:-BENCH_${shortsha}.json}"
+
+echo "==> cargo build --release -p udse-bench"
+cargo build --release -p udse-bench
+
+echo "==> repro --quick --manifest ${out} fig1"
+./target/release/repro --quick --manifest "${out}" fig1 >/dev/null
+
+echo "==> udse-inspect show ${out}"
+./target/release/udse-inspect show "${out}"
+echo "bench: wrote ${out}"

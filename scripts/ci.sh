@@ -22,4 +22,19 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Regression gate: re-run the fixed-seed benchmark and diff against the
+# newest committed BENCH_*.json baseline. Model quality gates hard (the
+# fixed seed makes it machine-independent); wall time is demoted to a
+# warning with --warn-wall since CI machines differ. See scripts/bench.sh
+# for the tolerance bands.
+baseline=$(ls -t BENCH_*.json 2>/dev/null | head -n1 || true)
+if [ -n "${baseline}" ]; then
+    echo "==> scripts/bench.sh (regression gate vs ${baseline})"
+    scripts/bench.sh target/bench-current.json
+    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall"
+    ./target/release/udse-inspect diff "${baseline}" target/bench-current.json --warn-wall
+else
+    echo "==> no BENCH_*.json baseline; skipping regression gate (run scripts/bench.sh and commit the output)"
+fi
+
 echo "ci: all checks passed"

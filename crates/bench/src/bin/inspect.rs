@@ -5,17 +5,24 @@
 //! ```text
 //! udse-inspect show <manifest>
 //! udse-inspect diff <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>]
-//!                                    [--warn-wall]
-//! udse-inspect trace <manifest | events.jsonl> [-o <out.trace.json>]
+//!                                    [--tol-quality-pooled <abs>]
+//!                                    [--tol-quality-max <abs>] [--warn-wall]
+//! udse-inspect trace <manifest | events.jsonl> [--folded] [-o <out>]
 //! ```
 //!
 //! `show` prints a human-readable summary (artifacts, model quality,
 //! spans, metrics). `diff` compares a new run against a baseline and
 //! exits nonzero when wall time or model quality regressed beyond
-//! tolerance — the CI gate used by `scripts/ci.sh`. `trace` emits Chrome
-//! `trace_event` JSON (open in Perfetto or `chrome://tracing`), either
-//! from a JSONL event stream recorded with `UDSE_TRACE=1` or synthesized
-//! from a manifest's span totals.
+//! tolerance — the CI gate used by `scripts/ci.sh`. Quality budgets are
+//! per-study: `--tol-quality` is the per-benchmark default,
+//! `--tol-quality-pooled` the tighter budget for pooled records, and
+//! `--tol-quality-max` the looser budget for worst-single-error (`max`)
+//! statistics. `trace` emits Chrome `trace_event` JSON (open in Perfetto
+//! or `chrome://tracing`), either from a JSONL event stream recorded
+//! with `UDSE_TRACE=1` or synthesized from a manifest's span totals;
+//! `trace <manifest> --folded` instead emits folded stacks
+//! (`path;to;span self_us` lines) consumable by `flamegraph.pl` and
+//! inferno.
 //!
 //! Exit codes: 0 success / within tolerance, 1 regression detected,
 //! 2 usage or I/O error.
@@ -29,9 +36,12 @@ use udse_obs::trace;
 
 const USAGE: &str = "usage: udse-inspect <command>\n\
   show  <manifest>                                 summarize one run\n\
-  diff  <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>] [--warn-wall]\n\
+  diff  <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>]\n\
+        [--tol-quality-pooled <abs>] [--tol-quality-max <abs>] [--warn-wall]\n\
                                                    gate a run against a baseline\n\
-  trace <manifest | events.jsonl> [-o <path>]      export Chrome trace_event JSON";
+  trace <manifest | events.jsonl> [--folded] [-o <path>]\n\
+                                                   export Chrome trace_event JSON,\n\
+                                                   or folded flamegraph stacks";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("udse-inspect: {message}");
@@ -47,7 +57,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Flags that consume the next argument; everything else non-dashed
     // is positional.
-    const VALUE_FLAGS: [&str; 3] = ["--tol-wall", "--tol-quality", "-o"];
+    const VALUE_FLAGS: [&str; 5] =
+        ["--tol-wall", "--tol-quality", "--tol-quality-pooled", "--tol-quality-max", "-o"];
     let mut positional: Vec<&String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -97,16 +108,18 @@ fn main() -> ExitCode {
                 warn_wall: args.iter().any(|a| a == "--warn-wall"),
                 ..DiffTolerances::default()
             };
-            match (parse_f64("--tol-wall"), parse_f64("--tol-quality")) {
-                (Ok(wall), Ok(quality)) => {
-                    if let Some(w) = wall {
-                        tol.wall_pct = w;
-                    }
-                    if let Some(q) = quality {
-                        tol.quality_abs = q;
-                    }
+            let overrides = [
+                ("--tol-wall", &mut tol.wall_pct),
+                ("--tol-quality", &mut tol.quality_abs),
+                ("--tol-quality-pooled", &mut tol.quality_pooled_abs),
+                ("--tol-quality-max", &mut tol.quality_max_abs),
+            ];
+            for (flag, slot) in overrides {
+                match parse_f64(flag) {
+                    Ok(Some(v)) => *slot = v,
+                    Ok(None) => {}
+                    Err(e) => return fail(&e),
                 }
-                (Err(e), _) | (_, Err(e)) => return fail(&e),
             }
             let (old, new) = match (load(old_path), load(new_path)) {
                 (Ok(o), Ok(n)) => (o, n),
@@ -124,6 +137,26 @@ fn main() -> ExitCode {
             let [_, input] = positional[..] else {
                 return fail("trace expects exactly one input path");
             };
+            if args.iter().any(|a| a == "--folded") {
+                if input.ends_with(".jsonl") {
+                    return fail("--folded reads manifest span totals, not a JSONL event stream");
+                }
+                let folded = match load(input) {
+                    Ok(m) => inspect::folded_from_manifest(&m),
+                    Err(e) => return fail(&e),
+                };
+                match flag_value("-o") {
+                    Some(out) => {
+                        let out = PathBuf::from(out);
+                        if let Err(e) = write_with_parents(&out, &folded) {
+                            return fail(&e.to_string());
+                        }
+                        eprintln!("udse-inspect: wrote {}", out.display());
+                    }
+                    None => print!("{folded}"),
+                }
+                return ExitCode::SUCCESS;
+            }
             let doc = if input.ends_with(".jsonl") {
                 let text = match std::fs::read_to_string(input.as_str()) {
                     Ok(t) => t,

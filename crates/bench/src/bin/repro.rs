@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--verbose] [--csv <dir>] [--manifest <path>]
+//! repro [--quick] [--verbose] [--jobs N] [--csv <dir>] [--manifest <path>]
 //!       [--trace <path>] <artifact>...
 //!
 //! artifacts:
@@ -35,6 +35,12 @@
 //! `--quick` uses reduced samples and short traces (smoke test); the
 //! default is the paper-scale configuration (1,000 training samples,
 //! exhaustive 262,500-point evaluation).
+//!
+//! `--jobs N` caps the simulation/fitting worker pool at `N` threads
+//! (default: all available cores; `--jobs 1` runs fully sequentially on
+//! the calling thread). Results are deterministic regardless of `N` —
+//! every simulation is a pure function of its inputs and the pool
+//! preserves input order — so parallel runs differ only in wall time.
 //!
 //! `--verbose` raises logging to `info` (equivalent to `UDSE_LOG=info`;
 //! never lowers an explicit `UDSE_LOG`) and prints an end-of-run span
@@ -187,8 +193,8 @@ const ALL: [&str; 22] = [
     "ablations",
 ];
 
-const USAGE: &str = "usage: repro [--quick] [--verbose] [--csv <dir>] [--manifest <path>] \
-     [--trace <path>] <artifact>...";
+const USAGE: &str = "usage: repro [--quick] [--verbose] [--jobs N] [--csv <dir>] \
+     [--manifest <path>] [--trace <path>] <artifact>...";
 
 fn main() -> ExitCode {
     udse_obs::log::init();
@@ -211,6 +217,21 @@ fn main() -> ExitCode {
     if trace_path.is_some() {
         udse_obs::trace::enable();
     }
+    // --jobs N: cap the simulation/fitting worker pool. Default is all
+    // available cores; 1 restores fully sequential execution.
+    let jobs = match arg_value("--jobs") {
+        Some(v) => match v.to_string_lossy().parse::<usize>() {
+            Ok(n) if n >= 1 => {
+                udse_obs::pool::set_max_workers(n);
+                n
+            }
+            _ => {
+                eprintln!("--jobs expects a positive integer\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => udse_obs::pool::max_workers(),
+    };
     let mut skip_next = false;
     let mut artifacts: Vec<&str> = Vec::new();
     for a in &args {
@@ -218,7 +239,7 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--csv" || a == "--manifest" || a == "--trace" {
+        if a == "--csv" || a == "--manifest" || a == "--trace" || a == "--jobs" {
             skip_next = true;
             continue;
         }
@@ -236,6 +257,7 @@ fn main() -> ExitCode {
     let ctx = Context::new(quick);
     let mut manifest = RunManifest::new("repro");
     manifest.set("quick", Json::Bool(quick));
+    manifest.set("jobs", Json::Int(jobs as i64));
     manifest.set("seed", Json::Int(ctx.config().seed as i64));
     manifest.set("train_samples", Json::Int(ctx.config().train_samples as i64));
     manifest.set("eval_stride", Json::Int(ctx.config().eval_stride as i64));

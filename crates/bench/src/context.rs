@@ -1,6 +1,6 @@
 //! Shared experiment context: one oracle, one trained model suite.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 use udse_core::studies::depth::DepthStudy;
 use udse_core::studies::{StudyConfig, TrainedSuite};
@@ -8,13 +8,14 @@ use udse_core::{CachedOracle, SimOracle};
 
 /// Lazily trains the nine benchmark model pairs once and shares them
 /// across all experiment drivers, mirroring the paper's "formulated once,
-/// used in multiple studies" workflow (§7).
+/// used in multiple studies" workflow (§7). `Send + Sync` (lazy slots sit
+/// behind mutexes), so one context can feed parallel drivers.
 #[derive(Debug)]
 pub struct Context {
     oracle: CachedOracle<SimOracle>,
     config: StudyConfig,
-    suite: RefCell<Option<TrainedSuite>>,
-    depth: RefCell<Option<DepthStudy>>,
+    suite: Mutex<Option<TrainedSuite>>,
+    depth: Mutex<Option<DepthStudy>>,
 }
 
 /// Trace length used in quick mode (tests, smoke runs).
@@ -33,8 +34,8 @@ impl Context {
         Context {
             oracle: CachedOracle::new(oracle),
             config,
-            suite: RefCell::new(None),
-            depth: RefCell::new(None),
+            suite: Mutex::new(None),
+            depth: Mutex::new(None),
         }
     }
 
@@ -61,7 +62,8 @@ impl Context {
     /// Panics if model fitting fails (cannot happen for the paper spec on
     /// well-formed samples; indicates a configuration error).
     pub fn suite(&self) -> TrainedSuite {
-        if self.suite.borrow().is_none() {
+        let mut slot = self.suite.lock().expect("suite slot poisoned");
+        if slot.is_none() {
             let t0 = std::time::Instant::now();
             let suite = TrainedSuite::train(&self.oracle, &self.config)
                 .expect("paper-standard models fit on UAR samples");
@@ -71,19 +73,20 @@ impl Context {
                 self.config.train_samples,
                 t0.elapsed().as_secs_f64()
             );
-            *self.suite.borrow_mut() = Some(suite);
+            *slot = Some(suite);
         }
-        self.suite.borrow().as_ref().expect("just trained").clone()
+        slot.as_ref().expect("just trained").clone()
     }
 
     /// Returns the §5 depth study, computing it on first use (four
     /// figures consume it).
     pub fn depth_study(&self) -> DepthStudy {
-        if self.depth.borrow().is_none() {
-            let study = DepthStudy::run(&self.suite(), &self.config);
-            *self.depth.borrow_mut() = Some(study);
+        let suite = self.suite();
+        let mut slot = self.depth.lock().expect("depth slot poisoned");
+        if slot.is_none() {
+            *slot = Some(DepthStudy::run(&suite, &self.config));
         }
-        self.depth.borrow().as_ref().expect("just computed").clone()
+        slot.as_ref().expect("just computed").clone()
     }
 }
 
@@ -99,5 +102,11 @@ mod tests {
         // Second call reuses the cached suite (cheap).
         let again = ctx.suite();
         assert_eq!(again.training_samples().len(), suite.training_samples().len());
+    }
+
+    #[test]
+    fn context_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Context>();
     }
 }

@@ -2,7 +2,8 @@
 
 use udse_core::report::{fmt, format_table};
 use udse_core::studies::heterogeneity::{
-    compromise_clusters, predicted_gains, scatter_data, simulated_gains, BenchmarkArchitectures,
+    compromise_clusters, compromise_errors, predicted_gains, scatter_data, simulated_gains,
+    BenchmarkArchitectures,
 };
 
 use crate::context::Context;
@@ -34,9 +35,13 @@ pub fn table4(ctx: &Context) -> String {
             members.join("+"),
         ]);
     }
+    // Validate the compromises by simulation (and feed the
+    // `heterogeneity.compromise.*` quality records the manifest gates).
+    let (bips_err, watts_err) = compromise_errors(ctx.oracle(), &suite, &clusters);
     format!(
         "Table 4: K=4 compromise architectures\n\
-         (paper: four clusters capturing all depth-width combinations)\n\n{}",
+         (paper: four clusters capturing all depth-width combinations)\n\n{}\n\
+         simulated compromise error (mean |rel|): bips {:.1}%, watts {:.1}%\n",
         format_table(
             &[
                 "cluster",
@@ -52,7 +57,9 @@ pub fn table4(ctx: &Context) -> String {
                 "benchmarks"
             ],
             &rows
-        )
+        ),
+        bips_err * 100.0,
+        watts_err * 100.0,
     )
 }
 
@@ -130,6 +137,12 @@ mod tests {
         for c in 1..=4 {
             assert!(s.lines().any(|l| l.trim_start().starts_with(&c.to_string())));
         }
+        assert!(s.contains("simulated compromise error"), "table4 reports compromise error");
+        let quality = udse_obs::quality::global().snapshot();
+        assert!(
+            quality.iter().any(|r| r.key == "heterogeneity.compromise.bips"),
+            "table4 records compromise quality telemetry"
+        );
     }
 
     #[test]

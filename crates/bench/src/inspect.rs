@@ -21,9 +21,18 @@ pub struct DiffTolerances {
     /// Absolute wall-time slack in seconds, so microsecond-scale
     /// artifacts don't trip the relative gate on scheduler noise.
     pub wall_floor_seconds: f64,
-    /// Allowed absolute increase in any quality error statistic
-    /// (p50/p90/|bias| are fractions, so 0.02 = two error points).
+    /// Allowed absolute increase in a per-benchmark quality error
+    /// statistic (p50/p90/|bias| are fractions, so 0.02 = two error
+    /// points). This is the default budget; pooled and max statistics
+    /// have their own budgets below.
     pub quality_abs: f64,
+    /// Budget for *pooled* records (key contains `.pooled.`): pooled
+    /// medians average over 9 x N errors and are far less noisy than any
+    /// single benchmark, so they get a tighter budget.
+    pub quality_pooled_abs: f64,
+    /// Budget for the `max` statistic of any record: the worst single
+    /// error is the noisiest order statistic, so it gets a looser budget.
+    pub quality_max_abs: f64,
     /// Counter drift (percent) beyond which a warning is emitted.
     pub counter_warn_pct: f64,
     /// Demote wall-time regressions to warnings (CI runs on shared,
@@ -37,8 +46,26 @@ impl Default for DiffTolerances {
             wall_pct: 25.0,
             wall_floor_seconds: 0.05,
             quality_abs: 0.02,
+            quality_pooled_abs: 0.01,
+            quality_max_abs: 0.05,
             counter_warn_pct: 10.0,
             warn_wall: false,
+        }
+    }
+}
+
+impl DiffTolerances {
+    /// The budget for one `(record key, statistic)` pair: `max` always
+    /// uses the loose per-record budget, pooled records use the tight
+    /// pooled budget for their center statistics, everything else uses
+    /// the per-benchmark default.
+    pub fn quality_budget(&self, key: &str, stat: &str) -> f64 {
+        if stat == "max" {
+            self.quality_max_abs
+        } else if key.contains(".pooled.") {
+            self.quality_pooled_abs
+        } else {
+            self.quality_abs
         }
     }
 }
@@ -177,13 +204,17 @@ fn diff_quality(
             o.p90 * 100.0,
             n.p90 * 100.0
         ));
-        for (stat, old_v, new_v) in
-            [("p50", o.p50, n.p50), ("p90", o.p90, n.p90), ("bias", o.bias.abs(), n.bias.abs())]
-        {
-            if new_v - old_v > tol.quality_abs {
+        for (stat, old_v, new_v) in [
+            ("p50", o.p50, n.p50),
+            ("p90", o.p90, n.p90),
+            ("bias", o.bias.abs(), n.bias.abs()),
+            ("max", o.max, n.max),
+        ] {
+            let budget = tol.quality_budget(&o.key, stat);
+            if new_v - old_v > budget {
                 report.regressions.push(format!(
                     "quality `{}` {stat} worsened {:.4} -> {:.4} (tolerance +{:.4})",
-                    o.key, old_v, new_v, tol.quality_abs
+                    o.key, old_v, new_v, budget
                 ));
             }
         }
@@ -300,6 +331,23 @@ pub fn trace_from_manifest(m: &ParsedManifest) -> Json {
     trace::chrome_trace_json(&trace::synthesize_from_spans(&totals))
 }
 
+/// Renders a manifest's span totals as folded stacks (`a;b;c self_us`
+/// per line), the input format of Brendan Gregg's `flamegraph.pl` and
+/// the inferno toolchain. Delegates to [`udse_obs::span::folded`] after
+/// converting the manifest's second-resolution totals to microseconds.
+pub fn folded_from_manifest(m: &ParsedManifest) -> String {
+    let stats: Vec<(String, udse_obs::span::SpanStat)> = m
+        .spans
+        .iter()
+        .map(|(path, s)| {
+            let total = std::time::Duration::from_secs_f64(s.total_seconds.max(0.0));
+            let max = std::time::Duration::from_secs_f64(s.max_seconds.max(0.0));
+            (path.clone(), udse_obs::span::SpanStat { count: s.count, total, max })
+        })
+        .collect();
+    udse_obs::span::folded(&stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +410,70 @@ mod tests {
         // Improvement is never a regression.
         let better = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.01, 0.02)], &[]);
         assert!(!diff(&old, &better, &DiffTolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn pooled_records_use_the_tighter_budget() {
+        // A +0.015 p50 drift passes the default 0.02 per-benchmark budget
+        // but violates the 0.01 pooled budget.
+        let old = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.020, 0.06)], &[]);
+        let new = manifest(&[("fig1", 3.0)], &[("validation.pooled.bips", 0.035, 0.06)], &[]);
+        let report = diff(&old, &new, &DiffTolerances::default());
+        assert!(report.is_regression(), "pooled p50 must gate at the tight budget");
+        assert!(report.regressions[0].contains("0.0100"), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn per_benchmark_records_use_the_default_budget() {
+        // The same +0.015 p50 drift on a per-benchmark record stays
+        // inside the looser 0.02 default budget.
+        let old = manifest(&[("fig1", 3.0)], &[("validation.ammp.bips", 0.020, 0.06)], &[]);
+        let new = manifest(&[("fig1", 3.0)], &[("validation.ammp.bips", 0.035, 0.06)], &[]);
+        assert!(!diff(&old, &new, &DiffTolerances::default()).is_regression());
+        // ... but a +0.025 drift gates.
+        let worse = manifest(&[("fig1", 3.0)], &[("validation.ammp.bips", 0.046, 0.06)], &[]);
+        assert!(diff(&old, &worse, &DiffTolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn max_statistic_uses_the_loosest_budget() {
+        // The helper derives max = 2 * p90, so moving p90 moves max.
+        // A p90 drift of +0.018: within the default 0.02 for p90 itself,
+        // max moves +0.036 — within the 0.05 max budget. No gate.
+        let old = manifest(&[("fig1", 3.0)], &[("validation.ammp.bips", 0.01, 0.060)], &[]);
+        let new = manifest(&[("fig1", 3.0)], &[("validation.ammp.bips", 0.01, 0.078)], &[]);
+        assert!(!diff(&old, &new, &DiffTolerances::default()).is_regression());
+        // A p90 drift of +0.03 pushes max up +0.06 > 0.05: both gate, and
+        // the max violation reports the loose budget.
+        let worse = manifest(&[("fig1", 3.0)], &[("validation.ammp.bips", 0.01, 0.090)], &[]);
+        let report = diff(&old, &worse, &DiffTolerances::default());
+        assert!(report.is_regression());
+        assert!(
+            report.regressions.iter().any(|r| r.contains("max") && r.contains("0.0500")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn quality_budget_selection() {
+        let tol = DiffTolerances::default();
+        assert_eq!(tol.quality_budget("validation.pooled.bips", "p50"), 0.01);
+        assert_eq!(tol.quality_budget("validation.pooled.bips", "max"), 0.05);
+        assert_eq!(tol.quality_budget("validation.ammp.bips", "p50"), 0.02);
+        assert_eq!(tol.quality_budget("depth.original.eff", "bias"), 0.02);
+        assert_eq!(tol.quality_budget("heterogeneity.compromise.watts", "max"), 0.05);
+    }
+
+    #[test]
+    fn folded_export_from_manifest() {
+        let mut m = manifest(&[("fig1", 1.0)], &[], &[]);
+        m.spans = vec![
+            ("all".into(), SpanTotal { count: 1, total_seconds: 1.0, max_seconds: 1.0 }),
+            ("all/fit".into(), SpanTotal { count: 9, total_seconds: 0.4, max_seconds: 0.1 }),
+        ];
+        let folded = folded_from_manifest(&m);
+        assert_eq!(folded, "all 600000\nall;fit 400000\n");
     }
 
     #[test]

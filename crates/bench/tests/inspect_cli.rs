@@ -58,10 +58,20 @@ fn diff_gates_on_quality_and_wall_regressions() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("REGRESSION"), "stdout: {text}");
 
-    // A widened tolerance lets the same pair pass.
+    // A widened tolerance lets the same pair pass. The fixture key is
+    // pooled, so its center statistics answer to the pooled budget —
+    // widening only the per-benchmark default must NOT unlock it.
     let out =
         inspect(&["diff", base.to_str().unwrap(), bad.to_str().unwrap(), "--tol-quality", "0.2"]);
-    assert!(out.status.success(), "tolerance is configurable");
+    assert_eq!(out.status.code(), Some(1), "pooled records ignore the per-benchmark budget");
+    let out = inspect(&[
+        "diff",
+        base.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--tol-quality-pooled",
+        "0.2",
+    ]);
+    assert!(out.status.success(), "pooled tolerance is configurable");
 
     // Wall-time blowup fails by default but is demotable to a warning.
     let out = inspect(&["diff", base.to_str().unwrap(), slow.to_str().unwrap()]);
@@ -126,6 +136,41 @@ fn trace_emits_perfetto_loadable_json() {
     assert!(Json::parse(&text).is_ok());
     let _ = std::fs::remove_dir_all(out_dir);
     let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn trace_folded_emits_flamegraph_stacks() {
+    let path = write_fixture("folded.json", &manifest_text(3.0, 0.016));
+    let out = inspect(&["trace", path.to_str().unwrap(), "--folded"]);
+    assert!(out.status.success(), "{out:?}");
+    // Golden output: flamegraph.pl folded format, one `stack count` line
+    // per span with nonzero self time, frames joined by ';', sorted.
+    // fig1 totals 3.0s with 2.0s in fig1/train -> 1.0s self.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text, "fig1 1000000\nfig1;train 2000000\n");
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(!stack.is_empty() && count.parse::<u64>().is_ok(), "bad line: {line}");
+    }
+
+    // `-o` writes the folded file too.
+    let out_path = std::env::temp_dir()
+        .join(format!("udse_inspect_folded_{}", std::process::id()))
+        .join("run.folded");
+    let out =
+        inspect(&["trace", path.to_str().unwrap(), "--folded", "-o", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let written = std::fs::read_to_string(&out_path).expect("folded file written");
+    assert_eq!(written, "fig1 1000000\nfig1;train 2000000\n");
+
+    // --folded is a manifest-only view.
+    let jsonl = write_fixture("folded_events.jsonl", "{}\n");
+    let out = inspect(&["trace", jsonl.to_str().unwrap(), "--folded"]);
+    assert_eq!(out.status.code(), Some(2), "--folded rejects JSONL input");
+
+    let _ = std::fs::remove_dir_all(out_path.parent().unwrap());
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(jsonl);
 }
 
 #[test]

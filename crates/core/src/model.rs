@@ -80,7 +80,8 @@ pub struct PaperModels {
 
 impl PaperModels {
     /// Trains the performance and power models for one benchmark from a
-    /// set of sampled designs, simulating each via the oracle.
+    /// set of sampled designs, simulating each via the oracle (batched
+    /// through [`Oracle::evaluate_many`], so simulations parallelize).
     ///
     /// # Errors
     ///
@@ -90,8 +91,8 @@ impl PaperModels {
         benchmark: Benchmark,
         samples: &[DesignPoint],
     ) -> Result<Self, RegressError> {
-        let responses: Vec<Metrics> =
-            samples.iter().map(|p| oracle.evaluate(benchmark, p)).collect();
+        let jobs: Vec<(Benchmark, DesignPoint)> = samples.iter().map(|p| (benchmark, *p)).collect();
+        let responses = oracle.evaluate_many(&jobs);
         Self::train_from_observations(benchmark, samples, &responses)
     }
 

@@ -1,8 +1,16 @@
 //! Ground-truth evaluation of design points ("simulation" in the paper).
+//!
+//! Every oracle is `Send + Sync` (the trait requires it), and the batch
+//! entry point [`Oracle::evaluate_many`] fans independent simulations out
+//! across cores through the [`udse_obs::pool`] work pool. The pool
+//! preserves input order and each simulation is a pure function of its
+//! `(benchmark, point)` pair, so a parallel batch is bitwise-identical to
+//! a sequential one — `repro --jobs 1` and `--jobs N` produce the same
+//! numbers.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use udse_sim::Simulator;
 use udse_trace::{Benchmark, Trace};
@@ -34,14 +42,28 @@ impl Metrics {
 /// Anything that can produce ground-truth `(bips, watts)` for a design
 /// point running a benchmark: the detailed simulator in this
 /// reproduction, a cluster of Turandot instances in the paper.
-pub trait Oracle {
+///
+/// Implementations must be `Send + Sync`: the study drivers batch
+/// independent evaluations through [`Oracle::evaluate_many`], which runs
+/// them on the [`udse_obs::pool`] worker threads.
+pub trait Oracle: Send + Sync {
     /// Evaluates one design for one benchmark.
     fn evaluate(&self, benchmark: Benchmark, point: &DesignPoint) -> Metrics;
+
+    /// Evaluates a batch of `(benchmark, point)` jobs, returning metrics
+    /// in job order. The default implementation fans the jobs out across
+    /// the work pool; order and values are identical to evaluating the
+    /// jobs sequentially because each evaluation is independent.
+    fn evaluate_many(&self, jobs: &[(Benchmark, DesignPoint)]) -> Vec<Metrics> {
+        udse_obs::pool::map(jobs, |(b, p)| self.evaluate(*b, p))
+    }
 
     /// Evaluates one design for every benchmark in the suite, in
     /// [`Benchmark::ALL`] order.
     fn evaluate_suite(&self, point: &DesignPoint) -> Vec<Metrics> {
-        Benchmark::ALL.iter().map(|&b| self.evaluate(b, point)).collect()
+        let jobs: Vec<(Benchmark, DesignPoint)> =
+            Benchmark::ALL.iter().map(|&b| (b, *point)).collect();
+        self.evaluate_many(&jobs)
     }
 }
 
@@ -64,12 +86,12 @@ pub trait Oracle {
 /// let m = oracle.evaluate(Benchmark::Gzip, &p);
 /// assert!(m.bips > 0.0 && m.watts > 0.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SimOracle {
     trace_len: usize,
     warmup_frac: f64,
     seed: u64,
-    traces: RefCell<HashMap<Benchmark, Rc<Trace>>>,
+    traces: RwLock<HashMap<Benchmark, Arc<Trace>>>,
 }
 
 /// Default trace length for study-quality runs; long enough that L2-scale
@@ -94,7 +116,7 @@ impl SimOracle {
             trace_len,
             warmup_frac: 0.25,
             seed: 0x5EED,
-            traces: RefCell::new(HashMap::new()),
+            traces: RwLock::new(HashMap::new()),
         }
     }
 
@@ -102,7 +124,7 @@ impl SimOracle {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
-        self.traces = RefCell::new(HashMap::new());
+        self.traces = RwLock::new(HashMap::new());
         self
     }
 
@@ -112,14 +134,18 @@ impl SimOracle {
     }
 
     /// Returns the cached trace for a benchmark, generating it on first
-    /// use.
-    pub fn trace(&self, benchmark: Benchmark) -> Rc<Trace> {
-        if let Some(t) = self.traces.borrow().get(&benchmark) {
-            return Rc::clone(t);
+    /// use. Thread-safe: concurrent first uses serialize on the write
+    /// lock and generate the (deterministic) trace exactly once.
+    pub fn trace(&self, benchmark: Benchmark) -> Arc<Trace> {
+        if let Some(t) = self.traces.read().expect("trace cache poisoned").get(&benchmark) {
+            return Arc::clone(t);
         }
-        let t = Rc::new(Trace::generate(benchmark, self.trace_len, self.seed));
-        self.traces.borrow_mut().insert(benchmark, Rc::clone(&t));
-        t
+        let mut traces = self.traces.write().expect("trace cache poisoned");
+        Arc::clone(
+            traces
+                .entry(benchmark)
+                .or_insert_with(|| Arc::new(Trace::generate(benchmark, self.trace_len, self.seed))),
+        )
     }
 
     /// Number of instructions discarded as warmup.
@@ -165,9 +191,9 @@ impl Oracle for SimOracle {
 #[derive(Debug)]
 pub struct CachedOracle<O> {
     inner: O,
-    cache: RefCell<HashMap<(Benchmark, DesignPoint), Metrics>>,
-    hits: std::cell::Cell<u64>,
-    misses: std::cell::Cell<u64>,
+    cache: RwLock<HashMap<(Benchmark, DesignPoint), Metrics>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<O: Oracle> CachedOracle<O> {
@@ -175,9 +201,9 @@ impl<O: Oracle> CachedOracle<O> {
     pub fn new(inner: O) -> Self {
         CachedOracle {
             inner,
-            cache: RefCell::new(HashMap::new()),
-            hits: std::cell::Cell::new(0),
-            misses: std::cell::Cell::new(0),
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -188,28 +214,67 @@ impl<O: Oracle> CachedOracle<O> {
 
     /// Number of evaluations served from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits.get()
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of evaluations delegated to the inner oracle.
     pub fn misses(&self) -> u64 {
-        self.misses.get()
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
 impl<O: Oracle> Oracle for CachedOracle<O> {
     fn evaluate(&self, benchmark: Benchmark, point: &DesignPoint) -> Metrics {
         let key = (benchmark, *point);
-        if let Some(m) = self.cache.borrow().get(&key) {
-            self.hits.set(self.hits.get() + 1);
+        if let Some(m) = self.cache.read().expect("oracle cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             udse_obs::metrics::counter("oracle.cache.hits").inc();
             return *m;
         }
         let m = self.inner.evaluate(benchmark, point);
-        self.misses.set(self.misses.get() + 1);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         udse_obs::metrics::counter("oracle.cache.misses").inc();
-        self.cache.borrow_mut().insert(key, m);
+        self.cache.write().expect("oracle cache poisoned").insert(key, m);
         m
+    }
+
+    /// Batched lookup: cached pairs are served immediately, the distinct
+    /// uncached pairs are simulated in one parallel batch through the
+    /// inner oracle, and results come back in job order. Duplicate jobs
+    /// within the batch simulate once and count one miss (subsequent
+    /// occurrences are hits), matching the sequential accounting.
+    fn evaluate_many(&self, jobs: &[(Benchmark, DesignPoint)]) -> Vec<Metrics> {
+        let mut pending: Vec<(Benchmark, DesignPoint)> = Vec::new();
+        let mut pending_index: HashMap<(Benchmark, DesignPoint), usize> = HashMap::new();
+        let mut hits = 0u64;
+        {
+            let cache = self.cache.read().expect("oracle cache poisoned");
+            for key in jobs {
+                if cache.contains_key(key) {
+                    hits += 1;
+                } else if !pending_index.contains_key(key) {
+                    pending_index.insert(*key, pending.len());
+                    pending.push(*key);
+                } else {
+                    hits += 1; // duplicate within the batch
+                }
+            }
+        }
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+            udse_obs::metrics::counter("oracle.cache.hits").add(hits);
+        }
+        if !pending.is_empty() {
+            let fresh = self.inner.evaluate_many(&pending);
+            self.misses.fetch_add(pending.len() as u64, Ordering::Relaxed);
+            udse_obs::metrics::counter("oracle.cache.misses").add(pending.len() as u64);
+            let mut cache = self.cache.write().expect("oracle cache poisoned");
+            for (key, m) in pending.iter().zip(&fresh) {
+                cache.insert(*key, *m);
+            }
+        }
+        let cache = self.cache.read().expect("oracle cache poisoned");
+        jobs.iter().map(|key| *cache.get(key).expect("all jobs resolved")).collect()
     }
 }
 
@@ -246,7 +311,7 @@ mod tests {
         let oracle = SimOracle::with_trace_len(2_000);
         let t1 = oracle.trace(Benchmark::Gcc);
         let t2 = oracle.trace(Benchmark::Gcc);
-        assert!(Rc::ptr_eq(&t1, &t2));
+        assert!(Arc::ptr_eq(&t1, &t2));
     }
 
     #[test]
@@ -278,5 +343,65 @@ mod tests {
     #[should_panic(expected = "too short")]
     fn tiny_trace_panics() {
         let _ = SimOracle::with_trace_len(10);
+    }
+
+    #[test]
+    fn oracles_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimOracle>();
+        assert_send_sync::<CachedOracle<SimOracle>>();
+        assert_send_sync::<Metrics>();
+        assert_send_sync::<&dyn Oracle>();
+    }
+
+    #[test]
+    fn evaluate_many_matches_sequential_evaluation() {
+        let space = DesignSpace::paper();
+        let oracle = SimOracle::with_trace_len(1_000);
+        let jobs: Vec<(Benchmark, DesignPoint)> = (0..12)
+            .map(|i| (Benchmark::ALL[i % 9], space.decode(i as u64 * 1_000).unwrap()))
+            .collect();
+        let batched = oracle.evaluate_many(&jobs);
+        let sequential: Vec<Metrics> = jobs.iter().map(|(b, p)| oracle.evaluate(*b, p)).collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn cached_evaluate_many_counts_hits_and_dedups() {
+        let space = DesignSpace::paper();
+        let oracle = CachedOracle::new(SimOracle::with_trace_len(1_000));
+        let p0 = space.decode(11).unwrap();
+        let p1 = space.decode(2_222).unwrap();
+        // Warm one key, then batch with a duplicate and two new keys.
+        let warm = oracle.evaluate(Benchmark::Gcc, &p0);
+        let jobs = vec![
+            (Benchmark::Gcc, p0),  // cache hit
+            (Benchmark::Gcc, p1),  // miss
+            (Benchmark::Gcc, p1),  // duplicate of the miss: hit
+            (Benchmark::Gzip, p0), // miss
+        ];
+        let out = oracle.evaluate_many(&jobs);
+        assert_eq!(out[0], warm);
+        assert_eq!(out[1], out[2]);
+        assert_eq!(oracle.hits(), 2);
+        assert_eq!(oracle.misses(), 3); // 1 warmup + 2 batch misses
+                                        // The whole batch is now cached.
+        let again = oracle.evaluate_many(&jobs);
+        assert_eq!(again, out);
+        assert_eq!(oracle.misses(), 3);
+    }
+
+    #[test]
+    fn parallel_trace_generation_is_consistent() {
+        // Hammer the trace cache from several threads; every thread must
+        // see the same Arc'd trace.
+        let oracle = SimOracle::with_trace_len(1_000);
+        let ptrs: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| Arc::as_ptr(&oracle.trace(Benchmark::Mcf)) as usize))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("trace thread panicked")).collect()
+        });
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "trace generated more than once");
     }
 }

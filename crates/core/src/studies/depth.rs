@@ -12,6 +12,8 @@
 //! optimum*: for each benchmark the best baseline-sweep efficiency, with
 //! suite results averaged over the per-benchmark ratios.
 
+use std::collections::HashMap;
+
 use udse_stats::{quantile, Boxplot, Histogram};
 use udse_trace::Benchmark;
 
@@ -188,27 +190,44 @@ pub struct DepthValidation {
 
 impl DepthValidation {
     /// Simulates the original and bound designs at every depth and
-    /// assembles the comparison curves.
+    /// assembles the comparison curves. All simulations run as one
+    /// parallel [`Oracle::evaluate_many`] batch up front; the curves are
+    /// assembled from the resulting lookup table.
     pub fn run<O: Oracle + ?Sized>(oracle: &O, suite: &TrainedSuite, study: &DepthStudy) -> Self {
         let _span = udse_obs::span::enter("depth_validation");
+        // Distinct designs this validation needs: the baseline sweep plus
+        // the per-depth bound architectures.
+        let mut wanted: Vec<DesignPoint> = study.original_points.clone();
+        for p in &study.bound_points {
+            if !wanted.contains(p) {
+                wanted.push(*p);
+            }
+        }
+        let jobs: Vec<(Benchmark, DesignPoint)> =
+            Benchmark::ALL.iter().flat_map(|&b| wanted.iter().map(move |p| (b, *p))).collect();
+        let simulated: HashMap<(Benchmark, DesignPoint), crate::oracle::Metrics> =
+            jobs.iter().copied().zip(oracle.evaluate_many(&jobs)).collect();
+        let sim = |b: Benchmark, p: &DesignPoint| simulated[&(b, *p)];
+
         let suite_metrics = |points: &[DesignPoint], simulate: bool| {
             // Returns per-depth (eff_rel, bips_avg, watts_avg) using either
             // the oracle or the models.
-            let per_bench: Vec<Vec<crate::oracle::Metrics>> = Benchmark::ALL
-                .iter()
-                .map(|&b| {
-                    points
-                        .iter()
-                        .map(|p| {
-                            if simulate {
-                                oracle.evaluate(b, p)
-                            } else {
-                                suite.models(b).predict_metrics(p)
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
+            let per_bench: Vec<Vec<crate::oracle::Metrics>> =
+                Benchmark::ALL
+                    .iter()
+                    .map(|&b| {
+                        points
+                            .iter()
+                            .map(|p| {
+                                if simulate {
+                                    sim(b, p)
+                                } else {
+                                    suite.models(b).predict_metrics(p)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
             (0..points.len())
                 .map(|i| {
                     let bips = per_bench.iter().map(|v| v[i].bips).sum::<f64>() / 9.0;
@@ -222,7 +241,7 @@ impl DepthValidation {
         let rel_curve = |points: &[DesignPoint], originals: &[DesignPoint], simulate: bool| {
             let per_bench_eff = |p: &DesignPoint, b: Benchmark| {
                 if simulate {
-                    oracle.evaluate(b, p).bips_cubed_per_watt()
+                    sim(b, p).bips_cubed_per_watt()
                 } else {
                     suite.models(b).predict_efficiency(p)
                 }
@@ -251,7 +270,7 @@ impl DepthValidation {
         let (orig_pred_bw, orig_sim_bw) = (suite_metrics(orig, false), suite_metrics(orig, true));
         let (bnd_pred_bw, bnd_sim_bw) = (suite_metrics(bound, false), suite_metrics(bound, true));
 
-        DepthValidation {
+        let val = DepthValidation {
             depths: study.depths.clone(),
             original_predicted: rel_curve(orig, orig, false),
             original_simulated: rel_curve(orig, orig, true),
@@ -265,6 +284,36 @@ impl DepthValidation {
             original_simulated_watts: orig_sim_bw.iter().map(|x| x.1).collect(),
             enhanced_predicted_watts: bnd_pred_bw.iter().map(|x| x.1).collect(),
             enhanced_simulated_watts: bnd_sim_bw.iter().map(|x| x.1).collect(),
+        };
+        val.record_quality();
+        val
+    }
+
+    /// Records the prediction-vs-simulation error of every Fig 6/Fig 7
+    /// curve pair as `depth.*` [`udse_obs::QualityRecord`]s — the same
+    /// collector validation feeds, so `udse-inspect diff` gates depth
+    /// methodology drift too.
+    fn record_quality(&self) {
+        let curves: [(&str, &[f64], &[f64]); 6] = [
+            ("depth.original.eff", &self.original_predicted, &self.original_simulated),
+            ("depth.enhanced.eff", &self.enhanced_predicted, &self.enhanced_simulated),
+            ("depth.original.bips", &self.original_predicted_bips, &self.original_simulated_bips),
+            ("depth.enhanced.bips", &self.enhanced_predicted_bips, &self.enhanced_simulated_bips),
+            (
+                "depth.original.watts",
+                &self.original_predicted_watts,
+                &self.original_simulated_watts,
+            ),
+            (
+                "depth.enhanced.watts",
+                &self.enhanced_predicted_watts,
+                &self.enhanced_simulated_watts,
+            ),
+        ];
+        for (key, predicted, simulated) in curves {
+            let signed: Vec<f64> =
+                simulated.iter().zip(predicted).map(|(s, p)| (s - p) / p).collect();
+            udse_obs::quality::record(udse_obs::QualityRecord::from_signed_errors(key, &signed));
         }
     }
 
@@ -342,6 +391,26 @@ mod tests {
             assert!((p - s).abs() < 0.1, "pred {p} vs sim {s}");
         }
         let _ = val.simulated_optimal_depth();
+    }
+
+    #[test]
+    fn depth_validation_records_quality_telemetry() {
+        let (suite, config) = setup();
+        let study = DepthStudy::run(&suite, &config);
+        let _val = DepthValidation::run(&TinyOracle, &suite, &study);
+        let quality = udse_obs::quality::global().snapshot();
+        for key in [
+            "depth.original.eff",
+            "depth.enhanced.eff",
+            "depth.original.bips",
+            "depth.enhanced.bips",
+            "depth.original.watts",
+            "depth.enhanced.watts",
+        ] {
+            let rec = quality.iter().find(|r| r.key == key).expect("depth quality record");
+            assert_eq!(rec.n as usize, study.depths.len());
+            assert!(rec.p50 >= 0.0);
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! benchmark on its compromise core — relative to the POWER4-like
 //! baseline — quantifies the benefit of K degrees of heterogeneity.
 
+use std::collections::HashMap;
+
 use udse_cluster::{KMeans, MinMaxScaler};
 use udse_trace::Benchmark;
 
@@ -165,13 +167,65 @@ pub fn predicted_gains(
 }
 
 /// Simulated gains (Fig 9b): every efficiency from the oracle.
+///
+/// The clusterings themselves are model-driven and cheap, so they run
+/// first to enumerate every `(benchmark, architecture)` pair Fig 9b
+/// needs; those simulate as one parallel [`Oracle::evaluate_many`] batch
+/// and the gain table replays from the lookup.
 pub fn simulated_gains<O: Oracle + ?Sized>(
     oracle: &O,
     suite: &TrainedSuite,
     optima: &BenchmarkArchitectures,
     seed: u64,
 ) -> HeterogeneityGains {
-    gains_with(optima, suite, seed, |b, p| oracle.evaluate(b, p).bips_cubed_per_watt())
+    let base = baseline_point();
+    let mut jobs: Vec<(Benchmark, DesignPoint)> =
+        Benchmark::ALL.iter().map(|&b| (b, base)).collect();
+    for k in 1..=9 {
+        for cluster in compromise_clusters(suite, optima, k, seed) {
+            for &b in &cluster.members {
+                let job = (b, cluster.architecture);
+                if !jobs.contains(&job) {
+                    jobs.push(job);
+                }
+            }
+        }
+    }
+    let simulated: HashMap<(Benchmark, DesignPoint), Metrics> =
+        jobs.iter().copied().zip(oracle.evaluate_many(&jobs)).collect();
+    gains_with(optima, suite, seed, |b, p| simulated[&(b, *p)].bips_cubed_per_watt())
+}
+
+/// Simulates every member benchmark on its compromise core and records
+/// the model-vs-simulation error (the paper's Table 4 compromise-error
+/// discussion) as `heterogeneity.compromise.bips` / `.watts`
+/// [`udse_obs::QualityRecord`]s — the same collector validation feeds.
+/// Returns the suite-mean absolute relative `(bips, watts)` errors.
+pub fn compromise_errors<O: Oracle + ?Sized>(
+    oracle: &O,
+    suite: &TrainedSuite,
+    clusters: &[CompromiseCluster],
+) -> (f64, f64) {
+    let jobs: Vec<(Benchmark, DesignPoint)> =
+        clusters.iter().flat_map(|c| c.members.iter().map(|&b| (b, c.architecture))).collect();
+    let simulated = oracle.evaluate_many(&jobs);
+    let mut bips_signed = Vec::with_capacity(jobs.len());
+    let mut watts_signed = Vec::with_capacity(jobs.len());
+    for ((b, arch), sim) in jobs.iter().zip(&simulated) {
+        let pred = suite.models(*b).predict_metrics(arch);
+        bips_signed.push((sim.bips - pred.bips) / pred.bips);
+        watts_signed.push((sim.watts - pred.watts) / pred.watts);
+    }
+    udse_obs::quality::record(udse_obs::QualityRecord::from_signed_errors(
+        "heterogeneity.compromise.bips",
+        &bips_signed,
+    ));
+    udse_obs::quality::record(udse_obs::QualityRecord::from_signed_errors(
+        "heterogeneity.compromise.watts",
+        &watts_signed,
+    ));
+    let mean_abs = |v: &[f64]| v.iter().map(|e| e.abs()).sum::<f64>() / v.len().max(1) as f64;
+    (mean_abs(&bips_signed), mean_abs(&watts_signed))
 }
 
 /// The Figure 8 artifact: delay/power of each benchmark on its own
@@ -281,6 +335,21 @@ mod tests {
         let (ap, as_) = (gp.averages(), gs.averages());
         for (p, s) in ap.iter().zip(&as_) {
             assert!((p - s).abs() / s < 0.25, "pred {p} vs sim {s}");
+        }
+    }
+
+    #[test]
+    fn compromise_errors_record_quality_telemetry() {
+        let (suite, optima, _) = setup();
+        let clusters = compromise_clusters(&suite, &optima, 4, 7);
+        let (bips_err, watts_err) = compromise_errors(&TinyOracle, &suite, &clusters);
+        // TinyOracle is smooth, so the compromise predictions are close.
+        assert!(bips_err < 0.1, "bips compromise error {bips_err}");
+        assert!(watts_err < 0.1, "watts compromise error {watts_err}");
+        let quality = udse_obs::quality::global().snapshot();
+        for key in ["heterogeneity.compromise.bips", "heterogeneity.compromise.watts"] {
+            let rec = quality.iter().find(|r| r.key == key).expect("compromise quality record");
+            assert_eq!(rec.n, 9, "one error per benchmark on its compromise core");
         }
     }
 

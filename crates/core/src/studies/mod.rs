@@ -80,24 +80,40 @@ pub struct TrainedSuite {
 
 impl TrainedSuite {
     /// Samples the design space once and trains all nine benchmark model
-    /// pairs against the oracle.
+    /// pairs against the oracle. The `9 × train_samples` simulations run
+    /// as one [`Oracle::evaluate_many`] batch and the nine per-benchmark
+    /// fits run through the work pool, so both phases parallelize; the
+    /// trained coefficients are identical to a sequential run.
     ///
     /// # Errors
     ///
-    /// Propagates the first fitting failure.
+    /// Propagates the first fitting failure (in [`Benchmark::ALL`] order).
     pub fn train<O: Oracle + ?Sized>(
         oracle: &O,
         config: &StudyConfig,
     ) -> Result<Self, RegressError> {
         let _span = udse_obs::span::enter("train");
         let samples = DesignSpace::paper().sample_uar(config.train_samples, config.seed);
-        let models = Benchmark::ALL
-            .iter()
-            .map(|&b| {
+        let jobs: Vec<(Benchmark, DesignPoint)> =
+            Benchmark::ALL.iter().flat_map(|&b| samples.iter().map(move |p| (b, *p))).collect();
+        let observations = {
+            let _sim = udse_obs::span::enter("simulate");
+            oracle.evaluate_many(&jobs)
+        };
+        let models = {
+            let _fit = udse_obs::span::enter("fit");
+            let per_benchmark: Vec<(Benchmark, &[crate::oracle::Metrics])> = Benchmark::ALL
+                .iter()
+                .zip(observations.chunks(samples.len()))
+                .map(|(&b, obs)| (b, obs))
+                .collect();
+            udse_obs::pool::map(&per_benchmark, |&(b, obs)| {
                 udse_obs::debug!("train", "fitting {b:?} on {} samples", samples.len());
-                PaperModels::train(oracle, b, &samples)
+                PaperModels::train_from_observations(b, &samples, obs)
             })
-            .collect::<Result<Vec<_>, _>>()?;
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+        };
         Ok(TrainedSuite { models, samples })
     }
 

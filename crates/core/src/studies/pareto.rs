@@ -140,8 +140,10 @@ impl FrontierStudy {
             frontier.indices().iter().map(|&i| characterization.designs[i].point).collect();
         let predicted: Vec<Metrics> =
             frontier.indices().iter().map(|&i| characterization.designs[i].predicted).collect();
-        let simulated: Vec<Metrics> =
-            designs.iter().map(|p| oracle.evaluate(characterization.benchmark, p)).collect();
+        // Frontier sims are independent — run them as one parallel batch.
+        let jobs: Vec<(Benchmark, DesignPoint)> =
+            designs.iter().map(|p| (characterization.benchmark, *p)).collect();
+        let simulated = oracle.evaluate_many(&jobs);
         FrontierStudy { benchmark: characterization.benchmark, designs, predicted, simulated }
     }
 

@@ -57,17 +57,22 @@ impl ValidationStudy {
         points: &[crate::space::DesignPoint],
     ) -> Self {
         assert!(!points.is_empty(), "validation needs at least one point");
+        // One parallel batch for the full benchmarks x points cross
+        // product; results index as [bi * points.len() + pi].
+        let jobs: Vec<(Benchmark, crate::space::DesignPoint)> =
+            Benchmark::ALL.iter().flat_map(|&b| points.iter().map(move |p| (b, *p))).collect();
+        let simulated = oracle.evaluate_many(&jobs);
         let mut per_benchmark = Vec::with_capacity(9);
         let mut all_perf_signed = Vec::new();
         let mut all_power_signed = Vec::new();
-        for &b in &Benchmark::ALL {
+        for (bi, &b) in Benchmark::ALL.iter().enumerate() {
             let models = suite.models(b);
             let mut obs_bips = Vec::with_capacity(points.len());
             let mut pred_bips = Vec::with_capacity(points.len());
             let mut obs_watts = Vec::with_capacity(points.len());
             let mut pred_watts = Vec::with_capacity(points.len());
-            for p in points {
-                let m = oracle.evaluate(b, p);
+            for (pi, p) in points.iter().enumerate() {
+                let m = simulated[bi * points.len() + pi];
                 obs_bips.push(m.bips);
                 pred_bips.push(models.predict_bips(p));
                 obs_watts.push(m.watts);

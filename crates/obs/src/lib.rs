@@ -8,6 +8,13 @@
 //!
 //! - [`span`] — hierarchical RAII wall-clock timers feeding a
 //!   thread-safe global collector ([`span::enter`], [`span::Collector`]);
+//!   per-thread stacks merge into one global path table, worker threads
+//!   inherit their spawner's path via [`span::adopt`], and
+//!   [`span::folded`] exports inferno-compatible folded stacks;
+//! - [`pool`] — a scoped-thread work pool ([`pool::map`]) with
+//!   deterministic, input-ordered results; the oracle layer fans
+//!   simulation batches through it, sized by [`pool::set_max_workers`]
+//!   (`repro --jobs N`);
 //! - [`metrics`] — a registry of atomic [`metrics::Counter`]s,
 //!   [`metrics::Gauge`]s, and fixed-bucket [`metrics::Histogram`]s
 //!   (simulated instructions, oracle cache hits/misses, Cholesky→QR
@@ -53,6 +60,7 @@ pub mod json;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
+pub mod pool;
 pub mod progress;
 pub mod quality;
 pub mod span;

@@ -8,6 +8,20 @@
 //! [`Collector`] that [`report_table`](Collector::report_table) renders
 //! as the end-of-run timing summary.
 //!
+//! # Threads
+//!
+//! Each thread keeps its own open-span stack, and every thread records
+//! into the same global [`Collector`], so per-thread paths merge into one
+//! path table. A worker thread starts with an empty stack; [`adopt`]
+//! seeds it with the spawning thread's path (captured via
+//! [`current_path`]) so work fanned out by the [`crate::pool`] work pool
+//! is attributed *under* the span that spawned it rather than appearing
+//! as a disconnected root.
+//!
+//! [`folded`] renders a collector snapshot in the folded-stack format
+//! (`a;b;c self_microseconds` per line) consumed by inferno /
+//! `flamegraph.pl`.
+//!
 //! # Examples
 //!
 //! ```
@@ -137,6 +151,105 @@ pub fn enter(name: &str) -> SpanGuard {
     SpanGuard { path, start: Instant::now() }
 }
 
+/// The `/`-joined path of the spans currently open on this thread, or
+/// `None` when the stack is empty. The work pool captures this on the
+/// spawning thread and hands it to [`adopt`] on each worker.
+pub fn current_path() -> Option<String> {
+    STACK.with(|stack| {
+        let stack = stack.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(stack.join("/"))
+        }
+    })
+}
+
+/// Seeds the current thread's span stack with an inherited path so
+/// subsequent [`enter`] calls nest under it; dropping the guard restores
+/// the stack. The inherited segments themselves are *not* timed (the
+/// spawning thread's own guard records them) — adoption only provides
+/// attribution context.
+///
+/// # Examples
+///
+/// ```
+/// use udse_obs::span;
+///
+/// let _outer = span::enter("spawner");
+/// let parent = span::current_path().unwrap();
+/// std::thread::scope(|s| {
+///     s.spawn(move || {
+///         let _ctx = span::adopt(&parent);
+///         let g = span::enter("worker_job");
+///         assert_eq!(g.path(), "spawner/worker_job");
+///     });
+/// });
+/// ```
+#[must_use = "dropping the guard immediately un-adopts the path"]
+pub fn adopt(parent_path: &str) -> AdoptGuard {
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let mut pushed = 0;
+        for segment in parent_path.split('/').filter(|s| !s.is_empty()) {
+            stack.push(segment.to_string());
+            pushed += 1;
+        }
+        pushed
+    });
+    AdoptGuard { depth }
+}
+
+/// Restores the thread's span stack when an [`adopt`]ed context ends.
+#[derive(Debug)]
+pub struct AdoptGuard {
+    depth: usize,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let keep = stack.len().saturating_sub(self.depth);
+            stack.truncate(keep);
+        });
+    }
+}
+
+/// Renders span statistics in the folded-stack format understood by
+/// inferno and Brendan Gregg's `flamegraph.pl`: one line per path with
+/// `/` rewritten to `;`, followed by the path's *self* time in
+/// microseconds (total minus the time attributed to its direct
+/// children, clamped at zero). Zero-self-time interior paths are
+/// omitted — their time lives entirely in their children — so the
+/// flamegraph's column widths sum correctly.
+pub fn folded(snapshot: &[(String, SpanStat)]) -> String {
+    let total_us = |stat: &SpanStat| -> u64 { stat.total.as_micros().min(u64::MAX as u128) as u64 };
+    let mut out = String::new();
+    let mut sorted: Vec<&(String, SpanStat)> = snapshot.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for (path, stat) in &sorted {
+        let children_us: u64 = sorted
+            .iter()
+            .filter(|(p, _)| {
+                p.len() > path.len()
+                    && p.starts_with(path.as_str())
+                    && p.as_bytes()[path.len()] == b'/'
+                    && !p[path.len() + 1..].contains('/')
+            })
+            .map(|(_, s)| total_us(s))
+            .sum();
+        let self_us = total_us(stat).saturating_sub(children_us);
+        if self_us > 0 {
+            out.push_str(&path.replace('/', ";"));
+            out.push(' ');
+            out.push_str(&self_us.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
 impl SpanGuard {
     /// The full `/`-joined path of this span.
     pub fn path(&self) -> &str {
@@ -234,5 +347,114 @@ mod tests {
         let g = enter("main_root_span");
         assert_eq!(g.path(), "main_root_span");
         t.join().expect("thread panicked");
+    }
+
+    #[test]
+    fn current_path_reflects_open_spans() {
+        assert_eq!(current_path(), None);
+        let _a = enter("cp_outer");
+        let _b = enter("cp_inner");
+        assert_eq!(current_path().as_deref(), Some("cp_outer/cp_inner"));
+    }
+
+    #[test]
+    fn adopted_threads_nest_under_spawner() {
+        let outer = enter("adopt_root");
+        let parent = current_path().expect("open span");
+        drop(outer);
+        let t = std::thread::spawn(move || {
+            {
+                let _ctx = adopt(&parent);
+                let g = enter("adopted_child");
+                assert_eq!(g.path(), "adopt_root/adopted_child");
+            }
+            // Guard dropped: the stack is empty again.
+            assert_eq!(current_path(), None);
+            let g = enter("post_adopt");
+            assert_eq!(g.path(), "post_adopt");
+        });
+        t.join().expect("thread panicked");
+        let stats = global().snapshot();
+        assert!(stats.iter().any(|(p, _)| p == "adopt_root/adopted_child"));
+    }
+
+    #[test]
+    fn folded_emits_self_time_per_stack() {
+        let snapshot = vec![
+            (
+                "all".to_string(),
+                SpanStat {
+                    count: 1,
+                    total: Duration::from_micros(1_000),
+                    max: Duration::from_micros(1_000),
+                },
+            ),
+            (
+                "all/fit".to_string(),
+                SpanStat {
+                    count: 2,
+                    total: Duration::from_micros(400),
+                    max: Duration::from_micros(300),
+                },
+            ),
+            (
+                "all/sweep".to_string(),
+                SpanStat {
+                    count: 1,
+                    total: Duration::from_micros(600),
+                    max: Duration::from_micros(600),
+                },
+            ),
+            (
+                "all/sweep/inner".to_string(),
+                SpanStat {
+                    count: 1,
+                    total: Duration::from_micros(250),
+                    max: Duration::from_micros(250),
+                },
+            ),
+            (
+                "other".to_string(),
+                SpanStat {
+                    count: 1,
+                    total: Duration::from_micros(70),
+                    max: Duration::from_micros(70),
+                },
+            ),
+        ];
+        let text = folded(&snapshot);
+        // `all` has zero self time (children cover it) and is omitted;
+        // every other line is `stack;path self_us`.
+        assert_eq!(text, "all;fit 400\nall;sweep 350\nall;sweep;inner 250\nother 70\n");
+        for line in text.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("two fields");
+            assert!(!stack.contains('/'), "folded stacks use `;`: {stack}");
+            assert!(count.parse::<u64>().is_ok(), "count is integral us: {count}");
+        }
+    }
+
+    #[test]
+    fn folded_clamps_overspent_parents() {
+        // A parent whose recorded children total more than itself (clock
+        // skew across threads) must clamp to zero, not underflow.
+        let snapshot = vec![
+            (
+                "p".to_string(),
+                SpanStat {
+                    count: 1,
+                    total: Duration::from_micros(10),
+                    max: Duration::from_micros(10),
+                },
+            ),
+            (
+                "p/c".to_string(),
+                SpanStat {
+                    count: 1,
+                    total: Duration::from_micros(25),
+                    max: Duration::from_micros(25),
+                },
+            ),
+        ];
+        assert_eq!(folded(&snapshot), "p;c 25\n");
     }
 }

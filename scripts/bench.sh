@@ -15,7 +15,10 @@
 #
 # Usage: scripts/bench.sh [out.json]
 #   Default output: BENCH_<shortsha>.json at the repo root (the baseline
-#   naming convention; commit it to move the baseline).
+#   naming convention). To move the baseline, commit the new manifest AND
+#   write its filename into the BASELINE pointer file — scripts/ci.sh
+#   reads the pointer first and only falls back to newest-by-mtime, which
+#   is unreliable on fresh clones.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

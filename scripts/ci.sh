@@ -23,11 +23,25 @@ echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 # Regression gate: re-run the fixed-seed benchmark and diff against the
-# newest committed BENCH_*.json baseline. Model quality gates hard (the
-# fixed seed makes it machine-independent); wall time is demoted to a
-# warning with --warn-wall since CI machines differ. See scripts/bench.sh
-# for the tolerance bands.
-baseline=$(ls -t BENCH_*.json 2>/dev/null | head -n1 || true)
+# committed baseline. Model quality gates hard (the fixed seed makes it
+# machine-independent); wall time is demoted to a warning with
+# --warn-wall since CI machines differ. See scripts/bench.sh for the
+# tolerance bands.
+#
+# Baseline selection: the BASELINE pointer file names the canonical
+# baseline manifest (mtime ordering breaks on fresh clones, where git
+# gives every file the checkout time). Newest-by-mtime is the fallback
+# for trees that predate the pointer.
+baseline=""
+if [ -f BASELINE ]; then
+    baseline=$(tr -d '[:space:]' < BASELINE)
+    if [ ! -f "${baseline}" ]; then
+        echo "==> BASELINE points to missing file '${baseline}'" >&2
+        exit 1
+    fi
+else
+    baseline=$(ls -t BENCH_*.json 2>/dev/null | head -n1 || true)
+fi
 if [ -n "${baseline}" ]; then
     echo "==> scripts/bench.sh (regression gate vs ${baseline})"
     scripts/bench.sh target/bench-current.json

@@ -58,6 +58,36 @@ fn bench_predict(c: &mut Criterion) {
     group.finish();
 }
 
+/// The §3.6 claim at modern scale: sweeping the full 262,500-point
+/// exploration grid, naive per-row spline evaluation vs the compiled
+/// per-level lookup tables. The acceptance bar is compiled ≥ 5x naive.
+fn bench_compiled_sweep(c: &mut Criterion) {
+    let models = trained_models();
+    let space = DesignSpace::exploration();
+    let compiled = models.compile(&space);
+    let mut group = c.benchmark_group("compiled_predict_sweep");
+    group.throughput(Throughput::Elements(space.len()));
+    group.bench_function("naive_full_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for p in space.iter() {
+                acc += models.predict_efficiency(&p);
+            }
+            acc
+        })
+    });
+    group.bench_function("compiled_full_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for p in space.iter() {
+                acc += compiled.predict_efficiency(&p);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn bench_space(c: &mut Criterion) {
     let space = DesignSpace::exploration();
     let mut group = c.benchmark_group("design_space");
@@ -77,6 +107,6 @@ fn bench_space(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_fit, bench_predict, bench_space
+    targets = bench_fit, bench_predict, bench_compiled_sweep, bench_space
 }
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! udse-inspect diff <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>]
 //!                                    [--tol-quality-pooled <abs>]
 //!                                    [--tol-quality-max <abs>] [--warn-wall]
+//!                                    [--tol-gauge <name>:<pct> ...]
 //! udse-inspect trace <manifest | events.jsonl> [--folded] [-o <out>]
 //! ```
 //!
@@ -17,7 +18,11 @@
 //! per-study: `--tol-quality` is the per-benchmark default,
 //! `--tol-quality-pooled` the tighter budget for pooled records, and
 //! `--tol-quality-max` the looser budget for worst-single-error (`max`)
-//! statistics. `trace` emits Chrome `trace_event` JSON (open in Perfetto
+//! statistics. `--tol-gauge name:pct` (repeatable) watches a gauge
+//! metric and warns — never gates — when it falls more than `pct`
+//! percent below the baseline (e.g.
+//! `--tol-gauge sweep.designs_per_sec:50` catches prediction-throughput
+//! collapses). `trace` emits Chrome `trace_event` JSON (open in Perfetto
 //! or `chrome://tracing`), either from a JSONL event stream recorded
 //! with `UDSE_TRACE=1` or synthesized from a manifest's span totals;
 //! `trace <manifest> --folded` instead emits folded stacks
@@ -38,7 +43,7 @@ const USAGE: &str = "usage: udse-inspect <command>\n\
   show  <manifest>                                 summarize one run\n\
   diff  <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>]\n\
         [--tol-quality-pooled <abs>] [--tol-quality-max <abs>] [--warn-wall]\n\
-                                                   gate a run against a baseline\n\
+        [--tol-gauge <name>:<pct> ...]             gate a run against a baseline\n\
   trace <manifest | events.jsonl> [--folded] [-o <path>]\n\
                                                    export Chrome trace_event JSON,\n\
                                                    or folded flamegraph stacks";
@@ -57,8 +62,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Flags that consume the next argument; everything else non-dashed
     // is positional.
-    const VALUE_FLAGS: [&str; 5] =
-        ["--tol-wall", "--tol-quality", "--tol-quality-pooled", "--tol-quality-max", "-o"];
+    const VALUE_FLAGS: [&str; 6] = [
+        "--tol-wall",
+        "--tol-quality",
+        "--tol-quality-pooled",
+        "--tol-quality-max",
+        "--tol-gauge",
+        "-o",
+    ];
     let mut positional: Vec<&String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -119,6 +130,25 @@ fn main() -> ExitCode {
                     Ok(Some(v)) => *slot = v,
                     Ok(None) => {}
                     Err(e) => return fail(&e),
+                }
+            }
+            // Repeatable --tol-gauge name:pct occurrences.
+            for (i, a) in args.iter().enumerate() {
+                if a != "--tol-gauge" {
+                    continue;
+                }
+                let Some(spec) = args.get(i + 1) else {
+                    return fail("--tol-gauge expects <name>:<pct>");
+                };
+                let parsed = spec
+                    .rsplit_once(':')
+                    .and_then(|(name, pct)| Some((name, pct.parse::<f64>().ok()?)))
+                    .filter(|(name, _)| !name.is_empty());
+                match parsed {
+                    Some((name, pct)) => tol.gauge_warn.push((name.to_string(), pct)),
+                    None => {
+                        return fail(&format!("--tol-gauge expects <name>:<pct>, got `{spec}`"))
+                    }
                 }
             }
             let (old, new) = match (load(old_path), load(new_path)) {

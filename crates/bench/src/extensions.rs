@@ -9,7 +9,7 @@ use udse_core::search::{
     genetic_search, random_restart_hill_climb, simulated_annealing, GeneticConfig,
 };
 use udse_core::space::{DesignPoint, DesignSpace};
-use udse_core::studies::strided_points;
+use udse_core::studies::{strided_count, strided_point};
 use udse_regress::{residual_report, Dataset, ModelSpec, ResponseTransform, TermSpec};
 use udse_sim::Simulator;
 use udse_trace::Benchmark;
@@ -24,17 +24,24 @@ pub fn search(ctx: &Context) -> String {
     let suite = ctx.suite();
     let space = DesignSpace::exploration();
     let mut rows = Vec::new();
+    let compiled = suite.compile(&space);
     for b in Benchmark::ALL {
         let models = suite.models(b);
         let objective = |p: &DesignPoint| models.predict_efficiency(p);
-        // Exhaustive (strided in quick mode) reference.
-        let mut exhaustive_evals = 0u64;
-        let best_exhaustive = strided_points(&space, ctx.config().eval_stride)
-            .map(|p| {
-                exhaustive_evals += 1;
-                objective(&p)
-            })
-            .fold(f64::NEG_INFINITY, f64::max);
+        // Exhaustive (strided in quick mode) reference: compiled models,
+        // chunk-parallel. The fold is a plain `f64::max` over the chunk
+        // maxima, which is associative, so chunk boundaries cannot change
+        // the result.
+        let stride = ctx.config().eval_stride;
+        let exhaustive_evals = strided_count(&space, stride);
+        let fast = compiled.models(b);
+        let best_exhaustive = udse_obs::pool::map_chunks(exhaustive_evals, |range| {
+            range
+                .map(|k| fast.predict_efficiency(&strided_point(&space, stride, k)))
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max);
         let hc = random_restart_hill_climb(&space, 20, 7, objective);
         let sa = simulated_annealing(&space, 30_000, best_exhaustive.abs() * 0.2, 7, objective);
         let ga = genetic_search(&space, &GeneticConfig::default(), 7, objective);

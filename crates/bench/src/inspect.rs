@@ -13,7 +13,7 @@ use udse_obs::{trace, Json};
 /// Thresholds for [`diff`]. Wall time and model quality gate hard;
 /// counter drift only warns (legitimate code changes move instruction
 /// counts, and the warning is the point).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DiffTolerances {
     /// Allowed relative wall-time growth per artifact and in total, in
     /// percent.
@@ -35,6 +35,12 @@ pub struct DiffTolerances {
     pub quality_max_abs: f64,
     /// Counter drift (percent) beyond which a warning is emitted.
     pub counter_warn_pct: f64,
+    /// Gauge watchlist: `(metric name, percent)` pairs. A watched gauge
+    /// that *falls* more than `percent` below the baseline emits a
+    /// warning (never a gate — gauges are timing-dependent). Used for
+    /// throughput gauges like `sweep.designs_per_sec`, where only a drop
+    /// is suspicious.
+    pub gauge_warn: Vec<(String, f64)>,
     /// Demote wall-time regressions to warnings (CI runs on shared,
     /// differently-sized machines; quality stays gated).
     pub warn_wall: bool,
@@ -49,6 +55,7 @@ impl Default for DiffTolerances {
             quality_pooled_abs: 0.01,
             quality_max_abs: 0.05,
             counter_warn_pct: 10.0,
+            gauge_warn: Vec::new(),
             warn_wall: false,
         }
     }
@@ -116,6 +123,7 @@ pub fn diff(old: &ParsedManifest, new: &ParsedManifest, tol: &DiffTolerances) ->
     diff_wall(old, new, tol, &mut report);
     diff_quality(old, new, tol, &mut report);
     diff_counters(old, new, tol, &mut report);
+    diff_gauges(old, new, tol, &mut report);
     report
 }
 
@@ -251,6 +259,30 @@ fn diff_counters(
             report.warnings.push(format!(
                 "counter `{name}` moved {change:+.1}% (> {}%): workload shape changed",
                 tol.counter_warn_pct
+            ));
+        }
+    }
+}
+
+fn diff_gauges(
+    old: &ParsedManifest,
+    new: &ParsedManifest,
+    tol: &DiffTolerances,
+    report: &mut DiffReport,
+) {
+    for (name, pct) in &tol.gauge_warn {
+        let (Some(o), Some(n)) =
+            (old.metric(name).and_then(Json::as_f64), new.metric(name).and_then(Json::as_f64))
+        else {
+            report
+                .warnings
+                .push(format!("gauge `{name}` on the watchlist but missing from a manifest"));
+            continue;
+        };
+        report.lines.push(format!("gauge {name} {o:.1} -> {n:.1} ({:+.1}%)", pct_change(o, n)));
+        if n < o * (1.0 - pct / 100.0) {
+            report.warnings.push(format!(
+                "gauge `{name}` fell {o:.1} -> {n:.1} (more than {pct}% below baseline)"
             ));
         }
     }
@@ -498,6 +530,30 @@ mod tests {
         let old = manifest(&[("space", 0.001)], &[], &[]);
         let new = manifest(&[("space", 0.010)], &[], &[]);
         assert!(!diff(&old, &new, &DiffTolerances::default()).is_regression());
+    }
+
+    #[test]
+    fn watched_gauge_drop_warns_but_does_not_gate() {
+        let gauge = |v: f64| {
+            let mut m = manifest(&[("fig1", 1.0)], &[], &[]);
+            m.metrics.push(("sweep.designs_per_sec".into(), Json::Float(v)));
+            m
+        };
+        let tol = DiffTolerances {
+            gauge_warn: vec![("sweep.designs_per_sec".into(), 50.0)],
+            ..DiffTolerances::default()
+        };
+        let (old, slow, ok) = (gauge(100_000.0), gauge(40_000.0), gauge(60_000.0));
+        let report = diff(&old, &slow, &tol);
+        assert!(!report.is_regression(), "gauges never gate");
+        assert!(report.warnings.iter().any(|w| w.contains("sweep.designs_per_sec")));
+        // A drop within the allowance stays quiet.
+        assert!(diff(&old, &ok, &tol).warnings.is_empty());
+        // Unwatched gauges are ignored entirely.
+        assert!(diff(&old, &slow, &DiffTolerances::default()).warnings.is_empty());
+        // A watched gauge missing from a manifest warns.
+        let bare = manifest(&[("fig1", 1.0)], &[], &[]);
+        assert!(diff(&old, &bare, &tol).warnings.iter().any(|w| w.contains("missing")));
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! on the worker count.
 
 use udse_core::oracle::{CachedOracle, Metrics, Oracle, SimOracle};
-use udse_core::space::DesignSpace;
+use udse_core::space::{DesignPoint, DesignSpace};
+use udse_core::studies::heterogeneity::BenchmarkArchitectures;
 use udse_core::studies::validation::ValidationStudy;
-use udse_core::studies::{StudyConfig, TrainedSuite};
+use udse_core::studies::{pareto, StudyConfig, TrainedSuite};
 use udse_obs::QualityRecord;
 use udse_trace::Benchmark;
 
@@ -114,6 +115,50 @@ fn evaluate_many_is_order_deterministic_through_the_cache() {
         assert_eq!(oracle.evaluate_many(&jobs), sequential, "cached, workers = {workers}");
     }
     udse_obs::pool::set_max_workers(1);
+}
+
+#[test]
+fn chunk_parallel_sweeps_match_sequential_bitwise() {
+    // The compiled grid sweeps (characterization, per-benchmark optima)
+    // fan out in contiguous chunks whose boundaries depend on the worker
+    // count; results must still be bitwise identical because chunks
+    // concatenate in range order and the argmax tie-break replicates a
+    // sequential last-max-wins scan.
+    struct Smooth;
+    impl Oracle for Smooth {
+        fn evaluate(&self, _b: udse_trace::Benchmark, p: &DesignPoint) -> Metrics {
+            let v = p.predictors();
+            Metrics {
+                bips: (9.0 / v[0]) * (1.0 + 0.15 * v[1].ln()) + 0.03 * v[5],
+                watts: 3.0 + 50.0 / v[0] + 1.1 * v[1] + 0.4 * v[6],
+            }
+        }
+    }
+
+    let _guard = serialized();
+    let space = DesignSpace::exploration();
+    // A stride coprime to neither chunk size forces uneven chunk
+    // boundaries between worker counts.
+    let config = StudyConfig { eval_stride: 7, ..StudyConfig::quick() };
+    udse_obs::pool::set_max_workers(1);
+    let suite = TrainedSuite::train(&Smooth, &config).expect("smooth fit");
+    let models = suite.models(Benchmark::Gzip);
+
+    let char_seq = pareto::characterize(models, &space, &config);
+    let optima_seq = BenchmarkArchitectures::find(&suite, &config);
+    udse_obs::pool::set_max_workers(4);
+    let char_par = pareto::characterize(models, &space, &config);
+    let optima_par = BenchmarkArchitectures::find(&suite, &config);
+    udse_obs::pool::set_max_workers(1);
+
+    assert_eq!(char_seq.designs.len(), char_par.designs.len());
+    for (s, p) in char_seq.designs.iter().zip(&char_par.designs) {
+        assert_eq!(s.point, p.point, "sweep order diverges between worker counts");
+        assert_eq!(s.predicted.bips.to_bits(), p.predicted.bips.to_bits());
+        assert_eq!(s.predicted.watts.to_bits(), p.predicted.watts.to_bits());
+    }
+    assert_eq!(char_seq.clusters, char_par.clusters);
+    assert_eq!(optima_seq.optima, optima_par.optima, "per-benchmark optima diverge");
 }
 
 #[test]

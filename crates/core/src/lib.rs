@@ -53,7 +53,7 @@ pub mod search;
 pub mod space;
 pub mod studies;
 
-pub use model::PaperModels;
+pub use model::{CompiledPaperModels, PaperModels};
 pub use oracle::{CachedOracle, Metrics, Oracle, SimOracle};
 pub use pareto::ParetoFrontier;
 pub use space::{DesignPoint, DesignSpace};

@@ -1,10 +1,15 @@
 //! The paper-standard performance and power regression models (§3).
 
-use udse_regress::{Dataset, FittedModel, ModelSpec, RegressError, ResponseTransform, TermSpec};
+use udse_regress::{
+    CompiledModel, Dataset, FittedModel, ModelSpec, RegressError, ResponseTransform, TermSpec,
+};
 use udse_trace::Benchmark;
 
 use crate::oracle::{Metrics, Oracle};
-use crate::space::DesignPoint;
+use crate::space::{
+    DesignPoint, DesignSpace, DL1_VALUES, IL1_VALUES, L2_VALUES, REGS_LEVELS, RESV_LEVELS,
+    WIDTH_VALUES,
+};
 
 /// Predictor column indices produced by [`DesignPoint::predictors`].
 mod var {
@@ -158,6 +163,123 @@ impl PaperModels {
     pub fn power_model(&self) -> &FittedModel {
         &self.power
     }
+
+    /// Lowers both models onto `space`'s discrete predictor grid for
+    /// allocation-free exhaustive sweeps (see [`CompiledPaperModels`]).
+    pub fn compile(&self, space: &DesignSpace) -> CompiledPaperModels {
+        let levels = space_levels(space);
+        CompiledPaperModels {
+            benchmark: self.benchmark,
+            performance: self
+                .performance
+                .compile(&levels)
+                .expect("paper model compiles on its own predictor grid"),
+            power: self
+                .power
+                .compile(&levels)
+                .expect("paper model compiles on its own predictor grid"),
+            depths: space.depths(),
+        }
+    }
+}
+
+/// The per-variable predictor levels of a design space, in
+/// [`DesignPoint::predictors`] column order and computed with the *same
+/// expressions* (integer arithmetic, then `as f64`, then `log2` for the
+/// caches), so compiled-grid lookups by exact equality always hit.
+fn space_levels(space: &DesignSpace) -> Vec<Vec<f64>> {
+    vec![
+        space.depths().iter().map(|&d| d as f64).collect(),
+        WIDTH_VALUES.iter().map(|w| w.0 as f64).collect(),
+        (0..REGS_LEVELS).map(|i| (40 + 10 * i as u32) as f64).collect(),
+        (0..RESV_LEVELS).map(|i| (10 + 2 * i as u32) as f64).collect(),
+        IL1_VALUES.iter().map(|&v| (v as f64).log2()).collect(),
+        DL1_VALUES.iter().map(|&v| (v as f64).log2()).collect(),
+        L2_VALUES.iter().map(|&v| (v as f64).log2()).collect(),
+    ]
+}
+
+/// [`PaperModels`] lowered onto one design space's predictor grid
+/// ([`FittedModel::compile`]): per-level spline partial sums replace knot
+/// evaluation, so a prediction is seven table reads, six interaction
+/// products, and a back-transform — no allocation. Used by the study
+/// sweeps, which visit up to the full 262,500-point exploration space.
+///
+/// Predictions agree with the naive [`PaperModels`] path to ≤1e-12
+/// relative error (proven exhaustively in the equivalence tests); they
+/// are *not* guaranteed bitwise-equal, because the compiled form regroups
+/// the floating-point accumulation.
+#[derive(Debug, Clone)]
+pub struct CompiledPaperModels {
+    benchmark: Benchmark,
+    performance: CompiledModel,
+    power: CompiledModel,
+    depths: &'static [u32],
+}
+
+impl CompiledPaperModels {
+    /// The benchmark these models describe.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// Grid indices for `point`, in predictor column order. The point
+    /// must come from the space this model was compiled for.
+    fn indices(&self, point: &DesignPoint) -> [usize; 7] {
+        debug_assert_eq!(
+            self.depths.get(point.depth_idx as usize),
+            Some(&point.fo4()),
+            "design point comes from a different depth list than the compiled grid"
+        );
+        [
+            point.depth_idx as usize,
+            point.width_idx as usize,
+            point.regs_idx as usize,
+            point.resv_idx as usize,
+            point.il1_idx as usize,
+            point.dl1_idx as usize,
+            point.l2_idx as usize,
+        ]
+    }
+
+    /// Predicted performance in bips.
+    pub fn predict_bips(&self, point: &DesignPoint) -> f64 {
+        self.performance.predict_indices(&self.indices(point))
+    }
+
+    /// Predicted power in watts.
+    pub fn predict_watts(&self, point: &DesignPoint) -> f64 {
+        self.power.predict_indices(&self.indices(point))
+    }
+
+    /// Predicted `(bips, watts)` pair.
+    pub fn predict_metrics(&self, point: &DesignPoint) -> Metrics {
+        let idx = self.indices(point);
+        Metrics {
+            bips: self.performance.predict_indices(&idx),
+            watts: self.power.predict_indices(&idx),
+        }
+    }
+
+    /// Predicted delay in seconds per billion instructions.
+    pub fn predict_delay(&self, point: &DesignPoint) -> f64 {
+        self.predict_metrics(point).delay_seconds()
+    }
+
+    /// Predicted `bips^3 / w` efficiency.
+    pub fn predict_efficiency(&self, point: &DesignPoint) -> f64 {
+        self.predict_metrics(point).bips_cubed_per_watt()
+    }
+
+    /// The compiled performance model.
+    pub fn performance_model(&self) -> &CompiledModel {
+        &self.performance
+    }
+
+    /// The compiled power model.
+    pub fn power_model(&self) -> &CompiledModel {
+        &self.power
+    }
 }
 
 /// Expands design points into the regression dataset.
@@ -218,6 +340,25 @@ mod tests {
         assert!(models.predict_bips(&p) > 0.0);
         assert!(models.predict_watts(&p) > 0.0);
         assert_eq!(models.benchmark(), Benchmark::Gzip);
+    }
+
+    #[test]
+    fn compiled_models_match_naive_predictions() {
+        let space = DesignSpace::exploration();
+        let samples = DesignSpace::paper().sample_uar(300, 7);
+        let models = PaperModels::train(&FakeOracle, Benchmark::Gzip, &samples).unwrap();
+        let compiled = models.compile(&space);
+        assert_eq!(compiled.benchmark(), Benchmark::Gzip);
+        for k in [0u64, 1, 999, 123_456, 262_499] {
+            let p = space.decode(k).unwrap();
+            let naive = models.predict_metrics(&p);
+            let fast = compiled.predict_metrics(&p);
+            assert!((fast.bips - naive.bips).abs() <= 1e-12 * naive.bips.abs());
+            assert!((fast.watts - naive.watts).abs() <= 1e-12 * naive.watts.abs());
+            // The compiled row path (exact-equality lookup) agrees too.
+            let row = p.predictors();
+            assert_eq!(compiled.performance_model().predict_row(&row).unwrap(), fast.bips);
+        }
     }
 
     #[test]

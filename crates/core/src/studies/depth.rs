@@ -13,6 +13,7 @@
 //! suite results averaged over the per-benchmark ratios.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use udse_stats::{quantile, Boxplot, Histogram};
 use udse_trace::Benchmark;
@@ -20,7 +21,7 @@ use udse_trace::Benchmark;
 use crate::baseline::baseline_at_depth;
 use crate::oracle::Oracle;
 use crate::space::{DesignPoint, DesignSpace};
-use crate::studies::{strided_points, StudyConfig, TrainedSuite};
+use crate::studies::{record_sweep, strided_count, strided_point, StudyConfig, TrainedSuite};
 
 /// The Figure 5 artifact.
 #[derive(Debug, Clone)]
@@ -57,11 +58,14 @@ impl DepthStudy {
         let original_points: Vec<DesignPoint> =
             depths.iter().map(|&d| baseline_at_depth(d)).collect();
 
+        // Compiled models make the 9x full-space sweep below affordable.
+        let compiled = suite.compile(&space);
+
         // Per-benchmark reference: best predicted baseline efficiency.
         let refs: Vec<f64> = Benchmark::ALL
             .iter()
             .map(|&b| {
-                let m = suite.models(b);
+                let m = compiled.models(b);
                 original_points
                     .iter()
                     .map(|p| m.predict_efficiency(p))
@@ -72,7 +76,7 @@ impl DepthStudy {
             Benchmark::ALL
                 .iter()
                 .zip(&refs)
-                .map(|(&b, &r)| suite.models(b).predict_efficiency(p) / r)
+                .map(|(&b, &r)| compiled.models(b).predict_efficiency(p) / r)
                 .sum::<f64>()
                 / 9.0
         };
@@ -87,12 +91,31 @@ impl DepthStudy {
         let original_optimum = original_relative.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
 
         // Single pass over the (strided) space, bucketing by depth.
+        // Chunks of the walk run in parallel and merge in range order, so
+        // every bucket's contents match a sequential pass exactly.
+        let stride = config.eval_stride;
+        let total = strided_count(&space, stride);
+        let started = Instant::now();
+        let chunk_buckets = udse_obs::pool::map_chunks(total, |range| {
+            let _chunk = udse_obs::span::enter("chunk");
+            let mut effs: Vec<Vec<f64>> = vec![Vec::new(); depths.len()];
+            let mut pts: Vec<Vec<DesignPoint>> = vec![Vec::new(); depths.len()];
+            for k in range {
+                let p = strided_point(&space, stride, k);
+                let di = p.depth_idx as usize;
+                effs[di].push(rel(&p));
+                pts[di].push(p);
+            }
+            (effs, pts)
+        });
+        record_sweep(total, started.elapsed().as_secs_f64());
         let mut effs_by_depth: Vec<Vec<f64>> = vec![Vec::new(); depths.len()];
         let mut pts_by_depth: Vec<Vec<DesignPoint>> = vec![Vec::new(); depths.len()];
-        for p in strided_points(&space, config.eval_stride) {
-            let di = p.depth_idx as usize;
-            effs_by_depth[di].push(rel(&p));
-            pts_by_depth[di].push(p);
+        for (effs, pts) in chunk_buckets {
+            for (di, (e, p)) in effs.into_iter().zip(pts).enumerate() {
+                effs_by_depth[di].extend(e);
+                pts_by_depth[di].extend(p);
+            }
         }
 
         for di in 0..depths.len() {

@@ -16,7 +16,7 @@ use udse_trace::Benchmark;
 use crate::baseline::baseline_point;
 use crate::oracle::{Metrics, Oracle};
 use crate::space::{DesignPoint, DesignSpace};
-use crate::studies::{strided_points, StudyConfig, TrainedSuite};
+use crate::studies::{predicted_efficiency_optimum, StudyConfig, TrainedSuite};
 
 /// The nine per-benchmark predicted-optimal architectures (the paper's
 /// "benchmark architectures", Table 2's design columns).
@@ -29,16 +29,18 @@ pub struct BenchmarkArchitectures {
 
 impl BenchmarkArchitectures {
     /// Finds each benchmark's predicted `bips³/w` optimum over the
-    /// exploration space.
+    /// exploration space. Each per-benchmark sweep is compiled and
+    /// chunk-parallel with a boundary-independent tie-break, so the nine
+    /// optima match sequential `max_by` scans exactly.
     pub fn find(suite: &TrainedSuite, config: &StudyConfig) -> Self {
+        let _span = udse_obs::span::enter("optima");
         let space = DesignSpace::exploration();
+        let compiled = suite.compile(&space);
         let optima = Benchmark::ALL
             .iter()
             .map(|&b| {
-                let m = suite.models(b);
-                let best = strided_points(&space, config.eval_stride)
-                    .max_by(|p, q| m.predict_efficiency(p).total_cmp(&m.predict_efficiency(q)))
-                    .expect("non-empty space");
+                let (best, _) =
+                    predicted_efficiency_optimum(compiled.models(b), &space, config.eval_stride);
                 (b, best)
             })
             .collect();

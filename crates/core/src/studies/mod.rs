@@ -7,11 +7,14 @@ pub mod heterogeneity;
 pub mod pareto;
 pub mod validation;
 
+use std::cmp::Ordering;
+use std::time::Instant;
+
 use udse_regress::RegressError;
 use udse_trace::Benchmark;
 
-use crate::model::PaperModels;
-use crate::oracle::Oracle;
+use crate::model::{CompiledPaperModels, PaperModels};
+use crate::oracle::{Metrics, Oracle};
 use crate::space::{DesignPoint, DesignSpace};
 
 /// Shared knobs for the study drivers.
@@ -131,6 +134,32 @@ impl TrainedSuite {
     pub fn training_samples(&self) -> &[DesignPoint] {
         &self.samples
     }
+
+    /// Lowers all nine model pairs onto `space`'s predictor grid (see
+    /// [`PaperModels::compile`]). The study sweeps compile once and then
+    /// predict allocation-free across the whole space.
+    pub fn compile(&self, space: &DesignSpace) -> CompiledSuite {
+        CompiledSuite { models: self.models.iter().map(|m| m.compile(space)).collect() }
+    }
+}
+
+/// A [`TrainedSuite`] lowered onto one design space's grid: nine
+/// [`CompiledPaperModels`] in [`Benchmark::ALL`] order.
+#[derive(Debug, Clone)]
+pub struct CompiledSuite {
+    models: Vec<CompiledPaperModels>,
+}
+
+impl CompiledSuite {
+    /// The compiled models for one benchmark.
+    pub fn models(&self, benchmark: Benchmark) -> &CompiledPaperModels {
+        &self.models[benchmark.id() as usize]
+    }
+
+    /// All nine compiled model pairs in [`Benchmark::ALL`] order.
+    pub fn all_models(&self) -> &[CompiledPaperModels] {
+        &self.models
+    }
 }
 
 /// Iterates ~`len / stride` points of the space, spread across *all*
@@ -146,16 +175,77 @@ pub fn strided_points(
     space: &DesignSpace,
     stride: usize,
 ) -> impl Iterator<Item = DesignPoint> + '_ {
+    (0..strided_count(space, stride)).map(move |k| strided_point(space, stride, k))
+}
+
+/// Number of points [`strided_points`] visits: `ceil(len / stride)`.
+pub fn strided_count(space: &DesignSpace, stride: usize) -> u64 {
+    space.len().div_ceil(stride.max(1) as u64)
+}
+
+/// The `k`-th point of the strided walk — random access into the same
+/// sequence [`strided_points`] iterates, so chunked parallel sweeps over
+/// `0..strided_count` concatenate to the exact sequential visit order.
+pub fn strided_point(space: &DesignSpace, stride: usize, k: u64) -> DesignPoint {
     // Prime, larger than any space, and not a factor of 2, 3, 5, or 7 —
     // coprime to 375,000 = 2^3*3*5^6 and 262,500 = 2^2*3*5^5*7.
     const G: u64 = 1_000_003;
-    let stride = stride.max(1) as u64;
-    let len = space.len();
-    let count = len.div_ceil(stride);
-    (0..count).map(move |k| {
-        let idx = if stride == 1 { k } else { (k.wrapping_mul(G)) % len };
-        space.decode(idx).expect("index in range")
-    })
+    let idx = if stride.max(1) == 1 { k } else { (k.wrapping_mul(G)) % space.len() };
+    space.decode(idx).expect("index in range")
+}
+
+/// Finds the design with the highest *predicted* `bips^3/w` efficiency
+/// over the strided exploration walk, chunk-parallel through
+/// [`udse_obs::pool::map_chunks`].
+///
+/// Ties break toward the point visited *last* in the sequential walk —
+/// the same element `Iterator::max_by` would return — enforced both
+/// inside each chunk and across the in-order chunk fold, so the winner
+/// does not depend on chunk boundaries and `--jobs 1` vs `--jobs N` runs
+/// stay bitwise-identical. Records the `sweep.designs` /
+/// `sweep.designs_per_sec` metrics.
+pub(crate) fn predicted_efficiency_optimum(
+    models: &CompiledPaperModels,
+    space: &DesignSpace,
+    stride: usize,
+) -> (DesignPoint, Metrics) {
+    let total = strided_count(space, stride);
+    let started = Instant::now();
+    let chunk_bests = udse_obs::pool::map_chunks(total, |range| {
+        let _chunk = udse_obs::span::enter("chunk");
+        let mut best: Option<(DesignPoint, Metrics, f64)> = None;
+        for k in range {
+            let p = strided_point(space, stride, k);
+            let m = models.predict_metrics(&p);
+            let eff = m.bips_cubed_per_watt();
+            // `>=` replaces: the last maximal element wins, as in a
+            // sequential `max_by` over the same walk.
+            if best.as_ref().is_none_or(|b| eff.total_cmp(&b.2) != Ordering::Less) {
+                best = Some((p, m, eff));
+            }
+        }
+        best
+    });
+    record_sweep(total, started.elapsed().as_secs_f64());
+    chunk_bests
+        .into_iter()
+        .flatten()
+        // Chunks arrive in range order; `>=` keeps the later chunk on ties.
+        .reduce(|cur, next| if next.2.total_cmp(&cur.2) != Ordering::Less { next } else { cur })
+        .map(|(p, m, _)| (p, m))
+        .expect("exploration space is non-empty")
+}
+
+/// Records the sweep throughput metrics: bumps the `sweep.designs`
+/// counter by `designs` and sets the `sweep.designs_per_sec` gauge.
+/// Returns the rate (0 when `elapsed_seconds` is not positive).
+pub(crate) fn record_sweep(designs: u64, elapsed_seconds: f64) -> f64 {
+    udse_obs::metrics::counter("sweep.designs").add(designs);
+    let rate = if elapsed_seconds > 0.0 { designs as f64 / elapsed_seconds } else { 0.0 };
+    if rate > 0.0 {
+        udse_obs::metrics::gauge("sweep.designs_per_sec").set(rate);
+    }
+    rate
 }
 
 #[cfg(test)]

@@ -1,5 +1,8 @@
 //! Pareto frontier analysis (paper §4, Figures 2–4, Table 2).
 
+use std::collections::HashMap;
+use std::time::Instant;
+
 use udse_stats::ErrorSummary;
 use udse_trace::Benchmark;
 
@@ -7,7 +10,9 @@ use crate::model::PaperModels;
 use crate::oracle::{Metrics, Oracle};
 use crate::pareto::ParetoFrontier;
 use crate::space::{DesignPoint, DesignSpace};
-use crate::studies::{strided_points, StudyConfig};
+use crate::studies::{
+    predicted_efficiency_optimum, record_sweep, strided_count, strided_point, StudyConfig,
+};
 
 /// One design with its regression-predicted delay and power.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,24 +57,32 @@ pub struct ClusterSummary {
 
 /// Exhaustively (or stride-sampled) evaluates the exploration space with
 /// the regression models — the paper's §4.1 "complete characterization".
+///
+/// The sweep compiles the models onto the space's grid and fans the
+/// strided walk out across the work pool in contiguous chunks; chunk
+/// results concatenate in range order, so `designs` is identical to a
+/// sequential walk regardless of worker count.
 pub fn characterize(
     models: &PaperModels,
     space: &DesignSpace,
     config: &StudyConfig,
 ) -> Characterization {
     let _span = udse_obs::span::enter("sweep");
-    let expected = space.len().div_ceil(config.eval_stride.max(1) as u64);
-    let mut progress =
-        udse_obs::Progress::new(&format!("sweep {:?}", models.benchmark()), expected);
-    let designs: Vec<PredictedDesign> = strided_points(space, config.eval_stride)
-        .map(|point| {
-            progress.advance(1);
-            PredictedDesign { point, predicted: models.predict_metrics(&point) }
-        })
-        .collect();
-    let rate = progress.finish();
-    udse_obs::metrics::counter("sweep.designs").add(designs.len() as u64);
-    udse_obs::metrics::gauge("sweep.designs_per_sec").set(rate);
+    let compiled = models.compile(space);
+    let stride = config.eval_stride;
+    let total = strided_count(space, stride);
+    let started = Instant::now();
+    let chunks = udse_obs::pool::map_chunks(total, |range| {
+        let _chunk = udse_obs::span::enter("chunk");
+        range
+            .map(|k| {
+                let point = strided_point(space, stride, k);
+                PredictedDesign { point, predicted: compiled.predict_metrics(&point) }
+            })
+            .collect::<Vec<PredictedDesign>>()
+    });
+    let designs: Vec<PredictedDesign> = chunks.into_iter().flatten().collect();
+    let rate = record_sweep(designs.len() as u64, started.elapsed().as_secs_f64());
     udse_obs::info!(
         "sweep",
         "characterized {} designs for {:?} at {:.0} designs/sec",
@@ -77,22 +90,24 @@ pub fn characterize(
         models.benchmark(),
         rate
     );
-    // Cluster summaries keyed by (depth, width).
-    let mut clusters: Vec<ClusterSummary> = Vec::new();
+    // Cluster summaries keyed by (depth, width): one hash lookup per
+    // design instead of a linear scan over the cluster list.
+    let mut by_key: HashMap<(u32, u32), ClusterSummary> = HashMap::new();
     for d in &designs {
         let fo4 = d.point.fo4();
         let width = d.point.decode_width();
         let delay = d.predicted.delay_seconds();
         let power = d.predicted.watts;
-        match clusters.iter_mut().find(|c| c.fo4 == fo4 && c.width == width) {
-            Some(c) => {
+        by_key
+            .entry((fo4, width))
+            .and_modify(|c| {
                 c.delay_min = c.delay_min.min(delay);
                 c.delay_max = c.delay_max.max(delay);
                 c.power_min = c.power_min.min(power);
                 c.power_max = c.power_max.max(power);
                 c.count += 1;
-            }
-            None => clusters.push(ClusterSummary {
+            })
+            .or_insert(ClusterSummary {
                 fo4,
                 width,
                 delay_min: delay,
@@ -100,9 +115,9 @@ pub fn characterize(
                 power_min: power,
                 power_max: power,
                 count: 1,
-            }),
-        }
+            });
     }
+    let mut clusters: Vec<ClusterSummary> = by_key.into_values().collect();
     clusters.sort_by_key(|c| (c.fo4, c.width));
     Characterization { benchmark: models.benchmark(), designs, clusters }
 }
@@ -191,7 +206,9 @@ impl EfficiencyOptimum {
 }
 
 /// Finds the predicted `bips^3/w` optimum over the exploration space and
-/// validates it by simulation (one row of Table 2).
+/// validates it by simulation (one row of Table 2). The argmax sweep is
+/// compiled and chunk-parallel with a boundary-independent tie-break, so
+/// the chosen design matches a sequential `max_by` exactly.
 pub fn efficiency_optimum<O: Oracle + ?Sized>(
     oracle: &O,
     models: &PaperModels,
@@ -199,10 +216,8 @@ pub fn efficiency_optimum<O: Oracle + ?Sized>(
     config: &StudyConfig,
 ) -> EfficiencyOptimum {
     let _span = udse_obs::span::enter("optimum");
-    let (point, predicted) = strided_points(space, config.eval_stride)
-        .map(|p| (p, models.predict_metrics(&p)))
-        .max_by(|a, b| a.1.bips_cubed_per_watt().total_cmp(&b.1.bips_cubed_per_watt()))
-        .expect("exploration space is non-empty");
+    let compiled = models.compile(space);
+    let (point, predicted) = predicted_efficiency_optimum(&compiled, space, config.eval_stride);
     let simulated = oracle.evaluate(models.benchmark(), &point);
     EfficiencyOptimum { benchmark: models.benchmark(), point, predicted, simulated }
 }

@@ -1,0 +1,72 @@
+//! Exhaustive compiled-vs-naive equivalence over the ENTIRE exploration
+//! grid: every one of the 262,500 designs, for both the sqrt-bips
+//! performance model and the log-watts power model. The acceptance bound
+//! is ≤1e-12 relative error — the compiled lowering only *regroups* the
+//! same floating-point terms (per-variable partial sums instead of
+//! per-term accumulation), so the drift is a few ulps, orders of
+//! magnitude inside the bound.
+
+use udse_core::model::PaperModels;
+use udse_core::oracle::{Metrics, Oracle};
+use udse_core::space::{DesignPoint, DesignSpace};
+use udse_trace::Benchmark;
+
+/// Smooth positive response surface so training is fast and both
+/// transforms stay in-domain; the equivalence property does not depend
+/// on fit quality.
+struct SmoothOracle;
+
+impl Oracle for SmoothOracle {
+    fn evaluate(&self, _b: Benchmark, p: &DesignPoint) -> Metrics {
+        let v = p.predictors();
+        Metrics {
+            bips: (8.0 / v[0]) * (1.0 + 0.2 * v[1].ln()) * (1.0 + 0.002 * v[2]) + 0.05 * v[6],
+            watts: 4.0 + 40.0 / v[0] + 1.2 * v[1] + 0.5 * v[6] + 0.01 * v[2] + 0.3 * v[4],
+        }
+    }
+}
+
+#[test]
+fn compiled_matches_naive_over_the_entire_exploration_grid() {
+    let space = DesignSpace::exploration();
+    let samples = DesignSpace::paper().sample_uar(500, 2007);
+    let models =
+        PaperModels::train(&SmoothOracle, Benchmark::Gzip, &samples).expect("smooth fit succeeds");
+    let compiled = models.compile(&space);
+
+    let mut max_rel_bips = 0.0f64;
+    let mut max_rel_watts = 0.0f64;
+    let mut visited = 0u64;
+    for p in space.iter() {
+        let row = p.predictors();
+        let naive_bips = models.performance_model().predict_row(&row).expect("valid row");
+        let fast_bips = compiled.predict_bips(&p);
+        max_rel_bips = max_rel_bips.max((fast_bips - naive_bips).abs() / naive_bips.abs());
+        let naive_watts = models.power_model().predict_row(&row).expect("valid row");
+        let fast_watts = compiled.predict_watts(&p);
+        max_rel_watts = max_rel_watts.max((fast_watts - naive_watts).abs() / naive_watts.abs());
+        visited += 1;
+    }
+    assert_eq!(visited, space.len(), "must cover the whole grid");
+    assert!(max_rel_bips <= 1e-12, "sqrt-bips max relative error {max_rel_bips:e} > 1e-12");
+    assert!(max_rel_watts <= 1e-12, "log-watts max relative error {max_rel_watts:e} > 1e-12");
+}
+
+#[test]
+fn compiled_row_and_index_paths_are_bitwise_identical() {
+    // The grid-index path (used by the study sweeps) and the row path
+    // (exact-equality lookup of predictor values) must agree to the bit:
+    // both read the same tables and multiply the same level values.
+    let space = DesignSpace::exploration();
+    let samples = DesignSpace::paper().sample_uar(400, 11);
+    let models =
+        PaperModels::train(&SmoothOracle, Benchmark::Mcf, &samples).expect("smooth fit succeeds");
+    let compiled = models.compile(&space);
+    for p in space.sample_uar(2_000, 99) {
+        let row = p.predictors();
+        let via_row = compiled.performance_model().predict_row(&row).expect("on grid");
+        assert_eq!(via_row.to_bits(), compiled.predict_bips(&p).to_bits());
+        let via_row = compiled.power_model().predict_row(&row).expect("on grid");
+        assert_eq!(via_row.to_bits(), compiled.predict_watts(&p).to_bits());
+    }
+}

@@ -108,6 +108,44 @@ where
     slots.into_iter().map(|r| r.expect("every job produced a result")).collect()
 }
 
+/// Splits the half-open range `0..total` into contiguous chunks (about
+/// four per worker, so uneven chunk costs still balance), applies `f` to
+/// each chunk in parallel through [`map`], and returns the per-chunk
+/// results **in range order**. Concatenating the results reproduces a
+/// sequential left-to-right pass over `0..total` exactly.
+///
+/// Chunk *boundaries* depend on the worker cap, so a reduction that is
+/// sensitive to association order (e.g. "last maximal element wins")
+/// must tie-break on the global ordinal inside each chunk *and* when
+/// folding the chunk results, or `--jobs 1` and `--jobs N` runs will
+/// disagree. Order-insensitive folds (`f64::max`, sums of integers,
+/// concatenation) need no extra care.
+///
+/// # Examples
+///
+/// ```
+/// use udse_obs::pool;
+///
+/// let partials = pool::map_chunks(10, |r| r.sum::<u64>());
+/// assert_eq!(partials.iter().sum::<u64>(), 45);
+/// ```
+pub fn map_chunks<R, F>(total: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<u64>) -> R + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let chunks = ((max_workers() as u64) * 4).clamp(1, total);
+    let per = total.div_ceil(chunks);
+    let ranges: Vec<std::ops::Range<u64>> = (0..chunks)
+        .map(|c| (c * per)..((c + 1) * per).min(total))
+        .filter(|r| !r.is_empty())
+        .collect();
+    map(&ranges, |r| f(r.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +234,31 @@ mod tests {
             .find(|(p, _)| p == "pool_attr_test/job")
             .expect("worker spans nest under the dispatching span");
         assert_eq!(s.count, 12);
+    }
+
+    #[test]
+    fn map_chunks_concatenates_to_sequential_order() {
+        for workers in [1, 3, 4, 13] {
+            let collected: Vec<u64> =
+                with_workers(workers, || map_chunks(1_000, |r| r.collect::<Vec<u64>>()))
+                    .into_iter()
+                    .flatten()
+                    .collect();
+            let expected: Vec<u64> = (0..1_000).collect();
+            assert_eq!(collected, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_covers_small_and_empty_totals() {
+        let none = with_workers(4, || map_chunks(0, |r| r.count()));
+        assert!(none.is_empty());
+        // Fewer indices than chunk slots: every index appears exactly once.
+        let tiny: Vec<u64> = with_workers(8, || map_chunks(3, |r| r.collect::<Vec<u64>>()))
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(tiny, vec![0, 1, 2]);
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Compiled grid prediction: [`FittedModel`] lowered onto a discrete
+//! predictor grid.
+//!
+//! The paper's design space (Table 1) is fully discrete — every predictor
+//! takes only 3–10 distinct levels — while [`FittedModel::predict_row`]
+//! re-derives each restricted-cubic-spline basis from scratch on every
+//! call. [`FittedModel::compile`] exploits the discreteness: for every
+//! predictor it precomputes the *per-level partial sum* of that
+//! predictor's single-variable terms,
+//!
+//! ```text
+//! partial[v][i] = Σ_j β_j · g_j(level_v[i])
+//! ```
+//!
+//! folding the spline basis evaluation and its coefficient products into
+//! one table entry per level. A prediction then reduces to one table read
+//! per variable, one multiply-add per interaction term, and the response
+//! back-transform — no allocation, no knot branching:
+//!
+//! ```text
+//! f⁻¹( β₀ + Σ_v partial[v][idx_v] + Σ_(a,b) β_ab · x_a · x_b )
+//! ```
+//!
+//! The lowering is exact up to floating-point summation order (the terms
+//! are accumulated in the same model order, only grouped per variable),
+//! so compiled predictions agree with [`FittedModel::predict_row`] to
+//! ~1e-15 relative — well inside the 1e-12 equivalence bound the
+//! exhaustive grid tests assert.
+
+use crate::fit::FittedModel;
+use crate::spec::ResolvedTerm;
+use crate::spline::spline_basis;
+use crate::transform::ResponseTransform;
+use crate::RegressError;
+
+/// Per-variable lookup table: the grid levels (strictly increasing) and
+/// the precomputed single-variable partial sum at each level.
+#[derive(Debug, Clone, PartialEq)]
+struct VarTable {
+    levels: Vec<f64>,
+    partial: Vec<f64>,
+}
+
+/// One interaction term surviving compilation: `beta * x_a * x_b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CompiledInteraction {
+    a: usize,
+    b: usize,
+    beta: f64,
+}
+
+/// A [`FittedModel`] specialized to a discrete predictor grid; see the
+/// module docs for the lowering scheme.
+///
+/// # Examples
+///
+/// ```
+/// use udse_regress::{Dataset, ModelSpec, ResponseTransform, TermSpec};
+///
+/// let data = Dataset::new(
+///     vec!["x".into()],
+///     (0..10).map(|i| vec![i as f64]).collect(),
+/// ).unwrap();
+/// let y: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+/// let model = ModelSpec::new(ResponseTransform::Identity)
+///     .with_term(TermSpec::Linear(0))
+///     .fit(&data, &y)
+///     .unwrap();
+/// let grid = vec![vec![0.0, 2.0, 4.0, 6.0]];
+/// let compiled = model.compile(&grid).unwrap();
+/// assert!((compiled.predict_row(&[4.0]).unwrap() - 11.0).abs() < 1e-9);
+/// // Off-grid values are rejected, not silently extrapolated.
+/// assert!(compiled.predict_row(&[3.0]).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModel {
+    transform: ResponseTransform,
+    width: usize,
+    intercept: f64,
+    vars: Vec<VarTable>,
+    interactions: Vec<CompiledInteraction>,
+}
+
+impl FittedModel {
+    /// Lowers this model onto a discrete grid: `levels[v]` lists the
+    /// values predictor `v` may take (strictly increasing). All
+    /// single-variable terms collapse into per-level partial-sum tables;
+    /// interaction terms keep their coefficient and multiply at predict
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressError::RowLength`] when `levels` does not have
+    /// one list per predictor, and [`RegressError::BadLevels`] when any
+    /// list is empty or not strictly increasing.
+    pub fn compile(&self, levels: &[Vec<f64>]) -> Result<CompiledModel, RegressError> {
+        let width = self.width();
+        if levels.len() != width {
+            return Err(RegressError::RowLength { expected: width, got: levels.len() });
+        }
+        for (var, ls) in levels.iter().enumerate() {
+            if ls.is_empty() || ls.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(RegressError::BadLevels { var });
+            }
+        }
+        let beta = self.coefficients();
+        let mut vars: Vec<VarTable> = levels
+            .iter()
+            .map(|ls| VarTable { levels: ls.clone(), partial: vec![0.0; ls.len()] })
+            .collect();
+        let mut interactions = Vec::new();
+        let mut next = 1; // beta[0] is the intercept
+        for term in self.resolved_terms() {
+            match term {
+                ResolvedTerm::Linear(v) => {
+                    let b = beta[next];
+                    next += 1;
+                    for (p, &x) in vars[*v].partial.iter_mut().zip(&levels[*v]) {
+                        *p += b * x;
+                    }
+                }
+                ResolvedTerm::Spline { var, knots } => {
+                    let n = term.columns();
+                    let bs = &beta[next..next + n];
+                    next += n;
+                    for (i, &x) in levels[*var].iter().enumerate() {
+                        let basis = spline_basis(x, knots);
+                        let mut acc = 0.0;
+                        for (b, c) in bs.iter().zip(&basis) {
+                            acc += b * c;
+                        }
+                        vars[*var].partial[i] += acc;
+                    }
+                }
+                ResolvedTerm::Interaction(a, b) => {
+                    interactions.push(CompiledInteraction { a: *a, b: *b, beta: beta[next] });
+                    next += 1;
+                }
+            }
+        }
+        Ok(CompiledModel {
+            transform: self.spec().transform(),
+            width,
+            intercept: beta[0],
+            vars,
+            interactions,
+        })
+    }
+}
+
+impl CompiledModel {
+    /// Number of predictor variables.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The response transform inherited from the fitted model.
+    pub fn transform(&self) -> ResponseTransform {
+        self.transform
+    }
+
+    /// The grid levels of one predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is out of range.
+    pub fn levels(&self, var: usize) -> &[f64] {
+        &self.vars[var].levels
+    }
+
+    /// The position of `value` in predictor `var`'s level list, if it is
+    /// on the grid. Exact comparison — the caller is expected to produce
+    /// grid values by the same arithmetic that built the level lists.
+    pub fn level_index(&self, var: usize, value: f64) -> Option<usize> {
+        self.vars[var].levels.iter().position(|&v| v == value)
+    }
+
+    /// Predicts on the transformed scale from per-variable *level
+    /// indices* — the fastest path: `idx[v]` indexes into
+    /// [`CompiledModel::levels`]`(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` has the wrong length or an index is out of its
+    /// variable's level range.
+    pub fn predict_transformed_indices(&self, idx: &[usize]) -> f64 {
+        assert_eq!(idx.len(), self.width, "one level index per predictor");
+        let mut acc = self.intercept;
+        for (t, &i) in self.vars.iter().zip(idx) {
+            acc += t.partial[i];
+        }
+        for it in &self.interactions {
+            acc += it.beta * self.vars[it.a].levels[idx[it.a]] * self.vars[it.b].levels[idx[it.b]];
+        }
+        acc
+    }
+
+    /// Predicts the (untransformed) response from per-variable level
+    /// indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`CompiledModel::predict_transformed_indices`].
+    pub fn predict_indices(&self, idx: &[usize]) -> f64 {
+        self.transform.invert(self.predict_transformed_indices(idx))
+    }
+
+    /// Predicts the response for one predictor row whose values lie on
+    /// the compiled grid. Allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressError::RowLength`] on a wrong-width row and
+    /// [`RegressError::OffGridValue`] when a value is not one of its
+    /// predictor's compiled levels.
+    pub fn predict_row(&self, row: &[f64]) -> Result<f64, RegressError> {
+        if row.len() != self.width {
+            return Err(RegressError::RowLength { expected: self.width, got: row.len() });
+        }
+        let mut acc = self.intercept;
+        for (var, (&x, t)) in row.iter().zip(&self.vars).enumerate() {
+            let i = t
+                .levels
+                .iter()
+                .position(|&v| v == x)
+                .ok_or(RegressError::OffGridValue { var, value: x })?;
+            acc += t.partial[i];
+        }
+        // Row values equal their grid levels bitwise (checked above), so
+        // the products match the index-based path exactly.
+        for it in &self.interactions {
+            acc += it.beta * row[it.a] * row[it.b];
+        }
+        Ok(self.transform.invert(acc))
+    }
+
+    /// Batch prediction into a caller-provided buffer: `out` is cleared
+    /// and refilled with one prediction per row, reusing its capacity so
+    /// steady-state sweeps allocate nothing.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed or off-grid row; `out` then holds the
+    /// predictions completed so far.
+    pub fn predict_many_into(
+        &self,
+        rows: &[Vec<f64>],
+        out: &mut Vec<f64>,
+    ) -> Result<(), RegressError> {
+        out.clear();
+        out.reserve(rows.len());
+        for row in rows {
+            out.push(self.predict_row(row)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::spec::{ModelSpec, TermSpec};
+
+    /// Grid, spline+interaction model, and its compiled form.
+    fn fitted_on_grid() -> (FittedModel, Vec<Vec<f64>>) {
+        let a_levels: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b_levels: Vec<f64> = vec![10.0, 20.0, 40.0];
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for &a in &a_levels {
+            for &b in &b_levels {
+                rows.push(vec![a, b]);
+                y.push((2.0 + 0.8 * a + 0.01 * b + 0.3 * (a - 3.0).max(0.0) + 0.002 * a * b).exp());
+            }
+        }
+        let data = Dataset::new(vec!["a".into(), "b".into()], rows).unwrap();
+        let model = ModelSpec::new(ResponseTransform::Log)
+            .with_term(TermSpec::Spline { var: 0, knots: 4 })
+            .with_term(TermSpec::Linear(1))
+            .with_term(TermSpec::Interaction(0, 1))
+            .fit(&data, &y)
+            .unwrap();
+        (model, vec![a_levels, b_levels])
+    }
+
+    #[test]
+    fn compiled_matches_naive_on_every_grid_point() {
+        let (model, levels) = fitted_on_grid();
+        let compiled = model.compile(&levels).unwrap();
+        for (ia, &a) in levels[0].iter().enumerate() {
+            for (ib, &b) in levels[1].iter().enumerate() {
+                let naive = model.predict_row(&[a, b]).unwrap();
+                let by_row = compiled.predict_row(&[a, b]).unwrap();
+                let by_idx = compiled.predict_indices(&[ia, ib]);
+                assert!(
+                    (by_row - naive).abs() <= 1e-12 * naive.abs(),
+                    "row path diverges at ({a}, {b}): {by_row} vs {naive}"
+                );
+                assert_eq!(by_row.to_bits(), by_idx.to_bits(), "row and index paths must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_many_into_reuses_buffer() {
+        let (model, levels) = fitted_on_grid();
+        let compiled = model.compile(&levels).unwrap();
+        let rows: Vec<Vec<f64>> =
+            levels[0].iter().flat_map(|&a| levels[1].iter().map(move |&b| vec![a, b])).collect();
+        let mut out = Vec::new();
+        compiled.predict_many_into(&rows, &mut out).unwrap();
+        assert_eq!(out.len(), rows.len());
+        let cap = out.capacity();
+        compiled.predict_many_into(&rows, &mut out).unwrap();
+        assert_eq!(out.capacity(), cap, "second batch must reuse the buffer");
+        for (row, &p) in rows.iter().zip(&out) {
+            assert_eq!(p.to_bits(), compiled.predict_row(row).unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn off_grid_value_is_reported() {
+        let (model, levels) = fitted_on_grid();
+        let compiled = model.compile(&levels).unwrap();
+        let err = compiled.predict_row(&[1.5, 10.0]).unwrap_err();
+        assert!(matches!(err, RegressError::OffGridValue { var: 0, .. }), "{err:?}");
+        let err = compiled.predict_row(&[1.0]).unwrap_err();
+        assert!(matches!(err, RegressError::RowLength { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn compile_validates_levels() {
+        let (model, levels) = fitted_on_grid();
+        assert!(matches!(
+            model.compile(&levels[..1]).unwrap_err(),
+            RegressError::RowLength { expected: 2, got: 1 }
+        ));
+        let unsorted = vec![vec![1.0, 3.0, 2.0], levels[1].clone()];
+        assert!(matches!(
+            model.compile(&unsorted).unwrap_err(),
+            RegressError::BadLevels { var: 0 }
+        ));
+        let empty = vec![levels[0].clone(), Vec::new()];
+        assert!(matches!(model.compile(&empty).unwrap_err(), RegressError::BadLevels { var: 1 }));
+    }
+
+    #[test]
+    fn accessors_expose_grid_shape() {
+        let (model, levels) = fitted_on_grid();
+        let compiled = model.compile(&levels).unwrap();
+        assert_eq!(compiled.width(), 2);
+        assert_eq!(compiled.transform(), ResponseTransform::Log);
+        assert_eq!(compiled.levels(0), &levels[0][..]);
+        assert_eq!(compiled.level_index(1, 20.0), Some(1));
+        assert_eq!(compiled.level_index(1, 21.0), None);
+    }
+}

@@ -120,27 +120,46 @@ impl FittedModel {
         if row.len() != self.width {
             return Err(RegressError::RowLength { expected: self.width, got: row.len() });
         }
+        let mut scratch = Vec::with_capacity(8);
+        Ok(self.transformed_with_scratch(row, &mut scratch))
+    }
+
+    /// The transformed-scale dot product, expanding each term into a
+    /// caller-owned scratch buffer so batch callers amortize the
+    /// allocation. The row length must already be validated.
+    fn transformed_with_scratch(&self, row: &[f64], scratch: &mut Vec<f64>) -> f64 {
         let mut acc = self.beta[0];
-        let mut cols = Vec::with_capacity(8);
         let mut next = 1;
         for term in &self.resolved {
-            cols.clear();
-            term.expand_into(row, &mut cols);
-            for &c in &cols {
+            scratch.clear();
+            term.expand_into(row, scratch);
+            for &c in scratch.iter() {
                 acc += self.beta[next] * c;
                 next += 1;
             }
         }
-        Ok(acc)
+        acc
     }
 
-    /// Predicts many rows at once.
+    /// Predicts many rows at once, reusing one basis scratch buffer
+    /// across the whole batch.
     ///
     /// # Errors
     ///
-    /// Fails on the first row with the wrong length.
+    /// Returns [`RegressError::RowLength`] for the first mismatched row,
+    /// detected before any prediction work is done.
     pub fn predict_rows(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, RegressError> {
-        rows.iter().map(|r| self.predict_row(r)).collect()
+        for row in rows {
+            if row.len() != self.width {
+                return Err(RegressError::RowLength { expected: self.width, got: row.len() });
+            }
+        }
+        let transform = self.spec.transform();
+        let mut scratch = Vec::with_capacity(8);
+        Ok(rows
+            .iter()
+            .map(|row| transform.invert(self.transformed_with_scratch(row, &mut scratch)))
+            .collect())
     }
 
     /// The model specification this model was fit from.
@@ -156,6 +175,11 @@ impl FittedModel {
     /// Regression coefficients, intercept first.
     pub fn coefficients(&self) -> &[f64] {
         &self.beta
+    }
+
+    /// Number of predictor variables the model was trained on.
+    pub fn width(&self) -> usize {
+        self.width
     }
 
     /// Coefficient of determination on the transformed scale.
@@ -440,6 +464,22 @@ mod tests {
             .unwrap();
         assert!(model.r_squared() > 0.9999);
         assert!(fallbacks() > before, "collinear design should take the QR path");
+    }
+
+    #[test]
+    fn predict_rows_rejects_bad_width_before_the_loop() {
+        let (data, y) = grid_dataset();
+        let model = ModelSpec::new(ResponseTransform::Identity)
+            .with_term(TermSpec::Linear(0))
+            .with_term(TermSpec::Linear(1))
+            .fit(&data, &y)
+            .unwrap();
+        // The malformed row is last; validation must still catch it.
+        let rows = vec![vec![1.0, 2.0], vec![2.0, 3.0], vec![4.0]];
+        assert!(matches!(
+            model.predict_rows(&rows),
+            Err(RegressError::RowLength { expected: 2, got: 1 })
+        ));
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   linear beyond the boundary knots, with knots placed at fixed
 //!   quantiles of each predictor's observed distribution. Predictors
 //!   strongly correlated with the response get 4 knots, weaker ones 3.
+//! - **Compiled grid prediction**: [`FittedModel::compile`] lowers a
+//!   fitted model onto a discrete predictor grid ([`CompiledModel`]),
+//!   collapsing spline bases and coefficients into per-level lookup
+//!   tables so exhaustive design-space sweeps predict allocation-free.
 //!
 //! # Examples
 //!
@@ -33,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod crossval;
 mod dataset;
 mod diagnostics;
@@ -45,6 +50,7 @@ mod spec;
 mod spline;
 mod transform;
 
+pub use compiled::CompiledModel;
 pub use crossval::{k_fold_cv, CvResult};
 pub use dataset::Dataset;
 pub use diagnostics::FitDiagnostics;
@@ -57,5 +63,5 @@ pub use inference::{
 pub use residuals::{residual_report, ResidualReport};
 pub use screening::{auto_spec, rank_predictors, redundancy_pairs, Association};
 pub use spec::{ModelSpec, ResolvedTerm, TermSpec};
-pub use spline::{knot_quantiles, spline_basis, spline_columns};
+pub use spline::{knot_quantiles, spline_basis, spline_basis_into, spline_columns};
 pub use transform::ResponseTransform;

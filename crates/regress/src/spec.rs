@@ -1,6 +1,6 @@
 use crate::dataset::Dataset;
 use crate::fit::FittedModel;
-use crate::spline::{knot_quantiles, spline_basis};
+use crate::spline::{knot_quantiles, spline_basis_into};
 use crate::transform::ResponseTransform;
 use crate::RegressError;
 
@@ -64,7 +64,7 @@ impl ResolvedTerm {
     pub(crate) fn expand_into(&self, row: &[f64], out: &mut Vec<f64>) {
         match self {
             ResolvedTerm::Linear(v) => out.push(row[*v]),
-            ResolvedTerm::Spline { var, knots } => out.extend(spline_basis(row[*var], knots)),
+            ResolvedTerm::Spline { var, knots } => spline_basis_into(row[*var], knots, out),
             ResolvedTerm::Interaction(a, b) => out.push(row[*a] * row[*b]),
         }
     }

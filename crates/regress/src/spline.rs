@@ -71,8 +71,21 @@ pub fn knot_quantiles(xs: &[f64], k: usize) -> Vec<f64> {
 ///
 /// Panics if fewer than three knots are supplied or knots are not
 /// strictly increasing.
-#[allow(clippy::needless_range_loop)] // index form mirrors Harrell's j-indexed formula
 pub fn spline_basis(x: f64, knots: &[f64]) -> Vec<f64> {
+    let mut basis = Vec::with_capacity(knots.len() - 1);
+    spline_basis_into(x, knots, &mut basis);
+    basis
+}
+
+/// Appends the restricted cubic spline basis at `x` to `out` — the
+/// allocation-free form of [`spline_basis`], used by batch prediction to
+/// reuse one scratch buffer across rows.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`spline_basis`].
+#[allow(clippy::needless_range_loop)] // index form mirrors Harrell's j-indexed formula
+pub fn spline_basis_into(x: f64, knots: &[f64], out: &mut Vec<f64>) {
     let k = knots.len();
     assert!(k >= 3, "restricted cubic splines need at least 3 knots");
     assert!(knots.windows(2).all(|w| w[0] < w[1]), "knots must be strictly increasing");
@@ -83,15 +96,13 @@ pub fn spline_basis(x: f64, knots: &[f64]) -> Vec<f64> {
         let c = v.max(0.0);
         c * c * c
     };
-    let mut basis = Vec::with_capacity(k - 1);
-    basis.push(x);
+    out.push(x);
     for j in 0..k - 2 {
         let tj = knots[j];
         let num = cube_plus(x - tj) - cube_plus(x - t_penult) * (t_last - tj) / (t_last - t_penult)
             + cube_plus(x - t_last) * (t_penult - tj) / (t_last - t_penult);
-        basis.push(num / tau);
+        out.push(num / tau);
     }
-    basis
 }
 
 /// Number of basis columns produced by [`spline_basis`] for `k` knots.

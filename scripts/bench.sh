@@ -3,15 +3,18 @@
 # run manifest with per-benchmark model-quality quantiles, metric
 # snapshots, and span wall times for `udse-inspect diff` gating.
 #
-# The run is `repro --quick fig1` with the baked-in seed (2007), so the
-# quality section (error p50/p90/max, bias, RMSE, R² per benchmark and
-# pooled) is bit-identical across runs on any machine — quality drift in
-# a diff always means a code change, never noise. Wall times DO vary by
-# machine, which is why the CI gate (scripts/ci.sh) runs the diff with
+# The run is `repro --quick fig1 fig2` with the baked-in seed (2007), so
+# the quality section (error p50/p90/max, bias, RMSE, R² per benchmark
+# and pooled) is bit-identical across runs on any machine — quality
+# drift in a diff always means a code change, never noise. fig2 runs the
+# characterization sweep, which populates the sweep.designs counter and
+# the sweep.designs_per_sec throughput gauge the CI gate watches with
+# --tol-gauge. Wall times (and the throughput gauge) DO vary by machine,
+# which is why the CI gate (scripts/ci.sh) runs the diff with
 # --warn-wall: quality regressions beyond the default tolerance
 # (±0.02 absolute on error fractions, i.e. two percentage points) fail
 # the gate hard, while wall-time drift beyond the default band
-# (+25% and >0.05s absolute) only warns.
+# (+25% and >0.05s absolute) and gauge drops only warn.
 #
 # Usage: scripts/bench.sh [out.json]
 #   Default output: BENCH_<shortsha>.json at the repo root (the baseline
@@ -28,8 +31,8 @@ out="${1:-BENCH_${shortsha}.json}"
 echo "==> cargo build --release -p udse-bench"
 cargo build --release -p udse-bench
 
-echo "==> repro --quick --manifest ${out} fig1"
-./target/release/repro --quick --manifest "${out}" fig1 >/dev/null
+echo "==> repro --quick --manifest ${out} fig1 fig2"
+./target/release/repro --quick --manifest "${out}" fig1 fig2 >/dev/null
 
 echo "==> udse-inspect show ${out}"
 ./target/release/udse-inspect show "${out}"

@@ -45,8 +45,9 @@ fi
 if [ -n "${baseline}" ]; then
     echo "==> scripts/bench.sh (regression gate vs ${baseline})"
     scripts/bench.sh target/bench-current.json
-    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall"
-    ./target/release/udse-inspect diff "${baseline}" target/bench-current.json --warn-wall
+    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50"
+    ./target/release/udse-inspect diff "${baseline}" target/bench-current.json --warn-wall \
+        --tol-gauge sweep.designs_per_sec:50
 else
     echo "==> no BENCH_*.json baseline; skipping regression gate (run scripts/bench.sh and commit the output)"
 fi

@@ -85,6 +85,44 @@ fn bench_compiled_sweep(c: &mut Criterion) {
             acc
         })
     });
+
+    // The fused sweep behind `pareto::characterize_all`: per-benchmark
+    // walks decode every design point and quantize it once *per model*,
+    // while the fused walk quantizes once per point and reuses the grid
+    // indices across all nine compiled models.
+    let suite: Vec<_> = (0..Benchmark::ALL.len())
+        .map(|i| {
+            let samples = DesignSpace::paper().sample_uar(1_000, 7 + i as u64);
+            let obs: Vec<Metrics> = samples.iter().map(synth_metrics).collect();
+            PaperModels::train_from_observations(Benchmark::ALL[i], &samples, &obs)
+                .expect("synthetic fit succeeds")
+                .compile(&space)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(space.len() * Benchmark::ALL.len() as u64));
+    group.bench_function("nine_separate_grid_walks", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for m in &suite {
+                for p in space.iter() {
+                    acc += m.predict_efficiency(&p);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("fused_nine_benchmark_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for p in space.iter() {
+                let idx = suite[0].grid_indices(&p);
+                for m in &suite {
+                    acc += m.predict_metrics_at(&idx).bips_cubed_per_watt();
+                }
+            }
+            acc
+        })
+    });
     group.finish();
 }
 

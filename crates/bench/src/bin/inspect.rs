@@ -8,6 +8,7 @@
 //!                                    [--tol-quality-pooled <abs>]
 //!                                    [--tol-quality-max <abs>] [--warn-wall]
 //!                                    [--tol-gauge <name>:<pct> ...]
+//! udse-inspect merge <manifest>... [--tol <abs>] [-o <out>]
 //! udse-inspect trace <manifest | events.jsonl> [--folded] [-o <out>]
 //! ```
 //!
@@ -22,7 +23,13 @@
 //! metric and warns — never gates — when it falls more than `pct`
 //! percent below the baseline (e.g.
 //! `--tol-gauge sweep.designs_per_sec:50` catches prediction-throughput
-//! collapses). `trace` emits Chrome `trace_event` JSON (open in Perfetto
+//! collapses). `merge` aggregates the per-process manifests of one
+//! `repro --shards` run (the parent's plus every worker's) into a single
+//! document: minimum wall per artifact/span, work counters summed across
+//! processes, quality records carried verbatim with shared keys required
+//! to agree within `--tol` (default exact to 1e-9); the merged document
+//! is an ordinary manifest, so `diff` can gate a sharded run against a
+//! single-process baseline. `trace` emits Chrome `trace_event` JSON (open in Perfetto
 //! or `chrome://tracing`), either from a JSONL event stream recorded
 //! with `UDSE_TRACE=1` or synthesized from a manifest's span totals;
 //! `trace <manifest> --folded` instead emits folded stacks
@@ -44,6 +51,7 @@ const USAGE: &str = "usage: udse-inspect <command>\n\
   diff  <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>]\n\
         [--tol-quality-pooled <abs>] [--tol-quality-max <abs>] [--warn-wall]\n\
         [--tol-gauge <name>:<pct> ...]             gate a run against a baseline\n\
+  merge <manifest>... [--tol <abs>] [-o <path>]    aggregate sharded-run manifests\n\
   trace <manifest | events.jsonl> [--folded] [-o <path>]\n\
                                                    export Chrome trace_event JSON,\n\
                                                    or folded flamegraph stacks";
@@ -62,12 +70,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Flags that consume the next argument; everything else non-dashed
     // is positional.
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 7] = [
         "--tol-wall",
         "--tol-quality",
         "--tol-quality-pooled",
         "--tol-quality-max",
         "--tol-gauge",
+        "--tol",
         "-o",
     ];
     let mut positional: Vec<&String> = Vec::new();
@@ -162,6 +171,43 @@ fn main() -> ExitCode {
             } else {
                 ExitCode::SUCCESS
             }
+        }
+        "merge" => {
+            let paths = &positional[1..];
+            if paths.is_empty() {
+                return fail("merge expects at least one manifest path");
+            }
+            let tol = match parse_f64("--tol") {
+                Ok(v) => v.unwrap_or(1e-9),
+                Err(e) => return fail(&e),
+            };
+            let mut inputs: Vec<(String, ParsedManifest)> = Vec::with_capacity(paths.len());
+            for p in paths {
+                match load(p) {
+                    Ok(m) => inputs.push((p.to_string(), m)),
+                    Err(e) => return fail(&e),
+                }
+            }
+            let doc = match inspect::merge(&inputs, tol) {
+                Ok(doc) => doc,
+                Err(e) => return fail(&e),
+            };
+            let text = doc.to_string_pretty();
+            match flag_value("-o") {
+                Some(out) => {
+                    let out = PathBuf::from(out);
+                    if let Err(e) = write_with_parents(&out, &text) {
+                        return fail(&e.to_string());
+                    }
+                    eprintln!(
+                        "udse-inspect: merged {} manifest(s) into {}",
+                        inputs.len(),
+                        out.display()
+                    );
+                }
+                None => print!("{text}"),
+            }
+            ExitCode::SUCCESS
         }
         "trace" => {
             let [_, input] = positional[..] else {

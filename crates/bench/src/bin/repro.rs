@@ -3,8 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--verbose] [--jobs N] [--csv <dir>] [--manifest <path>]
-//!       [--trace <path>] <artifact>...
+//! repro [--quick] [--verbose] [--jobs N] [--shards N] [--shard-dir <dir>]
+//!       [--csv <dir>] [--manifest <path>] [--trace <path>] <artifact>...
+//! repro plan [--quick] [--out <path>]
+//! repro worker --plan <file> --shard i/N --out <file>
+//!              [--manifest <path>] [--jobs W]
 //!
 //! artifacts:
 //!   space     Table 1 design space summary
@@ -51,6 +54,19 @@
 //! `--trace <path>` records discrete span events (like `UDSE_TRACE=1`)
 //! and writes them as Chrome `trace_event` JSON loadable in Perfetto.
 //! Only the paper's tables and figures go to stdout.
+//!
+//! `--shards N` distributes every simulation batch across `N` forked
+//! `repro worker` child processes instead of in-process threads: each
+//! batch becomes an on-disk evaluation plan (see `repro plan`), each
+//! worker evaluates a deterministic contiguous job-ID slice and writes a
+//! result shard plus its own manifest, and the parent reassembles the
+//! shards in job-ID order. Outputs are bitwise-identical to `--jobs`-only
+//! runs. `--shard-dir <dir>` (default `target/shards`) holds the plan,
+//! shard, and per-worker manifest files; aggregate the manifests with
+//! `udse-inspect merge`. The `plan` and `worker` subcommands are the
+//! pieces: `plan` emits the training plan document, `worker` evaluates
+//! one shard of a plan file (the parent forks these, and a failed or
+//! killed worker is reported with the exact command to retry).
 
 use std::process::ExitCode;
 
@@ -59,7 +75,9 @@ use udse_bench::{
 };
 use udse_core::report::format_table;
 use udse_core::space::DesignSpace;
-use udse_obs::{span, Json, Level, RunManifest};
+use udse_core::studies::TrainedSuite;
+use udse_core::{EvalPlan, Oracle, SimSpec};
+use udse_obs::{span, Json, Level, ResultShard, RunManifest};
 use udse_sim::MachineConfig;
 
 fn print_space() -> String {
@@ -193,12 +211,136 @@ const ALL: [&str; 22] = [
     "ablations",
 ];
 
-const USAGE: &str = "usage: repro [--quick] [--verbose] [--jobs N] [--csv <dir>] \
-     [--manifest <path>] [--trace <path>] <artifact>...";
+const USAGE: &str = "usage: repro [--quick] [--verbose] [--jobs N] [--shards N] \
+     [--shard-dir <dir>] [--csv <dir>] [--manifest <path>] [--trace <path>] <artifact>...";
+
+const PLAN_USAGE: &str = "usage: repro plan [--quick] [--out <path>]";
+
+const WORKER_USAGE: &str =
+    "usage: repro worker --plan <file> --shard i/N --out <file> [--manifest <path>] [--jobs W]";
+
+/// `repro plan`: emit the canonical training evaluation plan as JSON, to
+/// stdout or `--out <path>`. The document is what `repro worker`
+/// consumes and what `--shards` writes per batch.
+fn plan_main(args: &[String]) -> ExitCode {
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{PLAN_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let ctx = Context::new(quick);
+    let plan = TrainedSuite::training_plan(ctx.config());
+    let doc = plan.to_json(&SimSpec::of(ctx.sim_oracle())).to_string_pretty();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    match out {
+        Some(path) => match udse_obs::manifest::write_with_parents(&path, &doc) {
+            Ok(()) => {
+                udse_obs::info!("plan", "wrote {} jobs to {}", plan.len(), path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                udse_obs::error!("plan", "cannot write plan: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{doc}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// `repro worker`: evaluate one deterministic contiguous shard of a plan
+/// file and write the result shard (and optionally a worker manifest).
+/// The parent `repro --shards N` forks these; the exit code tells it
+/// whether the shard file is trustworthy.
+fn worker_main(args: &[String]) -> ExitCode {
+    let value = |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1));
+    let (Some(plan_path), Some(shard_arg), Some(out_path)) =
+        (value("--plan"), value("--shard"), value("--out"))
+    else {
+        eprintln!("{WORKER_USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let parsed = shard_arg
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+    let Some((index, count)) = parsed.filter(|&(i, n)| n >= 1 && i < n) else {
+        eprintln!("--shard expects i/N with i < N\n{WORKER_USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if let Some(v) = value("--jobs") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => udse_obs::pool::set_max_workers(n),
+            _ => {
+                eprintln!("--jobs expects a positive integer\n{WORKER_USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(plan_path) {
+        Ok(t) => t,
+        Err(e) => {
+            udse_obs::error!("worker", "cannot read plan {plan_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (plan, spec) = match EvalPlan::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            udse_obs::error!("worker", "plan {plan_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let oracle = spec.build();
+    let range = plan.shard_range(index, count);
+    let started = std::time::Instant::now();
+    let metrics = {
+        let _w = span::enter("worker");
+        oracle.evaluate_many(&plan.jobs()[range.clone()])
+    };
+    let rows: Vec<(u64, Vec<f64>)> =
+        range.zip(&metrics).map(|(id, m)| (id as u64, vec![m.bips, m.watts])).collect();
+    let shard =
+        match ResultShard::new(plan.label(), plan.len() as u64, index as u64, count as u64, rows) {
+            Ok(s) => s,
+            Err(e) => {
+                udse_obs::error!("worker", "shard {index}/{count} of plan `{}`: {e}", plan.label());
+                return ExitCode::FAILURE;
+            }
+        };
+    if let Err(e) = shard.write_to_path(std::path::Path::new(out_path.as_str())) {
+        udse_obs::error!("worker", "cannot write result shard: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(mpath) = value("--manifest") {
+        let mut manifest = RunManifest::new("repro-worker");
+        manifest.set("plan", Json::str(plan.label()));
+        manifest.set("shard_index", Json::Int(index as i64));
+        manifest.set("shard_count", Json::Int(count as i64));
+        manifest.set("trace_len", Json::Int(spec.trace_len as i64));
+        manifest.set("seed", Json::Int(spec.seed as i64));
+        manifest.record_artifact("worker", started.elapsed().as_secs_f64());
+        if let Err(e) = manifest.write_to_path(std::path::Path::new(mpath.as_str())) {
+            udse_obs::error!("worker", "cannot write manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     udse_obs::log::init();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("plan") => return plan_main(&args[1..]),
+        Some("worker") => return worker_main(&args[1..]),
+        _ => {}
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
     if verbose {
@@ -232,6 +374,20 @@ fn main() -> ExitCode {
         },
         None => udse_obs::pool::max_workers(),
     };
+    // --shards N: fork every simulation batch across N worker processes
+    // (bitwise-identical results; see the module docs above).
+    let shards = match arg_value("--shards") {
+        Some(v) => match v.to_string_lossy().parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("--shards expects a positive integer\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let shard_dir =
+        arg_value("--shard-dir").unwrap_or_else(|| std::path::PathBuf::from("target/shards"));
     let mut skip_next = false;
     let mut artifacts: Vec<&str> = Vec::new();
     for a in &args {
@@ -239,7 +395,13 @@ fn main() -> ExitCode {
             skip_next = false;
             continue;
         }
-        if a == "--csv" || a == "--manifest" || a == "--trace" || a == "--jobs" {
+        if a == "--csv"
+            || a == "--manifest"
+            || a == "--trace"
+            || a == "--jobs"
+            || a == "--shards"
+            || a == "--shard-dir"
+        {
             skip_next = true;
             continue;
         }
@@ -254,10 +416,26 @@ fn main() -> ExitCode {
     if artifacts.contains(&"all") {
         artifacts = ALL.to_vec();
     }
-    let ctx = Context::new(quick);
+    let ctx = match shards {
+        Some(n) => {
+            let exe = match std::env::current_exe() {
+                Ok(p) => p,
+                Err(e) => {
+                    udse_obs::error!("repro", "cannot locate own binary for --shards: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Split the thread budget so N workers do not oversubscribe
+            // the machine N-fold.
+            let worker_jobs = jobs.div_ceil(n).max(1);
+            Context::sharded(quick, n, exe, shard_dir, worker_jobs)
+        }
+        None => Context::new(quick),
+    };
     let mut manifest = RunManifest::new("repro");
     manifest.set("quick", Json::Bool(quick));
     manifest.set("jobs", Json::Int(jobs as i64));
+    manifest.set("shards", Json::Int(shards.unwrap_or(1) as i64));
     manifest.set("seed", Json::Int(ctx.config().seed as i64));
     manifest.set("train_samples", Json::Int(ctx.config().train_samples as i64));
     manifest.set("eval_stride", Json::Int(ctx.config().eval_stride as i64));

@@ -1,53 +1,92 @@
 //! Shared experiment context: one oracle, one trained model suite.
 
-use std::sync::Mutex;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
+use udse_core::space::DesignSpace;
 use udse_core::studies::depth::DepthStudy;
+use udse_core::studies::pareto::{self, Characterization};
 use udse_core::studies::{StudyConfig, TrainedSuite};
 use udse_core::{CachedOracle, SimOracle};
+
+use crate::shard::{GroundTruth, ShardedOracle};
 
 /// Lazily trains the nine benchmark model pairs once and shares them
 /// across all experiment drivers, mirroring the paper's "formulated once,
 /// used in multiple studies" workflow (§7). `Send + Sync` (lazy slots sit
 /// behind mutexes), so one context can feed parallel drivers.
+///
+/// The ground truth behind the memoizing cache is a [`GroundTruth`]:
+/// in-process simulation by default ([`Context::new`]), or fan-out to
+/// `repro worker` child processes ([`Context::sharded`]). Because the
+/// cache sits above the ground truth, every study batch dedups first and
+/// then shards automatically.
 #[derive(Debug)]
 pub struct Context {
-    oracle: CachedOracle<SimOracle>,
+    oracle: CachedOracle<GroundTruth>,
     config: StudyConfig,
     suite: Mutex<Option<TrainedSuite>>,
     depth: Mutex<Option<DepthStudy>>,
+    characterizations: Mutex<Option<Arc<Vec<Characterization>>>>,
 }
 
 /// Trace length used in quick mode (tests, smoke runs).
 const QUICK_TRACE_LEN: usize = 20_000;
 
+fn base(quick: bool) -> (SimOracle, StudyConfig) {
+    if quick {
+        (SimOracle::with_trace_len(QUICK_TRACE_LEN), StudyConfig::quick())
+    } else {
+        (SimOracle::new(), StudyConfig::paper())
+    }
+}
+
 impl Context {
-    /// Creates a context. `quick` selects reduced sample counts and short
-    /// traces for smoke runs; otherwise the paper-scale configuration is
-    /// used (1,000 training samples, exhaustive evaluation).
+    /// Creates an in-process context. `quick` selects reduced sample
+    /// counts and short traces for smoke runs; otherwise the paper-scale
+    /// configuration is used (1,000 training samples, exhaustive
+    /// evaluation).
     pub fn new(quick: bool) -> Self {
-        let (oracle, config) = if quick {
-            (SimOracle::with_trace_len(QUICK_TRACE_LEN), StudyConfig::quick())
-        } else {
-            (SimOracle::new(), StudyConfig::paper())
-        };
+        let (oracle, config) = base(quick);
+        Self::with_ground_truth(GroundTruth::Local(oracle), config)
+    }
+
+    /// Creates a context whose simulation batches fork to `shards`
+    /// `repro worker` child processes (`exe` is the `repro` binary,
+    /// `dir` receives plan/shard/manifest files, `worker_jobs` caps each
+    /// worker's thread pool). Results are bitwise-identical to
+    /// [`Context::new`] — see [`crate::shard`].
+    pub fn sharded(
+        quick: bool,
+        shards: usize,
+        exe: PathBuf,
+        dir: PathBuf,
+        worker_jobs: usize,
+    ) -> Self {
+        let (oracle, config) = base(quick);
+        let sharded = ShardedOracle::new(oracle, shards, exe, dir, worker_jobs);
+        Self::with_ground_truth(GroundTruth::Sharded(sharded), config)
+    }
+
+    fn with_ground_truth(oracle: GroundTruth, config: StudyConfig) -> Self {
         Context {
             oracle: CachedOracle::new(oracle),
             config,
             suite: Mutex::new(None),
             depth: Mutex::new(None),
+            characterizations: Mutex::new(None),
         }
     }
 
     /// The ground-truth oracle (memoized: studies that revisit the same
     /// designs pay for each simulation once).
-    pub fn oracle(&self) -> &CachedOracle<SimOracle> {
+    pub fn oracle(&self) -> &CachedOracle<GroundTruth> {
         &self.oracle
     }
 
     /// The underlying simulation oracle (trace access, warmup length).
     pub fn sim_oracle(&self) -> &SimOracle {
-        self.oracle.inner()
+        self.oracle.inner().sim()
     }
 
     /// The study configuration.
@@ -78,6 +117,20 @@ impl Context {
         slot.as_ref().expect("just trained").clone()
     }
 
+    /// Returns the exploration-space characterizations of all nine
+    /// benchmarks, computing them in one fused grid walk on first use
+    /// (Figures 2–4 all consume them; see
+    /// [`pareto::characterize_all`]).
+    pub fn characterizations(&self) -> Arc<Vec<Characterization>> {
+        let suite = self.suite();
+        let mut slot = self.characterizations.lock().expect("characterization slot poisoned");
+        if slot.is_none() {
+            let space = DesignSpace::exploration();
+            *slot = Some(Arc::new(pareto::characterize_all(&suite, &space, &self.config)));
+        }
+        Arc::clone(slot.as_ref().expect("just computed"))
+    }
+
     /// Returns the §5 depth study, computing it on first use (four
     /// figures consume it).
     pub fn depth_study(&self) -> DepthStudy {
@@ -102,6 +155,15 @@ mod tests {
         // Second call reuses the cached suite (cheap).
         let again = ctx.suite();
         assert_eq!(again.training_samples().len(), suite.training_samples().len());
+    }
+
+    #[test]
+    fn characterizations_cover_all_benchmarks_and_cache() {
+        let ctx = Context::new(true);
+        let chs = ctx.characterizations();
+        assert_eq!(chs.len(), 9);
+        let again = ctx.characterizations();
+        assert!(Arc::ptr_eq(&chs, &again), "second call reuses the cached sweep");
     }
 
     #[test]

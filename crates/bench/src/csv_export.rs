@@ -11,7 +11,7 @@ use std::path::{Path, PathBuf};
 use udse_core::report::write_csv;
 use udse_core::space::DesignSpace;
 use udse_core::studies::heterogeneity::{predicted_gains, simulated_gains, BenchmarkArchitectures};
-use udse_core::studies::pareto::{characterize, efficiency_optimum, FrontierStudy};
+use udse_core::studies::pareto::{efficiency_optimum, FrontierStudy};
 use udse_core::studies::validation::ValidationStudy;
 use udse_trace::Benchmark;
 
@@ -55,12 +55,14 @@ pub fn export(ctx: &Context, artifact: &str, dir: &Path) -> io::Result<Option<Pa
             )?;
         }
         "fig3" => {
-            let suite = ctx.suite();
-            let space = DesignSpace::exploration();
+            let chs = ctx.characterizations();
             let mut rows = Vec::new();
             for b in [Benchmark::Ammp, Benchmark::Mcf, Benchmark::Mesa, Benchmark::Jbb] {
-                let ch = characterize(suite.models(b), &space, ctx.config());
-                let fs = FrontierStudy::run(ctx.oracle(), &ch, ctx.config());
+                let ch = chs
+                    .iter()
+                    .find(|c| c.benchmark == b)
+                    .expect("fused sweep covers every benchmark");
+                let fs = FrontierStudy::run(ctx.oracle(), ch, ctx.config());
                 for (p, s) in fs.predicted.iter().zip(&fs.simulated) {
                     rows.push(vec![
                         b.name().to_string(),

@@ -2,11 +2,16 @@
 
 use udse_core::report::{fmt, fmt_pct, format_table};
 use udse_core::space::DesignSpace;
-use udse_core::studies::pareto::{characterize, efficiency_optimum, FrontierStudy};
+use udse_core::studies::pareto::{efficiency_optimum, Characterization, FrontierStudy};
 use udse_core::studies::validation::ValidationStudy;
 use udse_trace::Benchmark;
 
 use crate::context::Context;
+
+/// Picks one benchmark's characterization out of the fused sweep.
+fn characterization(chs: &[Characterization], b: Benchmark) -> &Characterization {
+    chs.iter().find(|c| c.benchmark == b).expect("fused sweep covers every benchmark")
+}
 
 /// Figure 1: error distributions (boxplot statistics) of performance and
 /// power predictions for random validation designs.
@@ -42,13 +47,12 @@ pub fn fig1(ctx: &Context) -> String {
 /// Figure 2: design space characterization — per depth-width cluster
 /// delay/power envelopes for every benchmark.
 pub fn fig2(ctx: &Context) -> String {
-    let suite = ctx.suite();
-    let space = DesignSpace::exploration();
+    let chs = ctx.characterizations();
     let mut out = String::from(
         "Figure 2: regression-predicted delay/power envelopes per (depth, width) cluster\n\n",
     );
     for &b in &[Benchmark::Ammp, Benchmark::Mcf, Benchmark::Mesa, Benchmark::Jbb] {
-        let ch = characterize(suite.models(b), &space, ctx.config());
+        let ch = characterization(&chs, b);
         let rows: Vec<Vec<String>> = ch
             .clusters
             .iter()
@@ -79,13 +83,12 @@ pub fn fig2(ctx: &Context) -> String {
 /// Figure 3: modeled vs simulated pareto frontiers for representative
 /// benchmarks.
 pub fn fig3(ctx: &Context) -> String {
-    let suite = ctx.suite();
-    let space = DesignSpace::exploration();
+    let chs = ctx.characterizations();
     let mut out =
         String::from("Figure 3: pareto frontier — predicted vs simulated (delay s, power W)\n\n");
     for &b in &[Benchmark::Ammp, Benchmark::Mcf, Benchmark::Mesa, Benchmark::Jbb] {
-        let ch = characterize(suite.models(b), &space, ctx.config());
-        let fs = FrontierStudy::run(ctx.oracle(), &ch, ctx.config());
+        let ch = characterization(&chs, b);
+        let fs = FrontierStudy::run(ctx.oracle(), ch, ctx.config());
         let rows: Vec<Vec<String>> = fs
             .designs
             .iter()
@@ -112,14 +115,13 @@ pub fn fig3(ctx: &Context) -> String {
 
 /// Figure 4: error distributions of frontier-point predictions.
 pub fn fig4(ctx: &Context) -> String {
-    let suite = ctx.suite();
-    let space = DesignSpace::exploration();
+    let chs = ctx.characterizations();
     let mut rows = Vec::new();
     let mut all_perf = Vec::new();
     let mut all_power = Vec::new();
     for b in Benchmark::ALL {
-        let ch = characterize(suite.models(b), &space, ctx.config());
-        let fs = FrontierStudy::run(ctx.oracle(), &ch, ctx.config());
+        let ch = characterization(&chs, b);
+        let fs = FrontierStudy::run(ctx.oracle(), ch, ctx.config());
         let (perf, power) = fs.errors();
         all_perf.push(perf.median());
         all_power.push(power.median());

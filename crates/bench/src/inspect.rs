@@ -4,8 +4,10 @@
 //! [`show`] renders one manifest for humans; [`diff`] compares two runs
 //! (wall time, metrics, model quality) against configurable tolerances
 //! and reports regressions — the CI gate behind `scripts/bench.sh`;
-//! [`trace_from_manifest`] turns a manifest's span totals into a
-//! Perfetto-loadable Chrome `trace_event` document.
+//! [`merge`] aggregates the per-process manifests of one sharded run
+//! into a single document `diff` can gate; [`trace_from_manifest`] turns
+//! a manifest's span totals into a Perfetto-loadable Chrome
+//! `trace_event` document.
 
 use udse_obs::manifest::ParsedManifest;
 use udse_obs::{trace, Json};
@@ -300,6 +302,25 @@ fn pct_change(old: f64, new: f64) -> f64 {
     }
 }
 
+/// Merges the per-process manifests of one sharded run (parent plus
+/// `repro worker` children, each labeled with its source path) into a
+/// single aggregate document: minimum wall time per artifact and span
+/// (concurrent processes overlap, so the minimum is the honest
+/// serial-equivalent), work counters summed across processes (shards
+/// partition the work), and quality records carried verbatim — shared
+/// keys must agree within `quality_tol` or the merge refuses. The result
+/// parses back as an ordinary manifest, so `diff` can gate a sharded run
+/// against a single-process baseline. Delegates to
+/// [`udse_obs::manifest::merge_manifests`].
+///
+/// # Errors
+///
+/// Fails on an empty input list or a quality disagreement, naming the
+/// offending record, statistic, and input label.
+pub fn merge(inputs: &[(String, ParsedManifest)], quality_tol: f64) -> Result<Json, String> {
+    udse_obs::manifest::merge_manifests(inputs, quality_tol)
+}
+
 /// Renders one manifest as a human-readable summary.
 pub fn show(m: &ParsedManifest) -> String {
     let mut out = format!(
@@ -495,6 +516,32 @@ mod tests {
         assert_eq!(tol.quality_budget("validation.ammp.bips", "p50"), 0.02);
         assert_eq!(tol.quality_budget("depth.original.eff", "bias"), 0.02);
         assert_eq!(tol.quality_budget("heterogeneity.compromise.watts", "max"), 0.05);
+    }
+
+    #[test]
+    fn merged_shard_manifests_diff_clean_against_single_process() {
+        // A 2-shard run: the parent holds the artifact walls and quality,
+        // each worker holds its slice of the simulation counters. Merged,
+        // the counters reconstruct the single-process totals and the diff
+        // gate passes.
+        let single = manifest(
+            &[("fig1", 2.0)],
+            &[("validation.pooled.bips", 0.02, 0.06)],
+            &[("sim.instructions", 1_000)],
+        );
+        let parent = manifest(
+            &[("fig1", 2.2)],
+            &[("validation.pooled.bips", 0.02, 0.06)],
+            &[("sim.instructions", 400)],
+        );
+        let w0 = manifest(&[], &[], &[("sim.instructions", 300)]);
+        let w1 = manifest(&[], &[], &[("sim.instructions", 300)]);
+        let doc = merge(&[("parent".into(), parent), ("w0".into(), w0), ("w1".into(), w1)], 1e-9)
+            .expect("consistent manifests merge");
+        let merged = ParsedManifest::parse(&doc.to_string_pretty()).expect("merge output parses");
+        assert_eq!(merged.metric("sim.instructions").and_then(Json::as_i64), Some(1_000));
+        let report = diff(&single, &merged, &DiffTolerances::default());
+        assert!(!report.is_regression(), "report: {}", report.render());
     }
 
     #[test]

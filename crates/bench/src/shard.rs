@@ -1,0 +1,307 @@
+//! Multi-process sharded evaluation: the parent side of `repro --shards`.
+//!
+//! [`ShardedOracle`] turns every simulation batch into an on-disk
+//! [`EvalPlan`], forks one `repro worker` child per shard, and
+//! reassembles the per-shard result files in job-ID order. Because each
+//! worker evaluates a deterministic contiguous slice of the plan with an
+//! oracle rebuilt from the plan's [`SimSpec`], the assembled metrics are
+//! bitwise-identical to an in-process `--jobs`-only run — sharding only
+//! changes where the work happens, never the numbers.
+//!
+//! [`GroundTruth`] is the oracle the experiment [`crate::Context`]
+//! actually holds: either a plain in-process [`SimOracle`] or a
+//! [`ShardedOracle`]. Point lookups (`evaluate`) always run in-process —
+//! forking a worker per single simulation would be absurd — while batch
+//! evaluation (`evaluate_many` / `evaluate_plan`) is where the fork
+//! happens. The memoizing [`udse_core::CachedOracle`] sits *above* this
+//! enum, so every study batch dedups first and then shards automatically.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use udse_core::oracle::{Metrics, Oracle, SimOracle};
+use udse_core::plan::{EvalPlan, SimSpec};
+use udse_core::space::DesignPoint;
+use udse_obs::sharded::{ResultShard, ShardedResults};
+use udse_trace::Benchmark;
+
+/// Evaluates plans by forking `repro worker` child processes, one per
+/// shard, and reassembling their result files.
+#[derive(Debug)]
+pub struct ShardedOracle {
+    sim: SimOracle,
+    shards: usize,
+    exe: PathBuf,
+    dir: PathBuf,
+    worker_jobs: usize,
+    batch: AtomicU64,
+}
+
+impl ShardedOracle {
+    /// Creates a sharding oracle.
+    ///
+    /// `sim` defines the simulator spec workers must reproduce; `shards`
+    /// is the number of worker processes per batch; `exe` is the `repro`
+    /// binary to fork; `dir` receives the plan, shard, and per-worker
+    /// manifest files; `worker_jobs` caps each worker's thread pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` or `worker_jobs` is zero.
+    pub fn new(
+        sim: SimOracle,
+        shards: usize,
+        exe: PathBuf,
+        dir: PathBuf,
+        worker_jobs: usize,
+    ) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        assert!(worker_jobs >= 1, "worker jobs must be at least 1");
+        ShardedOracle { sim, shards, exe, dir, worker_jobs, batch: AtomicU64::new(0) }
+    }
+
+    /// The in-process oracle defining the simulator spec (also used for
+    /// single-point lookups, which never fork).
+    pub fn sim(&self) -> &SimOracle {
+        &self.sim
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The directory receiving plan/shard/manifest files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Evaluates a plan by forking one worker per shard and reassembling
+    /// the result shards in job-ID order. The worker count is capped at
+    /// the job count, so tiny batches do not fork idle processes; the
+    /// result is independent of the cap because assembly is by job ID.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a worker cannot be spawned, exits non-zero, is killed
+    /// by a signal, or leaves a missing/unreadable/inconsistent shard
+    /// file. The message names each failed shard `i/N` and the exact
+    /// `repro worker` command that retries its slice.
+    pub fn run_plan(&self, plan: &EvalPlan) -> Result<Vec<Metrics>, String> {
+        if plan.is_empty() {
+            return Ok(Vec::new());
+        }
+        let count = self.shards.min(plan.len());
+        let seq = self.batch.fetch_add(1, Ordering::Relaxed);
+        let stem = format!("batch-{seq:04}-{}", sanitize(plan.label()));
+        let plan_path = self.dir.join(format!("{stem}.plan.json"));
+        let doc = plan.to_json(&SimSpec::of(&self.sim)).to_string_pretty();
+        udse_obs::manifest::write_with_parents(&plan_path, &doc)
+            .map_err(|e| format!("cannot write plan {}: {e}", plan_path.display()))?;
+        let _span = udse_obs::span::enter("shards");
+        udse_obs::metrics::counter("shard.batches").inc();
+        udse_obs::metrics::counter("shard.workers").add(count as u64);
+        udse_obs::info!(
+            "shard",
+            "plan `{}`: {} jobs across {count} worker(s) in {}",
+            plan.label(),
+            plan.len(),
+            self.dir.display()
+        );
+        let mut children = Vec::with_capacity(count);
+        for i in 0..count {
+            let out = self.dir.join(format!("{stem}.shard-{i}of{count}.json"));
+            let manifest = self.dir.join(format!("{stem}.shard-{i}of{count}.manifest.json"));
+            let retry = format!(
+                "{} worker --plan {} --shard {i}/{count} --out {}",
+                self.exe.display(),
+                plan_path.display(),
+                out.display()
+            );
+            let child = Command::new(&self.exe)
+                .arg("worker")
+                .arg("--plan")
+                .arg(&plan_path)
+                .arg("--shard")
+                .arg(format!("{i}/{count}"))
+                .arg("--out")
+                .arg(&out)
+                .arg("--manifest")
+                .arg(&manifest)
+                .arg("--jobs")
+                .arg(self.worker_jobs.to_string())
+                .spawn()
+                .map_err(|e| {
+                    format!("cannot spawn worker {i}/{count} ({}): {e}", self.exe.display())
+                })?;
+            children.push((i, child, out, retry));
+        }
+        let mut results = ShardedResults::new();
+        let mut failures: Vec<String> = Vec::new();
+        for (i, mut child, out, retry) in children {
+            let status =
+                child.wait().map_err(|e| format!("waiting for worker {i}/{count}: {e}"))?;
+            if !status.success() {
+                let how = match status.code() {
+                    Some(code) => format!("exited with status {code}"),
+                    None => "was killed by a signal".to_string(),
+                };
+                failures.push(format!("worker {i}/{count} {how}; retry with `{retry}`"));
+                continue;
+            }
+            match ResultShard::read_from_path(&out) {
+                Ok(shard) => {
+                    if let Err(e) = results.push(shard) {
+                        failures.push(format!("{e}; retry with `{retry}`"));
+                    }
+                }
+                Err(e) => failures.push(format!("{e}; retry with `{retry}`")),
+            }
+        }
+        if !failures.is_empty() {
+            return Err(failures.join("\n"));
+        }
+        let rows = results.assemble()?;
+        rows.into_iter()
+            .enumerate()
+            .map(|(id, v)| match v[..] {
+                [bips, watts] => Ok(Metrics { bips, watts }),
+                _ => Err(format!(
+                    "job {id} of plan `{}`: expected [bips, watts], got {} values",
+                    plan.label(),
+                    v.len()
+                )),
+            })
+            .collect()
+    }
+}
+
+/// Keeps plan labels filesystem-safe: anything outside `[A-Za-z0-9._-]`
+/// becomes `-`.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '-' })
+        .collect()
+}
+
+/// The ground-truth oracle an experiment context holds: in-process
+/// simulation, or fan-out to `repro worker` child processes.
+#[derive(Debug)]
+pub enum GroundTruth {
+    /// Evaluate everything in-process (the `--jobs` thread pool).
+    Local(SimOracle),
+    /// Fork batches to worker processes (`repro --shards N`).
+    Sharded(ShardedOracle),
+}
+
+impl GroundTruth {
+    /// The underlying simulation oracle (trace access, spec capture).
+    pub fn sim(&self) -> &SimOracle {
+        match self {
+            GroundTruth::Local(sim) => sim,
+            GroundTruth::Sharded(sharded) => sharded.sim(),
+        }
+    }
+}
+
+impl Oracle for GroundTruth {
+    /// Single-point lookups always run in-process; forking a worker per
+    /// simulation would dwarf the simulation itself.
+    fn evaluate(&self, benchmark: Benchmark, point: &DesignPoint) -> Metrics {
+        self.sim().evaluate(benchmark, point)
+    }
+
+    /// Batch evaluation is where sharding happens: a `Sharded` oracle
+    /// wraps the jobs in an anonymous batch plan and forks workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics in sharded mode when a worker fails; the message names the
+    /// failed shard and the exact retry command (see
+    /// [`ShardedOracle::run_plan`]).
+    fn evaluate_many(&self, jobs: &[(Benchmark, DesignPoint)]) -> Vec<Metrics> {
+        match self {
+            GroundTruth::Local(sim) => sim.evaluate_many(jobs),
+            GroundTruth::Sharded(sharded) => {
+                let plan = EvalPlan::from_jobs("batch", jobs.to_vec());
+                sharded
+                    .run_plan(&plan)
+                    .unwrap_or_else(|e| panic!("sharded evaluation failed:\n{e}"))
+            }
+        }
+    }
+
+    /// Plans shard directly (preserving their label in the on-disk file
+    /// names) instead of being re-wrapped as anonymous batches.
+    fn evaluate_plan(&self, plan: &EvalPlan) -> Vec<Metrics> {
+        udse_obs::metrics::counter("plan.jobs").add(plan.len() as u64);
+        match self {
+            GroundTruth::Local(sim) => sim.evaluate_many(plan.jobs()),
+            GroundTruth::Sharded(sharded) => {
+                sharded.run_plan(plan).unwrap_or_else(|e| panic!("sharded evaluation failed:\n{e}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_safe_chars_only() {
+        assert_eq!(sanitize("depth.validation"), "depth.validation");
+        assert_eq!(sanitize("a b/c"), "a-b-c");
+        assert_eq!(sanitize("batch-3"), "batch-3");
+    }
+
+    #[test]
+    fn ground_truth_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GroundTruth>();
+        assert_send_sync::<ShardedOracle>();
+    }
+
+    #[test]
+    fn local_ground_truth_matches_plain_oracle() {
+        let gt = GroundTruth::Local(SimOracle::with_trace_len(1_000));
+        let plain = SimOracle::with_trace_len(1_000);
+        let p = udse_core::space::DesignSpace::paper().decode(123).unwrap();
+        let a = gt.evaluate(Benchmark::Gcc, &p);
+        let b = plain.evaluate(Benchmark::Gcc, &p);
+        assert_eq!(a, b);
+        let jobs = vec![(Benchmark::Gcc, p), (Benchmark::Mcf, p)];
+        assert_eq!(gt.evaluate_many(&jobs), plain.evaluate_many(&jobs));
+    }
+
+    #[test]
+    fn sharded_run_plan_surfaces_spawn_failure() {
+        let dir = std::env::temp_dir().join(format!("udse_shard_spawn_{}", std::process::id()));
+        let oracle = ShardedOracle::new(
+            SimOracle::with_trace_len(1_000),
+            2,
+            PathBuf::from("/nonexistent/repro-binary"),
+            dir.clone(),
+            1,
+        );
+        let p = udse_core::space::DesignSpace::paper().decode(0).unwrap();
+        let plan = EvalPlan::from_jobs("t", vec![(Benchmark::Ammp, p), (Benchmark::Gcc, p)]);
+        let err = oracle.run_plan(&plan).expect_err("spawn must fail");
+        assert!(err.contains("cannot spawn worker"), "err: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_plan_short_circuits() {
+        let oracle = ShardedOracle::new(
+            SimOracle::with_trace_len(1_000),
+            3,
+            PathBuf::from("/nonexistent"),
+            std::env::temp_dir(),
+            1,
+        );
+        assert!(oracle.run_plan(&EvalPlan::new("empty")).unwrap().is_empty());
+    }
+}

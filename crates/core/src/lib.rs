@@ -11,6 +11,10 @@
 //! - [`oracle`] — the ground-truth interface: simulate a design point for
 //!   a benchmark and obtain `(bips, watts)`; [`oracle::SimOracle`] wraps
 //!   the `udse-sim` simulator with per-benchmark trace caching.
+//! - [`plan`] — serializable evaluation plans: the batches the studies
+//!   hand to the oracle as first-class values with stable job IDs and a
+//!   canonical JSON form, so ground truth can be sharded across
+//!   processes and reassembled bitwise-identically.
 //! - [`model`] — the paper-standard performance and power regression
 //!   models (§3): `sqrt`/`log` response transforms, restricted cubic
 //!   splines with 4 knots on strong predictors and 3 on weak ones, and
@@ -48,6 +52,7 @@ pub mod baseline;
 pub mod model;
 pub mod oracle;
 pub mod pareto;
+pub mod plan;
 pub mod report;
 pub mod search;
 pub mod space;
@@ -56,4 +61,5 @@ pub mod studies;
 pub use model::{CompiledPaperModels, PaperModels};
 pub use oracle::{CachedOracle, Metrics, Oracle, SimOracle};
 pub use pareto::ParetoFrontier;
+pub use plan::{EvalPlan, SimSpec};
 pub use space::{DesignPoint, DesignSpace};

@@ -225,6 +225,17 @@ impl CompiledPaperModels {
 
     /// Grid indices for `point`, in predictor column order. The point
     /// must come from the space this model was compiled for.
+    ///
+    /// Exposed so multi-model sweeps (all nine benchmarks over one grid
+    /// walk) can compute the indices once per point and reuse them via
+    /// [`CompiledPaperModels::predict_metrics_at`]; the same `idx` feeds
+    /// every model compiled on the same space, and the resulting
+    /// predictions are bitwise-identical to per-model
+    /// [`CompiledPaperModels::predict_metrics`] calls.
+    pub fn grid_indices(&self, point: &DesignPoint) -> [usize; 7] {
+        self.indices(point)
+    }
+
     fn indices(&self, point: &DesignPoint) -> [usize; 7] {
         debug_assert_eq!(
             self.depths.get(point.depth_idx as usize),
@@ -258,6 +269,17 @@ impl CompiledPaperModels {
         Metrics {
             bips: self.performance.predict_indices(&idx),
             watts: self.power.predict_indices(&idx),
+        }
+    }
+
+    /// Predicted `(bips, watts)` at precomputed grid indices (see
+    /// [`CompiledPaperModels::grid_indices`]). Identical to
+    /// [`CompiledPaperModels::predict_metrics`] on the point the indices
+    /// came from.
+    pub fn predict_metrics_at(&self, idx: &[usize; 7]) -> Metrics {
+        Metrics {
+            bips: self.performance.predict_indices(idx),
+            watts: self.power.predict_indices(idx),
         }
     }
 

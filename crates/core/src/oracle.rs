@@ -15,6 +15,7 @@ use std::sync::{Arc, RwLock};
 use udse_sim::Simulator;
 use udse_trace::{Benchmark, Trace};
 
+use crate::plan::EvalPlan;
 use crate::space::DesignPoint;
 
 /// The two responses the paper models for every design.
@@ -56,6 +57,15 @@ pub trait Oracle: Send + Sync {
     /// jobs sequentially because each evaluation is independent.
     fn evaluate_many(&self, jobs: &[(Benchmark, DesignPoint)]) -> Vec<Metrics> {
         udse_obs::pool::map(jobs, |(b, p)| self.evaluate(*b, p))
+    }
+
+    /// Evaluates every job of an [`EvalPlan`], returning metrics in job-ID
+    /// order. Equivalent to [`Oracle::evaluate_many`] on the plan's job
+    /// list; sharding oracles override the batch path, not this, so a
+    /// plan evaluates identically however the work is distributed.
+    fn evaluate_plan(&self, plan: &EvalPlan) -> Vec<Metrics> {
+        udse_obs::metrics::counter("plan.jobs").add(plan.len() as u64);
+        self.evaluate_many(plan.jobs())
     }
 
     /// Evaluates one design for every benchmark in the suite, in
@@ -131,6 +141,13 @@ impl SimOracle {
     /// The configured trace length.
     pub fn trace_len(&self) -> usize {
         self.trace_len
+    }
+
+    /// The configured trace seed (captured by
+    /// [`crate::plan::SimSpec::of`] so worker processes rebuild an
+    /// equivalent oracle).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Returns the cached trace for a benchmark, generating it on first

@@ -226,10 +226,9 @@ impl DepthValidation {
                 wanted.push(*p);
             }
         }
-        let jobs: Vec<(Benchmark, DesignPoint)> =
-            Benchmark::ALL.iter().flat_map(|&b| wanted.iter().map(move |p| (b, *p))).collect();
+        let plan = crate::plan::EvalPlan::cross_suite("depth.validation", &wanted);
         let simulated: HashMap<(Benchmark, DesignPoint), crate::oracle::Metrics> =
-            jobs.iter().copied().zip(oracle.evaluate_many(&jobs)).collect();
+            plan.jobs().iter().copied().zip(oracle.evaluate_plan(&plan)).collect();
         let sim = |b: Benchmark, p: &DesignPoint| simulated[&(b, *p)];
 
         let suite_metrics = |points: &[DesignPoint], simulate: bool| {

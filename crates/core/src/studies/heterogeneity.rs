@@ -193,8 +193,9 @@ pub fn simulated_gains<O: Oracle + ?Sized>(
             }
         }
     }
+    let plan = crate::plan::EvalPlan::from_jobs("heterogeneity.gains", jobs);
     let simulated: HashMap<(Benchmark, DesignPoint), Metrics> =
-        jobs.iter().copied().zip(oracle.evaluate_many(&jobs)).collect();
+        plan.jobs().iter().copied().zip(oracle.evaluate_plan(&plan)).collect();
     gains_with(optima, suite, seed, |b, p| simulated[&(b, *p)].bips_cubed_per_watt())
 }
 
@@ -210,10 +211,11 @@ pub fn compromise_errors<O: Oracle + ?Sized>(
 ) -> (f64, f64) {
     let jobs: Vec<(Benchmark, DesignPoint)> =
         clusters.iter().flat_map(|c| c.members.iter().map(|&b| (b, c.architecture))).collect();
-    let simulated = oracle.evaluate_many(&jobs);
-    let mut bips_signed = Vec::with_capacity(jobs.len());
-    let mut watts_signed = Vec::with_capacity(jobs.len());
-    for ((b, arch), sim) in jobs.iter().zip(&simulated) {
+    let plan = crate::plan::EvalPlan::from_jobs("heterogeneity.compromise", jobs);
+    let simulated = oracle.evaluate_plan(&plan);
+    let mut bips_signed = Vec::with_capacity(plan.len());
+    let mut watts_signed = Vec::with_capacity(plan.len());
+    for ((b, arch), sim) in plan.jobs().iter().zip(&simulated) {
         let pred = suite.models(*b).predict_metrics(arch);
         bips_signed.push((sim.bips - pred.bips) / pred.bips);
         watts_signed.push((sim.watts - pred.watts) / pred.watts);

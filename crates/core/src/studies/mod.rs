@@ -15,6 +15,7 @@ use udse_trace::Benchmark;
 
 use crate::model::{CompiledPaperModels, PaperModels};
 use crate::oracle::{Metrics, Oracle};
+use crate::plan::EvalPlan;
 use crate::space::{DesignPoint, DesignSpace};
 
 /// Shared knobs for the study drivers.
@@ -84,8 +85,9 @@ pub struct TrainedSuite {
 impl TrainedSuite {
     /// Samples the design space once and trains all nine benchmark model
     /// pairs against the oracle. The `9 × train_samples` simulations run
-    /// as one [`Oracle::evaluate_many`] batch and the nine per-benchmark
-    /// fits run through the work pool, so both phases parallelize; the
+    /// as one [`Oracle::evaluate_plan`] batch (see
+    /// [`TrainedSuite::training_plan`]) and the nine per-benchmark fits
+    /// run through the work pool, so both phases parallelize; the
     /// trained coefficients are identical to a sequential run.
     ///
     /// # Errors
@@ -96,12 +98,12 @@ impl TrainedSuite {
         config: &StudyConfig,
     ) -> Result<Self, RegressError> {
         let _span = udse_obs::span::enter("train");
-        let samples = DesignSpace::paper().sample_uar(config.train_samples, config.seed);
-        let jobs: Vec<(Benchmark, DesignPoint)> =
-            Benchmark::ALL.iter().flat_map(|&b| samples.iter().map(move |p| (b, *p))).collect();
+        let plan = Self::training_plan(config);
+        let samples: Vec<DesignPoint> =
+            plan.jobs()[..config.train_samples].iter().map(|&(_, p)| p).collect();
         let observations = {
             let _sim = udse_obs::span::enter("simulate");
-            oracle.evaluate_many(&jobs)
+            oracle.evaluate_plan(&plan)
         };
         let models = {
             let _fit = udse_obs::span::enter("fit");
@@ -118,6 +120,16 @@ impl TrainedSuite {
             .collect::<Result<Vec<_>, _>>()?
         };
         Ok(TrainedSuite { models, samples })
+    }
+
+    /// The training-phase evaluation plan for a configuration: the
+    /// benchmarks-major cross product of [`Benchmark::ALL`] with the UAR
+    /// training sample, labeled `train`. [`TrainedSuite::train`] runs
+    /// exactly this plan, so `repro plan` can emit it for out-of-process
+    /// workers and the results splice back in bitwise-identically.
+    pub fn training_plan(config: &StudyConfig) -> EvalPlan {
+        let samples = DesignSpace::paper().sample_uar(config.train_samples, config.seed);
+        EvalPlan::cross_suite("train", &samples)
     }
 
     /// The models for one benchmark.

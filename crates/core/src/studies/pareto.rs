@@ -9,9 +9,11 @@ use udse_trace::Benchmark;
 use crate::model::PaperModels;
 use crate::oracle::{Metrics, Oracle};
 use crate::pareto::ParetoFrontier;
+use crate::plan::EvalPlan;
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::{
     predicted_efficiency_optimum, record_sweep, strided_count, strided_point, StudyConfig,
+    TrainedSuite,
 };
 
 /// One design with its regression-predicted delay and power.
@@ -90,10 +92,73 @@ pub fn characterize(
         models.benchmark(),
         rate
     );
-    // Cluster summaries keyed by (depth, width): one hash lookup per
-    // design instead of a linear scan over the cluster list.
+    let clusters = build_clusters(&designs);
+    Characterization { benchmark: models.benchmark(), designs, clusters }
+}
+
+/// Characterizes the space for *all nine benchmarks* in one fused grid
+/// walk: each visited point is decoded and index-resolved once, then
+/// predicted through every benchmark's compiled tables (see
+/// [`crate::model::CompiledPaperModels::predict_metrics_at`]). Per
+/// benchmark, `designs` is bitwise-identical to a separate
+/// [`characterize`] call — only the walk overhead is amortized (the
+/// `compiled_predict_sweep` criterion group measures the speedup).
+pub fn characterize_all(
+    suite: &TrainedSuite,
+    space: &DesignSpace,
+    config: &StudyConfig,
+) -> Vec<Characterization> {
+    let _span = udse_obs::span::enter("sweep");
+    let compiled = suite.compile(space);
+    let stride = config.eval_stride;
+    let total = strided_count(space, stride);
+    let started = Instant::now();
+    let chunks = udse_obs::pool::map_chunks(total, |range| {
+        let _chunk = udse_obs::span::enter("chunk");
+        let chunk_len = (range.end - range.start) as usize;
+        let mut per_bench: Vec<Vec<PredictedDesign>> =
+            (0..compiled.all_models().len()).map(|_| Vec::with_capacity(chunk_len)).collect();
+        for k in range {
+            let point = strided_point(space, stride, k);
+            let idx = compiled.all_models()[0].grid_indices(&point);
+            for (out, m) in per_bench.iter_mut().zip(compiled.all_models()) {
+                out.push(PredictedDesign { point, predicted: m.predict_metrics_at(&idx) });
+            }
+        }
+        per_bench
+    });
+    // Concatenate each benchmark's chunk slices in range order.
+    let mut designs: Vec<Vec<PredictedDesign>> =
+        (0..compiled.all_models().len()).map(|_| Vec::with_capacity(total as usize)).collect();
+    for chunk in chunks {
+        for (out, part) in designs.iter_mut().zip(chunk) {
+            out.extend(part);
+        }
+    }
+    let swept: u64 = designs.iter().map(|d| d.len() as u64).sum();
+    let rate = record_sweep(swept, started.elapsed().as_secs_f64());
+    udse_obs::info!(
+        "sweep",
+        "characterized {} designs across {} benchmarks in one fused walk at {:.0} designs/sec",
+        swept,
+        designs.len(),
+        rate
+    );
+    designs
+        .into_iter()
+        .zip(suite.all_models())
+        .map(|(designs, models)| {
+            let clusters = build_clusters(&designs);
+            Characterization { benchmark: models.benchmark(), designs, clusters }
+        })
+        .collect()
+}
+
+/// Cluster summaries keyed by (depth, width): one hash lookup per design
+/// instead of a linear scan over the cluster list, sorted at the end.
+fn build_clusters(designs: &[PredictedDesign]) -> Vec<ClusterSummary> {
     let mut by_key: HashMap<(u32, u32), ClusterSummary> = HashMap::new();
-    for d in &designs {
+    for d in designs {
         let fo4 = d.point.fo4();
         let width = d.point.decode_width();
         let delay = d.predicted.delay_seconds();
@@ -119,7 +184,7 @@ pub fn characterize(
     }
     let mut clusters: Vec<ClusterSummary> = by_key.into_values().collect();
     clusters.sort_by_key(|c| (c.fo4, c.width));
-    Characterization { benchmark: models.benchmark(), designs, clusters }
+    clusters
 }
 
 /// The Figure 3 artifact: the regression-predicted pareto frontier, with
@@ -156,9 +221,11 @@ impl FrontierStudy {
         let predicted: Vec<Metrics> =
             frontier.indices().iter().map(|&i| characterization.designs[i].predicted).collect();
         // Frontier sims are independent — run them as one parallel batch.
-        let jobs: Vec<(Benchmark, DesignPoint)> =
-            designs.iter().map(|p| (characterization.benchmark, *p)).collect();
-        let simulated = oracle.evaluate_many(&jobs);
+        let plan = EvalPlan::from_jobs(
+            "pareto.frontier",
+            designs.iter().map(|p| (characterization.benchmark, *p)).collect(),
+        );
+        let simulated = oracle.evaluate_plan(&plan);
         FrontierStudy { benchmark: characterization.benchmark, designs, predicted, simulated }
     }
 
@@ -245,6 +312,25 @@ mod tests {
         for c in &ch.clusters {
             assert!(c.delay_min <= c.delay_max);
             assert!(c.power_min <= c.power_max);
+        }
+    }
+
+    #[test]
+    fn fused_characterization_matches_separate_sweeps_bitwise() {
+        let (suite, config) = setup();
+        let space = DesignSpace::exploration();
+        let fused = characterize_all(&suite, &space, &config);
+        assert_eq!(fused.len(), 9);
+        for (b, ch) in Benchmark::ALL.iter().zip(&fused) {
+            assert_eq!(ch.benchmark, *b);
+            let separate = characterize(suite.models(*b), &space, &config);
+            assert_eq!(ch.designs.len(), separate.designs.len());
+            for (f, s) in ch.designs.iter().zip(&separate.designs) {
+                assert_eq!(f.point, s.point);
+                assert_eq!(f.predicted.bips.to_bits(), s.predicted.bips.to_bits());
+                assert_eq!(f.predicted.watts.to_bits(), s.predicted.watts.to_bits());
+            }
+            assert_eq!(ch.clusters, separate.clusters);
         }
     }
 

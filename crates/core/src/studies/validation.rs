@@ -8,6 +8,7 @@ use udse_stats::{median, ErrorSummary};
 use udse_trace::Benchmark;
 
 use crate::oracle::Oracle;
+use crate::plan::EvalPlan;
 use crate::space::DesignSpace;
 use crate::studies::{StudyConfig, TrainedSuite};
 
@@ -59,9 +60,8 @@ impl ValidationStudy {
         assert!(!points.is_empty(), "validation needs at least one point");
         // One parallel batch for the full benchmarks x points cross
         // product; results index as [bi * points.len() + pi].
-        let jobs: Vec<(Benchmark, crate::space::DesignPoint)> =
-            Benchmark::ALL.iter().flat_map(|&b| points.iter().map(move |p| (b, *p))).collect();
-        let simulated = oracle.evaluate_many(&jobs);
+        let plan = EvalPlan::cross_suite("validation", points);
+        let simulated = oracle.evaluate_plan(&plan);
         let mut per_benchmark = Vec::with_capacity(9);
         let mut all_perf_signed = Vec::new();
         let mut all_power_signed = Vec::new();

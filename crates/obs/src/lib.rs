@@ -27,6 +27,11 @@
 //!   wall time, metric snapshots, span totals, model quality, seeds, and
 //!   configuration, serialized with the hand-rolled JSON writer/parser in
 //!   [`json`] (and read back by [`manifest::ParsedManifest`]);
+//! - [`sharded`] — the result-shard wire format for multi-process runs:
+//!   [`sharded::ResultShard`] writer/reader plus
+//!   [`sharded::ShardedResults`] reassembly with missing-shard detection
+//!   (and [`manifest::merge_manifests`] to aggregate the per-shard run
+//!   manifests);
 //! - [`quality`] — model-quality telemetry: per-benchmark and pooled
 //!   prediction-error quantiles, signed bias, and R² accumulated in a
 //!   global [`quality::Collector`] and persisted in the manifest;
@@ -63,6 +68,7 @@ pub mod metrics;
 pub mod pool;
 pub mod progress;
 pub mod quality;
+pub mod sharded;
 pub mod span;
 pub mod trace;
 
@@ -72,5 +78,6 @@ pub use manifest::{ParsedManifest, RunManifest};
 pub use metrics::Registry;
 pub use progress::Progress;
 pub use quality::QualityRecord;
+pub use sharded::{ResultShard, ShardedResults};
 pub use span::SpanGuard;
 pub use trace::TraceEvent;

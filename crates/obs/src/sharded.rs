@@ -1,0 +1,442 @@
+//! Result shards: the wire format between a sharded run's workers and
+//! the parent that reassembles them.
+//!
+//! A worker process evaluates one contiguous job-ID slice of an
+//! evaluation plan and writes a [`ResultShard`]: the rows it produced,
+//! each tagged with its stable job ID. The parent collects every shard
+//! into a [`ShardedResults`] and [`ShardedResults::assemble`]s them back
+//! into one job-ID-ordered table, refusing to proceed when a shard is
+//! missing, duplicated, or inconsistent — a killed worker surfaces as an
+//! error naming the missing shard, never as silently dropped rows.
+//!
+//! Values are carried as raw `f64` rows (this crate stays
+//! benchmark-agnostic; the caller decides what the columns mean). The
+//! JSON float writer emits the shortest round-tripping representation,
+//! so finite values survive serialize → parse bit-exactly and a sharded
+//! run reassembles bitwise-identical to an in-process one. Non-finite
+//! values do not round-trip (JSON has no NaN/inf) and are rejected at
+//! write time.
+//!
+//! # Examples
+//!
+//! ```
+//! use udse_obs::sharded::{ResultShard, ShardedResults};
+//!
+//! let mut all = ShardedResults::new();
+//! all.push(ResultShard::new("demo", 3, 0, 2, vec![(0, vec![1.5])]).unwrap()).unwrap();
+//! all.push(ResultShard::new("demo", 3, 1, 2, vec![(1, vec![2.5]), (2, vec![3.5])]).unwrap())
+//!     .unwrap();
+//! let rows = all.assemble().unwrap();
+//! assert_eq!(rows, vec![vec![1.5], vec![2.5], vec![3.5]]);
+//! ```
+
+use crate::json::Json;
+use crate::manifest::write_with_parents;
+
+/// Shard document layout version, bumped on incompatible changes.
+pub const SHARD_SCHEMA_VERSION: i64 = 1;
+
+/// One result row: the job's stable plan ID and its output values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRow {
+    /// Stable job ID (the job's index in the evaluation plan).
+    pub id: u64,
+    /// Output values in caller-defined column order.
+    pub values: Vec<f64>,
+}
+
+/// The results of one worker's contiguous slice of an evaluation plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultShard {
+    /// Label of the plan these results belong to.
+    pub plan_label: String,
+    /// Total jobs in the plan (not just this shard).
+    pub total_jobs: u64,
+    /// This shard's index, `0..shard_count`.
+    pub shard_index: u64,
+    /// Number of shards the plan was split into.
+    pub shard_count: u64,
+    /// Result rows in ascending job-ID order.
+    pub rows: Vec<ShardRow>,
+}
+
+impl ResultShard {
+    /// Builds a shard from `(id, values)` rows.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `shard_count == 0`, an out-of-range `shard_index`, rows
+    /// out of ascending ID order, and non-finite values (which would not
+    /// survive the JSON round trip).
+    pub fn new(
+        plan_label: &str,
+        total_jobs: u64,
+        shard_index: u64,
+        shard_count: u64,
+        rows: Vec<(u64, Vec<f64>)>,
+    ) -> Result<Self, String> {
+        if shard_count == 0 {
+            return Err("shard_count must be at least 1".to_string());
+        }
+        if shard_index >= shard_count {
+            return Err(format!("shard_index {shard_index} out of range for {shard_count} shards"));
+        }
+        let rows: Vec<ShardRow> =
+            rows.into_iter().map(|(id, values)| ShardRow { id, values }).collect();
+        for pair in rows.windows(2) {
+            if pair[1].id <= pair[0].id {
+                return Err(format!(
+                    "shard rows out of order: id {} follows {}",
+                    pair[1].id, pair[0].id
+                ));
+            }
+        }
+        for row in &rows {
+            if row.id >= total_jobs {
+                return Err(format!("row id {} outside plan of {total_jobs} jobs", row.id));
+            }
+            if let Some(v) = row.values.iter().find(|v| !v.is_finite()) {
+                return Err(format!(
+                    "row {} holds non-finite value {v} — JSON cannot carry it",
+                    row.id
+                ));
+            }
+        }
+        Ok(ResultShard {
+            plan_label: plan_label.to_string(),
+            total_jobs,
+            shard_index,
+            shard_count,
+            rows,
+        })
+    }
+
+    /// Serializes the shard to its canonical document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard_version", Json::Int(SHARD_SCHEMA_VERSION)),
+            ("plan_label", Json::str(self.plan_label.as_str())),
+            ("total_jobs", Json::Int(self.total_jobs as i64)),
+            ("shard_index", Json::Int(self.shard_index as i64)),
+            ("shard_count", Json::Int(self.shard_count as i64)),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("id", Json::Int(r.id as i64)),
+                                (
+                                    "values",
+                                    Json::Arr(r.values.iter().map(|&v| Json::Float(v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a shard document.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON, an unsupported version, or malformed
+    /// rows, with a message suitable for surfacing verbatim.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&doc)
+    }
+
+    /// Interprets an already-parsed document as a shard.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ResultShard::parse`].
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let version = doc
+            .get("shard_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing shard_version — not a result shard")?;
+        if version != SHARD_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported shard_version {version} (this build reads {SHARD_SCHEMA_VERSION})"
+            ));
+        }
+        let int = |field: &str| -> Result<u64, String> {
+            doc.get(field)
+                .and_then(Json::as_i64)
+                .filter(|&v| v >= 0)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("{field} missing or negative"))
+        };
+        let plan_label =
+            doc.get("plan_label").and_then(Json::as_str).ok_or("missing plan_label")?.to_string();
+        let mut rows = Vec::new();
+        for (i, row) in
+            doc.get("rows").and_then(Json::as_arr).ok_or("missing rows array")?.iter().enumerate()
+        {
+            let id = row
+                .get("id")
+                .and_then(Json::as_i64)
+                .filter(|&v| v >= 0)
+                .ok_or_else(|| format!("row {i}: id missing or negative"))?
+                as u64;
+            let values = row
+                .get("values")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("row {i}: missing values array"))?
+                .iter()
+                .map(|v| v.as_f64().ok_or_else(|| format!("row {i}: non-numeric value")))
+                .collect::<Result<Vec<f64>, String>>()?;
+            rows.push((id, values));
+        }
+        ResultShard::new(
+            &plan_label,
+            int("total_jobs")?,
+            int("shard_index")?,
+            int("shard_count")?,
+            rows,
+        )
+    }
+
+    /// Writes the pretty-printed shard to `path`, creating missing parent
+    /// directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures with the path in the message.
+    pub fn write_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        write_with_parents(path, &self.to_json().to_string_pretty())
+    }
+
+    /// Reads and parses a shard file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming `path` for I/O and format failures alike.
+    pub fn read_from_path(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading result shard {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("result shard {}: {e}", path.display()))
+    }
+}
+
+/// Collects the shards of one plan and reassembles them in job-ID order.
+#[derive(Debug, Default)]
+pub struct ShardedResults {
+    shards: Vec<ResultShard>,
+}
+
+impl ShardedResults {
+    /// An empty collection.
+    pub fn new() -> Self {
+        ShardedResults::default()
+    }
+
+    /// Adds a shard, checking it is consistent with those already held
+    /// (same plan label, total job count, and shard count; unseen index).
+    ///
+    /// # Errors
+    ///
+    /// Names the mismatching field or the duplicated shard.
+    pub fn push(&mut self, shard: ResultShard) -> Result<(), String> {
+        if let Some(first) = self.shards.first() {
+            if shard.plan_label != first.plan_label {
+                return Err(format!(
+                    "shard {} belongs to plan `{}`, expected `{}`",
+                    shard.shard_index, shard.plan_label, first.plan_label
+                ));
+            }
+            if shard.total_jobs != first.total_jobs || shard.shard_count != first.shard_count {
+                return Err(format!(
+                    "shard {} disagrees on plan shape: {} jobs / {} shards, expected {} / {}",
+                    shard.shard_index,
+                    shard.total_jobs,
+                    shard.shard_count,
+                    first.total_jobs,
+                    first.shard_count
+                ));
+            }
+            if self.shards.iter().any(|s| s.shard_index == shard.shard_index) {
+                return Err(format!(
+                    "duplicate result shard {}/{} for plan `{}`",
+                    shard.shard_index, shard.shard_count, shard.plan_label
+                ));
+            }
+        }
+        self.shards.push(shard);
+        Ok(())
+    }
+
+    /// Shards held so far.
+    pub fn shards(&self) -> &[ResultShard] {
+        &self.shards
+    }
+
+    /// Reassembles the full result table in job-ID order.
+    ///
+    /// # Errors
+    ///
+    /// Refuses when no shards were collected, when any shard index of
+    /// `0..shard_count` is absent (the message names each missing shard —
+    /// the signature of a killed or failed worker), or when the row IDs
+    /// do not cover `0..total_jobs` exactly once.
+    pub fn assemble(&self) -> Result<Vec<Vec<f64>>, String> {
+        let first = self.shards.first().ok_or("no result shards collected")?;
+        let missing: Vec<String> = (0..first.shard_count)
+            .filter(|i| !self.shards.iter().any(|s| s.shard_index == *i))
+            .map(|i| format!("{i}/{}", first.shard_count))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "missing result shard{} {} for plan `{}` — a worker likely failed or was killed; \
+                 re-run the corresponding `repro worker --shard <i>/{}` command(s)",
+                if missing.len() == 1 { "" } else { "s" },
+                missing.join(", "),
+                first.plan_label,
+                first.shard_count
+            ));
+        }
+        let mut slots: Vec<Option<Vec<f64>>> = vec![None; first.total_jobs as usize];
+        for shard in &self.shards {
+            for row in &shard.rows {
+                let slot = &mut slots[row.id as usize];
+                if slot.is_some() {
+                    return Err(format!(
+                        "job {} appears in more than one shard of plan `{}`",
+                        row.id, first.plan_label
+                    ));
+                }
+                *slot = Some(row.values.clone());
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(id, slot)| {
+                slot.ok_or_else(|| {
+                    format!(
+                        "job {id} of plan `{}` produced no result despite all {} shards reporting",
+                        first.plan_label, first.shard_count
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(index: u64, count: u64, rows: Vec<(u64, Vec<f64>)>) -> ResultShard {
+        ResultShard::new("t", 6, index, count, rows).expect("valid shard")
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let s = shard(
+            1,
+            2,
+            vec![(3, vec![0.1 + 0.2, 1.0 / 3.0]), (4, vec![f64::MIN_POSITIVE]), (5, vec![])],
+        );
+        let text = s.to_json().to_string_pretty();
+        let back = ResultShard::parse(&text).expect("parses");
+        assert_eq!(back.plan_label, "t");
+        for (a, b) in s.rows.iter().zip(&back.rows) {
+            assert_eq!(a.id, b.id);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&a.values), bits(&b.values));
+        }
+        assert_eq!(back.to_json().to_string_pretty(), text, "serialize is canonical");
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(ResultShard::new("t", 6, 0, 0, vec![]).is_err(), "zero shards");
+        assert!(ResultShard::new("t", 6, 2, 2, vec![]).is_err(), "index out of range");
+        assert!(ResultShard::new("t", 6, 0, 1, vec![(6, vec![])]).is_err(), "id out of plan");
+        assert!(
+            ResultShard::new("t", 6, 0, 1, vec![(1, vec![]), (0, vec![])]).is_err(),
+            "unsorted rows"
+        );
+        let err = ResultShard::new("t", 6, 0, 1, vec![(0, vec![f64::NAN])]).unwrap_err();
+        assert!(err.contains("non-finite"), "err: {err}");
+    }
+
+    #[test]
+    fn assemble_reorders_across_shards() {
+        let mut all = ShardedResults::new();
+        all.push(shard(2, 3, vec![(4, vec![4.0]), (5, vec![5.0])])).unwrap();
+        all.push(shard(0, 3, vec![(0, vec![0.0]), (1, vec![1.0])])).unwrap();
+        all.push(shard(1, 3, vec![(2, vec![2.0]), (3, vec![3.0])])).unwrap();
+        let rows = all.assemble().expect("complete");
+        assert_eq!(rows.iter().map(|r| r[0] as u64).collect::<Vec<u64>>(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn missing_shard_is_named() {
+        let mut all = ShardedResults::new();
+        all.push(shard(0, 3, vec![(0, vec![0.0]), (1, vec![1.0])])).unwrap();
+        all.push(shard(2, 3, vec![(4, vec![4.0]), (5, vec![5.0])])).unwrap();
+        let err = all.assemble().expect_err("incomplete");
+        assert!(err.contains("missing result shard 1/3"), "err: {err}");
+        assert!(err.contains("plan `t`"), "err: {err}");
+        assert!(err.contains("repro worker"), "actionable retry hint: {err}");
+    }
+
+    #[test]
+    fn push_rejects_inconsistent_and_duplicate_shards() {
+        let mut all = ShardedResults::new();
+        all.push(shard(0, 2, vec![(0, vec![])])).unwrap();
+        let err = all
+            .push(ResultShard::new("other", 6, 1, 2, vec![]).unwrap())
+            .expect_err("label mismatch");
+        assert!(err.contains("plan `other`"), "err: {err}");
+        let err =
+            all.push(ResultShard::new("t", 7, 1, 2, vec![]).unwrap()).expect_err("shape mismatch");
+        assert!(err.contains("disagrees"), "err: {err}");
+        let err = all.push(shard(0, 2, vec![])).expect_err("duplicate index");
+        assert!(err.contains("duplicate result shard 0/2"), "err: {err}");
+    }
+
+    #[test]
+    fn assemble_rejects_overlapping_and_incomplete_rows() {
+        let mut all = ShardedResults::new();
+        all.push(shard(0, 2, vec![(0, vec![]), (1, vec![]), (2, vec![])])).unwrap();
+        all.push(shard(1, 2, vec![(2, vec![]), (3, vec![])])).unwrap();
+        let err = all.assemble().expect_err("job 2 duplicated");
+        assert!(err.contains("job 2"), "err: {err}");
+
+        let mut all = ShardedResults::new();
+        all.push(shard(0, 2, vec![(0, vec![]), (1, vec![])])).unwrap();
+        all.push(shard(1, 2, vec![(3, vec![])])).unwrap();
+        let err = all.assemble().expect_err("job 2 absent");
+        assert!(err.contains("job 2"), "err: {err}");
+    }
+
+    #[test]
+    fn file_round_trip_and_errors_name_path() {
+        let dir = std::env::temp_dir().join(format!("udse_obs_shard_test_{}", std::process::id()));
+        let path = dir.join("nested/r.shard.json");
+        let s = shard(0, 1, vec![(0, vec![1.5, 2.5])]);
+        s.write_to_path(&path).expect("write with parents");
+        assert_eq!(ResultShard::read_from_path(&path).expect("read back"), s);
+        let missing = dir.join("absent.json");
+        let err = ResultShard::read_from_path(&missing).expect_err("missing file");
+        assert!(err.contains("absent.json"), "err: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_documents_error_cleanly() {
+        assert!(ResultShard::parse("nope").is_err());
+        assert!(ResultShard::parse("{}").unwrap_err().contains("shard_version"));
+        let future = r#"{"shard_version": 9, "plan_label": "x", "total_jobs": 0,
+            "shard_index": 0, "shard_count": 1, "rows": []}"#;
+        assert!(ResultShard::parse(future).unwrap_err().contains("unsupported shard_version"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the result-shard wire format.
+//!
+//! A sharded run is only trustworthy if worker output survives the JSON
+//! round trip bit-exactly and reassembly is insensitive to shard arrival
+//! order — these properties are what make `repro --shards N` bitwise
+//! identical to an in-process run.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use udse_obs::{Json, ResultShard, ShardedResults};
+
+/// Finite values across the magnitudes metrics actually span, plus
+/// awkward ones (subnormal-adjacent, negative, huge).
+fn arbitrary_value(rng: &mut StdRng) -> f64 {
+    let magnitude = match rng.gen_range(0u32..5) {
+        0 => rng.gen_range(0.0f64..1.0),
+        1 => rng.gen_range(0.0f64..100.0),
+        2 => rng.gen_range(0.0f64..1e-12),
+        3 => rng.gen_range(0.0f64..1e18),
+        _ => f64::MIN_POSITIVE,
+    };
+    if rng.gen::<bool>() {
+        -magnitude
+    } else {
+        magnitude
+    }
+}
+
+/// One plan's worth of result rows: `total` jobs, each with the same
+/// column count (the caller's convention; the format itself is ragged).
+fn arbitrary_rows(rng: &mut StdRng, total: usize) -> Vec<Vec<f64>> {
+    let columns = rng.gen_range(0usize..4);
+    (0..total).map(|_| (0..columns).map(|_| arbitrary_value(rng)).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn shard_serialize_parse_serialize_is_identity(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = rng.gen_range(1usize..30);
+        let rows = arbitrary_rows(&mut rng, total);
+        // A shard holding an arbitrary contiguous slice of the plan.
+        let count = rng.gen_range(1usize..5) as u64;
+        let index = rng.gen_range(0..count);
+        let start = rng.gen_range(0usize..total);
+        let end = rng.gen_range(start..=total);
+        let shard = ResultShard::new(
+            "prop",
+            total as u64,
+            index,
+            count,
+            (start..end).map(|id| (id as u64, rows[id].clone())).collect(),
+        )
+        .expect("valid shard");
+        let text = shard.to_json().to_string_pretty();
+        let back = ResultShard::parse(&text).expect("canonical shard parses");
+        prop_assert_eq!(back.plan_label.as_str(), "prop");
+        prop_assert_eq!(back.rows.len(), shard.rows.len());
+        for (a, b) in shard.rows.iter().zip(&back.rows) {
+            prop_assert_eq!(a.id, b.id);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            prop_assert_eq!(bits(&a.values), bits(&b.values));
+        }
+        // Byte identity: canonical serialization is a fixed point.
+        prop_assert_eq!(back.to_json().to_string_pretty(), text);
+    }
+
+    #[test]
+    fn assembly_is_shard_order_insensitive_and_bit_exact(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = rng.gen_range(1usize..40);
+        let rows = arbitrary_rows(&mut rng, total);
+        let count = rng.gen_range(1usize..6).min(total);
+        // Contiguous slices exactly like EvalPlan::shard_range.
+        let mut shards: Vec<ResultShard> = (0..count)
+            .map(|i| {
+                let range = (total * i / count)..(total * (i + 1) / count);
+                ResultShard::new(
+                    "prop",
+                    total as u64,
+                    i as u64,
+                    count as u64,
+                    range.map(|id| (id as u64, rows[id].clone())).collect(),
+                )
+                .expect("valid shard")
+            })
+            .collect();
+        // Arrival order is whatever the filesystem gives us.
+        shards.shuffle(&mut rng);
+        let mut all = ShardedResults::new();
+        for shard in shards {
+            // Round-trip each shard through its wire format first.
+            let back = ResultShard::parse(&shard.to_json().to_string_pretty()).expect("parses");
+            all.push(back).expect("consistent shard");
+        }
+        let assembled = all.assemble().expect("complete plan");
+        prop_assert_eq!(assembled.len(), rows.len());
+        for (a, b) in rows.iter().zip(&assembled) {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            prop_assert_eq!(bits(a), bits(b));
+        }
+    }
+
+    #[test]
+    fn dropping_any_one_shard_is_detected(seed in 0u64..1_000_000) {
+        // The killed-worker property: for any shard count and any victim,
+        // assembly refuses and names the missing shard.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = rng.gen_range(2usize..30);
+        let count = rng.gen_range(2usize..6).min(total);
+        let victim = rng.gen_range(0..count);
+        let mut all = ShardedResults::new();
+        for i in (0..count).filter(|&i| i != victim) {
+            let range = (total * i / count)..(total * (i + 1) / count);
+            all.push(
+                ResultShard::new(
+                    "prop",
+                    total as u64,
+                    i as u64,
+                    count as u64,
+                    range.map(|id| (id as u64, vec![0.5])).collect(),
+                )
+                .expect("valid shard"),
+            )
+            .expect("consistent shard");
+        }
+        let err = all.assemble().expect_err("missing shard must refuse");
+        prop_assert!(
+            err.contains(&format!("{victim}/{count}")),
+            "error must name shard {}/{}: {}",
+            victim,
+            count,
+            err
+        );
+    }
+}
+
+#[test]
+fn shard_files_parse_back_through_the_generic_json_reader() {
+    // The shard document is ordinary manifest-style JSON: generic
+    // tooling can read it without the ResultShard type.
+    let shard =
+        ResultShard::new("t", 2, 0, 1, vec![(0, vec![1.25]), (1, vec![2.5])]).expect("valid");
+    let doc = Json::parse(&shard.to_json().to_string_pretty()).expect("generic parse");
+    assert_eq!(doc.get("plan_label").and_then(Json::as_str), Some("t"));
+    assert_eq!(doc.get("rows").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+}

@@ -22,6 +22,26 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Shard smoke: run the same quick figure single-process and across two
+# worker processes. The determinism contract says the figure output must
+# be byte-identical; merging the sharded run's per-process manifests
+# (the parent's plus every worker's) must then pass the same diff
+# budgets as any other run. Quality gates hard — sharding may never
+# change a number — while wall time and counters stay warn-only.
+echo "==> shard smoke: repro --quick --shards 2 vs single process"
+rm -rf target/shard-smoke
+mkdir -p target/shard-smoke
+./target/release/repro --quick --manifest target/shard-smoke/single.json fig1 \
+    > target/shard-smoke/single.out
+./target/release/repro --quick --shards 2 --shard-dir target/shard-smoke/shards \
+    --manifest target/shard-smoke/sharded.json fig1 > target/shard-smoke/sharded.out
+diff target/shard-smoke/single.out target/shard-smoke/sharded.out
+./target/release/udse-inspect merge target/shard-smoke/sharded.json \
+    target/shard-smoke/shards/*.manifest.json -o target/shard-smoke/merged.json
+echo "==> udse-inspect diff single-process vs merged sharded manifest"
+./target/release/udse-inspect diff target/shard-smoke/single.json \
+    target/shard-smoke/merged.json --warn-wall
+
 # Regression gate: re-run the fixed-seed benchmark and diff against the
 # committed baseline. Model quality gates hard (the fixed seed makes it
 # machine-independent); wall time is demoted to a warning with

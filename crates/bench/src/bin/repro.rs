@@ -7,7 +7,7 @@
 //!       [--csv <dir>] [--manifest <path>] [--trace <path>] <artifact>...
 //! repro plan [--quick] [--out <path>]
 //! repro worker --plan <file> --shard i/N --out <file>
-//!              [--manifest <path>] [--jobs W]
+//!              [--manifest <path>] [--telemetry <path>] [--jobs W]
 //!
 //! artifacts:
 //!   space     Table 1 design space summary
@@ -52,8 +52,12 @@
 //! instructions, oracle cache hits/misses, sweep throughput, …), span
 //! totals, and model-quality records (`udse-inspect` consumes these).
 //! `--trace <path>` records discrete span events (like `UDSE_TRACE=1`)
-//! and writes them as Chrome `trace_event` JSON loadable in Perfetto.
-//! Only the paper's tables and figures go to stdout.
+//! and writes them as Chrome `trace_event` JSON loadable in Perfetto;
+//! combined with `--shards N` the written trace is the *merged*
+//! multi-process timeline — parent plus one pid lane per worker shard,
+//! with worker clocks normalized onto the parent's via the anchors in
+//! their telemetry sidecars. Only the paper's tables and figures go to
+//! stdout.
 //!
 //! `--shards N` distributes every simulation batch across `N` forked
 //! `repro worker` child processes instead of in-process threads: each
@@ -62,13 +66,19 @@
 //! result shard plus its own manifest, and the parent reassembles the
 //! shards in job-ID order. Outputs are bitwise-identical to `--jobs`-only
 //! runs. `--shard-dir <dir>` (default `target/shards`) holds the plan,
-//! shard, and per-worker manifest files; aggregate the manifests with
-//! `udse-inspect merge`. The `plan` and `worker` subcommands are the
+//! shard, per-worker manifest, and telemetry sidecar files; aggregate
+//! the manifests with `udse-inspect merge` and summarize a whole run
+//! with `udse-inspect report`. While workers run, the parent tails
+//! their sidecars: per-shard completion renders live on stderr, worker
+//! log lines are prefixed `[shard i/N]`, and a worker silent past
+//! `UDSE_STALL_SECS` (default 30) is flagged as a straggler/stall with
+//! its last-known job. The `plan` and `worker` subcommands are the
 //! pieces: `plan` emits the training plan document, `worker` evaluates
 //! one shard of a plan file (the parent forks these, and a failed or
 //! killed worker is reported with the exact command to retry).
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use udse_bench::{
     ablations, csv_export, depth_figs, extensions, figures, hetero_figs, plot_export, Context,
@@ -77,7 +87,7 @@ use udse_core::report::format_table;
 use udse_core::space::DesignSpace;
 use udse_core::studies::TrainedSuite;
 use udse_core::{EvalPlan, Oracle, SimSpec};
-use udse_obs::{span, Json, Level, ResultShard, RunManifest};
+use udse_obs::{sidecar, span, trace, Json, Level, ResultShard, RunManifest};
 use udse_sim::MachineConfig;
 
 fn print_space() -> String {
@@ -216,8 +226,8 @@ const USAGE: &str = "usage: repro [--quick] [--verbose] [--jobs N] [--shards N] 
 
 const PLAN_USAGE: &str = "usage: repro plan [--quick] [--out <path>]";
 
-const WORKER_USAGE: &str =
-    "usage: repro worker --plan <file> --shard i/N --out <file> [--manifest <path>] [--jobs W]";
+const WORKER_USAGE: &str = "usage: repro worker --plan <file> --shard i/N --out <file> \
+     [--manifest <path>] [--telemetry <path>] [--jobs W]";
 
 /// `repro plan`: emit the canonical training evaluation plan as JSON, to
 /// stdout or `--out <path>`. The document is what `repro worker`
@@ -299,12 +309,94 @@ fn worker_main(args: &[String]) -> ExitCode {
     let oracle = spec.build();
     let range = plan.shard_range(index, count);
     let started = std::time::Instant::now();
-    let metrics = {
-        let _w = span::enter("worker");
-        oracle.evaluate_many(&plan.jobs()[range.clone()])
+    // The parent re-emits worker stderr under a `[shard i/N]` prefix, so
+    // this line both announces the range and proves log attribution.
+    udse_obs::info!(
+        "worker",
+        "shard {index}/{count} of plan `{}`: {} jobs",
+        plan.label(),
+        range.len()
+    );
+    // Telemetry sidecar: meta first, then heartbeats from a companion
+    // thread while evaluation runs, then spans/events/summary at exit.
+    // Telemetry failures must never take down the work itself, so a
+    // sidecar that cannot be created is warned about and skipped.
+    let writer = value("--telemetry").and_then(|tpath| {
+        let meta = sidecar::SidecarMeta {
+            pid: std::process::id() as u64,
+            plan_label: plan.label().to_string(),
+            shard_index: index as u64,
+            shard_count: count as u64,
+            jobs: range.len() as u64,
+            anchor_unix_us: udse_obs::trace::anchor_unix_us(),
+        };
+        match sidecar::SidecarWriter::create(std::path::Path::new(tpath.as_str()), &meta) {
+            Ok(w) => Some(w),
+            Err(e) => {
+                udse_obs::warn!("worker", "telemetry disabled: {e}");
+                None
+            }
+        }
+    });
+    let total = range.len() as u64;
+    let done = AtomicU64::new(0);
+    // Last completed plan-global job id, offset by one so 0 means none.
+    let last_job = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let beat = |writer: &sidecar::SidecarWriter| {
+        let job = last_job.load(Ordering::Relaxed);
+        writer.heartbeat(&sidecar::Heartbeat {
+            t_us: udse_obs::trace::since_anchor_us(),
+            done: done.load(Ordering::Relaxed),
+            total,
+            last_job: job.checked_sub(1),
+            rss_kb: sidecar::read_rss_kb(),
+        });
     };
+    let mut metrics = Vec::with_capacity(range.len());
+    std::thread::scope(|scope| {
+        if let Some(writer) = &writer {
+            beat(writer);
+            scope.spawn(|| {
+                let interval = std::env::var("UDSE_HEARTBEAT_MS")
+                    .ok()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|ms| *ms > 0)
+                    .unwrap_or(250);
+                let slice = std::time::Duration::from_millis(10);
+                let mut slept = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(slice);
+                    slept += 10;
+                    if slept >= interval {
+                        slept = 0;
+                        beat(writer);
+                    }
+                }
+            });
+        }
+        // Evaluate in job-id-ordered chunks so the heartbeat counters
+        // advance mid-shard. Every job is a pure function and chunks
+        // concatenate in input order, so the chunk size cannot affect
+        // the assembled values — only heartbeat granularity.
+        let _w = span::enter("worker");
+        let chunk = range.len().div_ceil(64).max(udse_obs::pool::max_workers()).max(1);
+        let mut at = range.start;
+        while at < range.end {
+            let upto = (at + chunk).min(range.end);
+            metrics.extend(oracle.evaluate_many(&plan.jobs()[at..upto]));
+            done.store((upto - range.start) as u64, Ordering::Relaxed);
+            last_job.store(upto as u64, Ordering::Relaxed);
+            at = upto;
+        }
+        drop(_w);
+        stop.store(true, Ordering::Relaxed);
+    });
+    if let Some(writer) = &writer {
+        beat(writer);
+    }
     let rows: Vec<(u64, Vec<f64>)> =
-        range.zip(&metrics).map(|(id, m)| (id as u64, vec![m.bips, m.watts])).collect();
+        range.clone().zip(&metrics).map(|(id, m)| (id as u64, vec![m.bips, m.watts])).collect();
     let shard =
         match ResultShard::new(plan.label(), plan.len() as u64, index as u64, count as u64, rows) {
             Ok(s) => s,
@@ -317,7 +409,11 @@ fn worker_main(args: &[String]) -> ExitCode {
         udse_obs::error!("worker", "cannot write result shard: {e}");
         return ExitCode::FAILURE;
     }
+    let dropped = udse_obs::trace::global().dropped();
     if let Some(mpath) = value("--manifest") {
+        // Trace-buffer overflow is a counter, so the manifest snapshot
+        // (and any later `udse-inspect diff`) sees it, not just stderr.
+        udse_obs::metrics::counter("trace.dropped_events").add(dropped);
         let mut manifest = RunManifest::new("repro-worker");
         manifest.set("plan", Json::str(plan.label()));
         manifest.set("shard_index", Json::Int(index as i64));
@@ -328,6 +424,22 @@ fn worker_main(args: &[String]) -> ExitCode {
         if let Err(e) = manifest.write_to_path(std::path::Path::new(mpath.as_str())) {
             udse_obs::error!("worker", "cannot write manifest: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(writer) = &writer {
+        let spans = sidecar::span_lines(&span::global().snapshot());
+        let events = if udse_obs::trace::enabled() {
+            udse_obs::trace::global().snapshot()
+        } else {
+            Vec::new()
+        };
+        let summary = sidecar::Summary {
+            done: done.load(Ordering::Relaxed),
+            wall_us: udse_obs::trace::since_anchor_us(),
+            dropped_events: dropped,
+        };
+        if let Err(e) = writer.finish(&spans, &events, &summary) {
+            udse_obs::warn!("worker", "telemetry incomplete: {e}");
         }
     }
     ExitCode::SUCCESS
@@ -428,7 +540,7 @@ fn main() -> ExitCode {
             // Split the thread budget so N workers do not oversubscribe
             // the machine N-fold.
             let worker_jobs = jobs.div_ceil(n).max(1);
-            Context::sharded(quick, n, exe, shard_dir, worker_jobs)
+            Context::sharded(quick, n, exe, shard_dir.clone(), worker_jobs)
         }
         None => Context::new(quick),
     };
@@ -484,6 +596,12 @@ fn main() -> ExitCode {
             ("misses", Json::Int(ctx.oracle().misses() as i64)),
         ]),
     );
+    // Surface trace-buffer overflow as a counter so the manifest (and
+    // the diff gate reading it) records it, not just a stderr warning.
+    let dropped = trace::global().dropped();
+    if trace::enabled() {
+        udse_obs::metrics::counter("trace.dropped_events").add(dropped);
+    }
     if let Some(path) = &manifest_path {
         match manifest.write_to_path(path) {
             Ok(()) => udse_obs::info!("repro", "wrote manifest {}", path.display()),
@@ -494,13 +612,49 @@ fn main() -> ExitCode {
         }
     }
     if let Some(path) = &trace_path {
-        let events = udse_obs::trace::global().snapshot();
-        let dropped = udse_obs::trace::global().dropped();
+        let events = trace::global().snapshot();
         if dropped > 0 {
             udse_obs::warn!("repro", "trace buffer full: {dropped} events dropped");
         }
-        let doc = udse_obs::trace::chrome_trace_json(&events).to_string_pretty();
-        match udse_obs::manifest::write_with_parents(path, &doc) {
+        // Sharded runs merge every worker's sidecar events onto the
+        // parent's timeline, one pid lane per shard index, clocks
+        // normalized via the sidecar anchors.
+        let doc = if shards.is_some() {
+            let (sidecars, problems) = sidecar::collect(&shard_dir);
+            for problem in &problems {
+                udse_obs::warn!("repro", "trace merge: {problem}");
+            }
+            let mut worker_traces = Vec::new();
+            let mut lanes = vec![(trace::PARENT_PID, "repro (parent)".to_string())];
+            for (spath, doc) in &sidecars {
+                let Some(meta) = &doc.meta else {
+                    udse_obs::warn!("repro", "trace merge: {} has no meta", spath.display());
+                    continue;
+                };
+                let lane = meta.shard_index;
+                if !lanes.iter().any(|(pid, _)| *pid == trace::worker_pid(lane)) {
+                    lanes.push((trace::worker_pid(lane), format!("worker shard {lane}")));
+                }
+                worker_traces.push(trace::WorkerTrace {
+                    lane,
+                    anchor_unix_us: meta.anchor_unix_us,
+                    events: doc.events.clone(),
+                });
+            }
+            lanes.sort_by_key(|(pid, _)| *pid);
+            let merged =
+                trace::merge_process_traces(&events, trace::anchor_unix_us(), &worker_traces);
+            udse_obs::info!(
+                "repro",
+                "merged {} worker sidecar(s) into the trace ({} lanes)",
+                worker_traces.len(),
+                lanes.len()
+            );
+            trace::chrome_trace_json_named(&merged, &lanes)
+        } else {
+            trace::chrome_trace_json(&events)
+        };
+        match udse_obs::manifest::write_with_parents(path, &doc.to_string_pretty()) {
             Ok(()) => {
                 udse_obs::info!(
                     "repro",

@@ -7,9 +7,17 @@
 //! [`merge`] aggregates the per-process manifests of one sharded run
 //! into a single document `diff` can gate; [`trace_from_manifest`] turns
 //! a manifest's span totals into a Perfetto-loadable Chrome
-//! `trace_event` document.
+//! `trace_event` document; [`report`] combines a manifest with the
+//! telemetry sidecars of a sharded run into one "what did this run do
+//! and where did the time go" summary, including per-shard throughput
+//! skew and straggler warnings; [`per_worker_summary`] breaks a merged
+//! multi-process trace down by pid lane.
+
+use std::path::PathBuf;
+use std::time::Duration;
 
 use udse_obs::manifest::ParsedManifest;
+use udse_obs::sidecar::SidecarDoc;
 use udse_obs::{trace, Json};
 
 /// Thresholds for [`diff`]. Wall time and model quality gate hard;
@@ -376,12 +384,207 @@ pub fn show(m: &ParsedManifest) -> String {
     out
 }
 
+/// Per-shard aggregate of one run's telemetry sidecars: the skew table
+/// rows of [`report`].
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardAggregate {
+    batches: u64,
+    jobs: u64,
+    busy_us: u64,
+    max_rss_kb: u64,
+    dropped_events: u64,
+    unclean_exits: u64,
+}
+
+/// The unified run report: the manifest summary ([`show`]) followed by
+/// what the telemetry sidecars add — a per-shard wall/job-throughput
+/// skew table (aggregated over every batch a shard served), straggler
+/// warnings (heartbeat gaps longer than `stall_after`, workers that
+/// never wrote a summary), and a trace-drop note. `sidecars` comes from
+/// [`udse_obs::sidecar::collect`]; pass its problem list through too so
+/// corrupt files are reported rather than silently ignored.
+pub fn report(
+    m: &ParsedManifest,
+    sidecars: &[(PathBuf, SidecarDoc)],
+    problems: &[String],
+    stall_after: Duration,
+) -> String {
+    let mut out = show(m);
+    if sidecars.is_empty() && problems.is_empty() {
+        out.push_str("\nno telemetry sidecars (single-process run, or pass --shard-dir)\n");
+        return out;
+    }
+    let mut warnings: Vec<String> = problems.to_vec();
+    // Aggregate per shard index: one worker process per batch serves
+    // each shard, so a shard's row sums over all its batches.
+    let mut shards: Vec<(u64, ShardAggregate)> = Vec::new();
+    let stall_us = stall_after.as_micros() as u64;
+    for (path, doc) in sidecars {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("sidecar");
+        let Some(meta) = &doc.meta else {
+            warnings.push(format!("{name}: no meta record (worker died at startup?)"));
+            continue;
+        };
+        let slot = match shards.iter_mut().find(|(i, _)| *i == meta.shard_index) {
+            Some((_, agg)) => agg,
+            None => {
+                shards.push((meta.shard_index, ShardAggregate::default()));
+                &mut shards.last_mut().expect("just pushed").1
+            }
+        };
+        slot.batches += 1;
+        match &doc.summary {
+            Some(s) => {
+                slot.jobs += s.done;
+                slot.busy_us += s.wall_us;
+                slot.dropped_events += s.dropped_events;
+            }
+            None => {
+                slot.unclean_exits += 1;
+                // Last heartbeat is the best surviving estimate.
+                if let Some(h) = doc.heartbeats.last() {
+                    slot.jobs += h.done;
+                    slot.busy_us += h.t_us;
+                }
+                let at = doc
+                    .heartbeats
+                    .last()
+                    .and_then(|h| h.last_job)
+                    .map_or(String::new(), |j| format!(" (last job {j})"));
+                warnings.push(format!("{name}: worker did not exit cleanly{at}"));
+            }
+        }
+        slot.max_rss_kb =
+            slot.max_rss_kb.max(doc.heartbeats.iter().filter_map(|h| h.rss_kb).max().unwrap_or(0));
+        // Straggler heuristic: a silence longer than the stall
+        // threshold between consecutive heartbeats (or before the
+        // first) is exactly what the live monitor would have flagged.
+        let mut prev = 0u64;
+        for h in &doc.heartbeats {
+            if h.t_us.saturating_sub(prev) > stall_us {
+                warnings.push(format!(
+                    "{name}: {:.1}s heartbeat gap at +{:.1}s ({}/{} jobs done)",
+                    (h.t_us - prev) as f64 / 1e6,
+                    h.t_us as f64 / 1e6,
+                    h.done,
+                    h.total
+                ));
+            }
+            prev = h.t_us;
+        }
+    }
+    shards.sort_by_key(|(i, _)| *i);
+    if !shards.is_empty() {
+        let best = shards
+            .iter()
+            .map(|(_, a)| throughput(a.jobs, a.busy_us))
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        out.push_str(&format!(
+            "\nshard telemetry ({} sidecar(s)):\n  {:<5} {:>7} {:>8} {:>10} {:>8} {:>10} {:>9}\n",
+            sidecars.len(),
+            "shard",
+            "batches",
+            "jobs",
+            "busy(s)",
+            "jobs/s",
+            "vs-best",
+            "rss(MB)"
+        ));
+        for (index, agg) in &shards {
+            let rate = throughput(agg.jobs, agg.busy_us);
+            out.push_str(&format!(
+                "  {:<5} {:>7} {:>8} {:>10.3} {:>8.0} {:>9.0}% {:>9.1}\n",
+                index,
+                agg.batches,
+                agg.jobs,
+                agg.busy_us as f64 / 1e6,
+                rate,
+                100.0 * rate / best,
+                agg.max_rss_kb as f64 / 1024.0
+            ));
+        }
+    }
+    let dropped: u64 = shards.iter().map(|(_, a)| a.dropped_events).sum();
+    if dropped > 0 {
+        out.push_str(&format!(
+            "\ntrace: {dropped} event(s) dropped by worker buffers (raise nothing — \
+             the buffer is bounded by design; shard finer to shrink per-worker spans)\n"
+        ));
+    }
+    if warnings.is_empty() {
+        out.push_str("\nno straggler/stall warnings\n");
+    } else {
+        out.push_str("\nstraggler warnings:\n");
+        for w in &warnings {
+            out.push_str(&format!("  - {w}\n"));
+        }
+    }
+    out
+}
+
+fn throughput(jobs: u64, busy_us: u64) -> f64 {
+    if busy_us == 0 {
+        0.0
+    } else {
+        jobs as f64 / (busy_us as f64 / 1e6)
+    }
+}
+
+/// Per-pid-lane breakdown of a merged multi-process Chrome trace:
+/// event count, covered wall span, and the busiest span (largest
+/// summed duration) of every lane. Each data row starts with the
+/// numeric pid, so `grep -c '^ *[0-9]'` counts lanes.
+pub fn per_worker_summary(parsed: &trace::ParsedChromeTrace) -> String {
+    let mut pids: Vec<u64> = parsed.events.iter().map(|e| e.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    let mut out = format!(
+        "{:>5}  {:<18} {:>8} {:>10}  {}\n",
+        "pid", "lane", "events", "wall(s)", "busiest span"
+    );
+    for pid in pids {
+        let name =
+            parsed.lanes.iter().find(|(p, _)| *p == pid).map_or("(unnamed)", |(_, n)| n.as_str());
+        let events: Vec<_> = parsed.events.iter().filter(|e| e.pid == pid).collect();
+        let start = events.iter().map(|e| e.ts_us).min().unwrap_or(0);
+        let end = events.iter().map(|e| e.ts_us + e.dur_us).max().unwrap_or(0);
+        // Busiest span: the name with the largest total duration.
+        let mut totals: Vec<(&str, u64)> = Vec::new();
+        for e in &events {
+            match totals.iter_mut().find(|(n, _)| *n == e.name.as_str()) {
+                Some((_, d)) => *d += e.dur_us,
+                None => totals.push((e.name.as_str(), e.dur_us)),
+            }
+        }
+        let busiest = totals
+            .iter()
+            .max_by_key(|(_, d)| *d)
+            .map_or_else(|| "-".to_string(), |(n, d)| format!("{n} ({:.3}s)", *d as f64 / 1e6));
+        out.push_str(&format!(
+            "{:>5}  {:<18} {:>8} {:>10.3}  {}\n",
+            pid,
+            name,
+            events.len(),
+            (end - start) as f64 / 1e6,
+            busiest
+        ));
+    }
+    out
+}
+
+/// Synthesizes trace events from a manifest's span totals (see
+/// [`trace::synthesize_from_spans`] for the layout rules).
+pub fn manifest_trace_events(m: &ParsedManifest) -> Vec<trace::TraceEvent> {
+    let totals: Vec<(String, f64)> =
+        m.spans.iter().map(|(path, s)| (path.clone(), s.total_seconds)).collect();
+    trace::synthesize_from_spans(&totals)
+}
+
 /// Synthesizes a Chrome `trace_event` document from a manifest's span
 /// totals (see [`trace::synthesize_from_spans`] for the layout rules).
 pub fn trace_from_manifest(m: &ParsedManifest) -> Json {
-    let totals: Vec<(String, f64)> =
-        m.spans.iter().map(|(path, s)| (path.clone(), s.total_seconds)).collect();
-    trace::chrome_trace_json(&trace::synthesize_from_spans(&totals))
+    trace::chrome_trace_json(&manifest_trace_events(m))
 }
 
 /// Renders a manifest's span totals as folded stacks (`a;b;c self_us`
@@ -636,5 +839,111 @@ mod tests {
         assert_eq!(arr[0].get("name").and_then(Json::as_str), Some("all"));
         assert_eq!(arr[0].get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(arr[0].get("dur").and_then(Json::as_i64), Some(1_000_000));
+    }
+
+    fn sidecar_doc(
+        shard: u64,
+        jobs: u64,
+        beats: &[(u64, u64)],             // (t_us, done)
+        summary: Option<(u64, u64, u64)>, // (done, wall_us, dropped_events)
+    ) -> (std::path::PathBuf, udse_obs::sidecar::SidecarDoc) {
+        use udse_obs::sidecar::{Heartbeat, SidecarDoc, SidecarMeta, Summary};
+        let doc = SidecarDoc {
+            meta: Some(SidecarMeta {
+                pid: 1000 + shard,
+                plan_label: "fig1".into(),
+                shard_index: shard,
+                shard_count: 2,
+                jobs,
+                anchor_unix_us: 0,
+            }),
+            heartbeats: beats
+                .iter()
+                .map(|&(t_us, done)| Heartbeat {
+                    t_us,
+                    done,
+                    total: jobs,
+                    last_job: done.checked_sub(1),
+                    rss_kb: Some(10_240),
+                })
+                .collect(),
+            spans: vec![],
+            events: vec![],
+            summary: summary.map(|(done, wall_us, dropped_events)| Summary {
+                done,
+                wall_us,
+                dropped_events,
+            }),
+            problems: vec![],
+        };
+        (std::path::PathBuf::from(format!("shard-{shard}.telemetry.jsonl")), doc)
+    }
+
+    #[test]
+    fn report_without_sidecars_points_at_shard_dir() {
+        let m = manifest(&[("fig1", 1.0)], &[], &[]);
+        let text = report(&m, &[], &[], std::time::Duration::from_secs(30));
+        assert!(text.contains("no telemetry sidecars"), "{text}");
+        // The manifest half of the report is still present.
+        assert!(text.contains("tool: repro"), "{text}");
+    }
+
+    #[test]
+    fn report_renders_skew_stragglers_and_unclean_exits() {
+        let m = manifest(&[("fig1", 1.0)], &[], &[]);
+        // Shard 0: clean, steady heartbeats, fast.
+        let a = sidecar_doc(0, 100, &[(0, 10), (100_000, 60)], Some((100, 1_000_000, 0)));
+        // Shard 1: a 5 s heartbeat gap against a 1 s threshold, no
+        // summary record (killed), and dropped trace events reported by
+        // its last heartbeat-derived estimate.
+        let b = sidecar_doc(1, 100, &[(0, 5), (5_000_000, 20)], None);
+        let problems = vec!["shard-1: truncated final line".to_string()];
+        let text = report(&m, &[a, b], &problems, std::time::Duration::from_secs(1));
+        assert!(text.contains("shard"), "{text}");
+        assert!(text.contains("jobs/s"), "missing throughput column:\n{text}");
+        assert!(text.contains("heartbeat gap"), "missing straggler warning:\n{text}");
+        assert!(text.contains("did not exit cleanly"), "missing unclean-exit warning:\n{text}");
+        assert!(text.contains("truncated final line"), "collector problems not surfaced:\n{text}");
+    }
+
+    #[test]
+    fn report_notes_dropped_trace_events() {
+        let m = manifest(&[("fig1", 1.0)], &[], &[]);
+        let a = sidecar_doc(0, 10, &[(0, 10)], Some((10, 500_000, 7)));
+        let text = report(&m, &[a], &[], std::time::Duration::from_secs(30));
+        assert!(text.contains("dropped"), "{text}");
+        assert!(text.contains('7'), "{text}");
+    }
+
+    #[test]
+    fn per_worker_summary_groups_events_by_pid_lane() {
+        use udse_obs::trace::{ParsedChromeTrace, Phase, TraceEvent};
+        let ev = |name: &str, pid: u64, ts_us: u64, dur_us: u64| TraceEvent {
+            name: name.into(),
+            cat: "span".into(),
+            phase: Phase::Complete,
+            ts_us,
+            dur_us,
+            pid,
+            tid: 0,
+        };
+        let parsed = ParsedChromeTrace {
+            events: vec![
+                ev("oracle", 1, 0, 2_000_000),
+                ev("fit", 1, 100, 500_000),
+                ev("worker", 2, 50, 1_000_000),
+            ],
+            lanes: vec![(1, "repro (parent)".into()), (2, "worker shard 0".into())],
+        };
+        let text = per_worker_summary(&parsed);
+        assert!(text.contains("repro (parent)"), "{text}");
+        assert!(text.contains("worker shard 0"), "{text}");
+        // Parent lane: 2 events, busiest span is `oracle`.
+        let parent_row = text.lines().find(|l| l.contains("repro (parent)")).unwrap();
+        assert!(parent_row.trim_start().starts_with('1'), "{parent_row}");
+        assert!(parent_row.contains("oracle"), "{parent_row}");
+        // An unnamed lane still renders.
+        let bare = ParsedChromeTrace { events: vec![ev("x", 9, 0, 1)], lanes: vec![] };
+        assert!(per_worker_summary(&bare).contains("(unnamed)"));
     }
 }

@@ -16,15 +16,29 @@
 //! happens. The memoizing [`udse_core::CachedOracle`] sits *above* this
 //! enum, so every study batch dedups first and then shards automatically.
 
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
-use std::process::Command;
+use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 use udse_core::oracle::{Metrics, Oracle, SimOracle};
 use udse_core::plan::{EvalPlan, SimSpec};
 use udse_core::space::DesignPoint;
 use udse_obs::sharded::{ResultShard, ShardedResults};
+use udse_obs::sidecar::{self, SidecarRecord, SIDECAR_SUFFIX};
+use udse_obs::ShardProgress;
 use udse_trace::Benchmark;
+
+/// How often the parent polls children and tails their telemetry
+/// sidecars while a batch is in flight.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Default silence threshold before a worker is flagged as a straggler
+/// or stall; override with the `UDSE_STALL_SECS` environment variable
+/// or [`ShardedOracle::with_stall_after`].
+const DEFAULT_STALL_AFTER: Duration = Duration::from_secs(30);
 
 /// Evaluates plans by forking `repro worker` child processes, one per
 /// shard, and reassembling their result files.
@@ -36,6 +50,8 @@ pub struct ShardedOracle {
     dir: PathBuf,
     worker_jobs: usize,
     batch: AtomicU64,
+    stall_after: Duration,
+    stalls: Mutex<Vec<String>>,
 }
 
 impl ShardedOracle {
@@ -58,7 +74,36 @@ impl ShardedOracle {
     ) -> Self {
         assert!(shards >= 1, "shard count must be at least 1");
         assert!(worker_jobs >= 1, "worker jobs must be at least 1");
-        ShardedOracle { sim, shards, exe, dir, worker_jobs, batch: AtomicU64::new(0) }
+        let stall_after = std::env::var("UDSE_STALL_SECS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .map_or(DEFAULT_STALL_AFTER, Duration::from_secs_f64);
+        ShardedOracle {
+            sim,
+            shards,
+            exe,
+            dir,
+            worker_jobs,
+            batch: AtomicU64::new(0),
+            stall_after,
+            stalls: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Overrides the heartbeat-silence threshold after which an
+    /// unfinished worker is flagged as a straggler or stall.
+    #[must_use]
+    pub fn with_stall_after(mut self, threshold: Duration) -> Self {
+        self.stall_after = threshold;
+        self
+    }
+
+    /// Straggler/stall warnings accumulated across all batches, in
+    /// detection order (also logged to stderr as they happen). The run
+    /// report surfaces these.
+    pub fn stall_log(&self) -> Vec<String> {
+        self.stalls.lock().expect("stall log poisoned").clone()
     }
 
     /// The in-process oracle defining the simulator spec (also used for
@@ -82,6 +127,14 @@ impl ShardedOracle {
     /// the job count, so tiny batches do not fork idle processes; the
     /// result is independent of the cap because assembly is by job ID.
     ///
+    /// While the workers run, the parent tails their telemetry sidecars
+    /// (see [`udse_obs::sidecar`]): heartbeats feed a live per-shard
+    /// progress meter, and a worker silent past the stall threshold is
+    /// warned about — naming its shard, last-known job, and whether the
+    /// process is still alive (straggler) or already dead. Worker
+    /// stderr is piped through the parent with a `[shard i/N]` prefix
+    /// so interleaved logs stay attributable.
+    ///
     /// # Errors
     ///
     /// Fails when a worker cannot be spawned, exits non-zero, is killed
@@ -94,6 +147,9 @@ impl ShardedOracle {
         }
         let count = self.shards.min(plan.len());
         let seq = self.batch.fetch_add(1, Ordering::Relaxed);
+        if seq == 0 {
+            remove_stale_sidecars(&self.dir);
+        }
         let stem = format!("batch-{seq:04}-{}", sanitize(plan.label()));
         let plan_path = self.dir.join(format!("{stem}.plan.json"));
         let doc = plan.to_json(&SimSpec::of(&self.sim)).to_string_pretty();
@@ -109,17 +165,19 @@ impl ShardedOracle {
             plan.len(),
             self.dir.display()
         );
-        let mut children = Vec::with_capacity(count);
+        let mut workers = Vec::with_capacity(count);
         for i in 0..count {
             let out = self.dir.join(format!("{stem}.shard-{i}of{count}.json"));
             let manifest = self.dir.join(format!("{stem}.shard-{i}of{count}.manifest.json"));
+            let telemetry = self.dir.join(format!("{stem}.shard-{i}of{count}{SIDECAR_SUFFIX}"));
             let retry = format!(
                 "{} worker --plan {} --shard {i}/{count} --out {}",
                 self.exe.display(),
                 plan_path.display(),
                 out.display()
             );
-            let child = Command::new(&self.exe)
+            let mut command = Command::new(&self.exe);
+            command
                 .arg("worker")
                 .arg("--plan")
                 .arg(&plan_path)
@@ -129,34 +187,55 @@ impl ShardedOracle {
                 .arg(&out)
                 .arg("--manifest")
                 .arg(&manifest)
+                .arg("--telemetry")
+                .arg(&telemetry)
                 .arg("--jobs")
                 .arg(self.worker_jobs.to_string())
-                .spawn()
-                .map_err(|e| {
-                    format!("cannot spawn worker {i}/{count} ({}): {e}", self.exe.display())
-                })?;
-            children.push((i, child, out, retry));
+                .stderr(Stdio::piped());
+            // Workers record their own trace events into the sidecar;
+            // the parent merges them onto its timeline afterwards.
+            if udse_obs::trace::enabled() {
+                command.env("UDSE_TRACE", "1");
+            }
+            let mut child = command.spawn().map_err(|e| {
+                format!("cannot spawn worker {i}/{count} ({}): {e}", self.exe.display())
+            })?;
+            let forwarder = child.stderr.take().map(|stderr| forward_stderr(i, count, stderr));
+            workers.push(WorkerHandle {
+                index: i,
+                child,
+                out,
+                retry,
+                telemetry,
+                tail_offset: 0,
+                status: None,
+                forwarder,
+            });
         }
+        self.monitor(plan, count, &mut workers)?;
         let mut results = ShardedResults::new();
         let mut failures: Vec<String> = Vec::new();
-        for (i, mut child, out, retry) in children {
-            let status =
-                child.wait().map_err(|e| format!("waiting for worker {i}/{count}: {e}"))?;
+        for worker in &mut workers {
+            if let Some(thread) = worker.forwarder.take() {
+                let _ = thread.join();
+            }
+            let i = worker.index;
+            let status = worker.status.expect("monitor reaps every worker");
             if !status.success() {
                 let how = match status.code() {
                     Some(code) => format!("exited with status {code}"),
                     None => "was killed by a signal".to_string(),
                 };
-                failures.push(format!("worker {i}/{count} {how}; retry with `{retry}`"));
+                failures.push(format!("worker {i}/{count} {how}; retry with `{}`", worker.retry));
                 continue;
             }
-            match ResultShard::read_from_path(&out) {
+            match ResultShard::read_from_path(&worker.out) {
                 Ok(shard) => {
                     if let Err(e) = results.push(shard) {
-                        failures.push(format!("{e}; retry with `{retry}`"));
+                        failures.push(format!("{e}; retry with `{}`", worker.retry));
                     }
                 }
-                Err(e) => failures.push(format!("{e}; retry with `{retry}`")),
+                Err(e) => failures.push(format!("{e}; retry with `{}`", worker.retry)),
             }
         }
         if !failures.is_empty() {
@@ -174,6 +253,139 @@ impl ShardedOracle {
                 )),
             })
             .collect()
+    }
+
+    /// Polls children until all are reaped, tailing telemetry sidecars
+    /// into a live per-shard progress meter and warning (once per shard
+    /// per batch) about workers silent past the stall threshold. A
+    /// silent-but-alive worker is a straggler or stall; a dead worker is
+    /// reaped within one poll interval and reported through the normal
+    /// failure path instead, which is what distinguishes the two.
+    fn monitor(
+        &self,
+        plan: &EvalPlan,
+        count: usize,
+        workers: &mut [WorkerHandle],
+    ) -> Result<(), String> {
+        let totals: Vec<u64> =
+            (0..count).map(|i| plan.shard_range(i, count).len() as u64).collect();
+        let mut progress = ShardProgress::new(plan.label(), &totals);
+        let mut warned = vec![false; count];
+        loop {
+            let mut pending = false;
+            for worker in workers.iter_mut() {
+                if worker.status.is_some() {
+                    continue;
+                }
+                let status = worker
+                    .child
+                    .try_wait()
+                    .map_err(|e| format!("waiting for worker {}/{count}: {e}", worker.index))?;
+                match status {
+                    Some(st) => {
+                        worker.status = Some(st);
+                        progress.mark_finished(worker.index);
+                    }
+                    None => {
+                        pending = true;
+                        worker.tail(&mut progress);
+                    }
+                }
+            }
+            if !pending {
+                break;
+            }
+            for stall in progress.stalled(self.stall_after) {
+                if warned[stall.shard] {
+                    continue;
+                }
+                warned[stall.shard] = true;
+                let silence = self.stall_after.as_secs_f64();
+                let last = match (stall.ever_beat, stall.last_job) {
+                    (false, _) => "no heartbeat ever received".to_string(),
+                    (true, Some(job)) => {
+                        format!("last job {job}, {}/{} done", stall.done, stall.total)
+                    }
+                    (true, None) => format!("{}/{} done", stall.done, stall.total),
+                };
+                let message = format!(
+                    "worker {}/{count} of plan `{}` silent for over {silence:.0}s \
+                     (process alive; {last}) — straggler or stall",
+                    stall.shard,
+                    plan.label()
+                );
+                udse_obs::warn!("shard", "{message}");
+                udse_obs::metrics::counter("shard.stalls").inc();
+                self.stalls.lock().expect("stall log poisoned").push(message);
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        let _ = progress.finish();
+        Ok(())
+    }
+}
+
+/// One forked worker while its batch is in flight.
+#[derive(Debug)]
+struct WorkerHandle {
+    index: usize,
+    child: Child,
+    out: PathBuf,
+    retry: String,
+    telemetry: PathBuf,
+    tail_offset: usize,
+    status: Option<ExitStatus>,
+    forwarder: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Reads any new complete sidecar lines and feeds heartbeats into
+    /// the progress meter. Best-effort: the sidecar may not exist yet.
+    fn tail(&mut self, progress: &mut ShardProgress) {
+        let Ok(text) = std::fs::read_to_string(&self.telemetry) else {
+            return;
+        };
+        let (records, offset) = sidecar::parse_tail(&text, self.tail_offset);
+        self.tail_offset = offset;
+        for record in records {
+            if let SidecarRecord::Heartbeat(beat) = record {
+                progress.heartbeat(self.index, beat.done, beat.last_job);
+            }
+        }
+    }
+}
+
+/// Relays one worker's piped stderr to the parent's, prefixing every
+/// line with `[shard i/N]` so interleaved worker logs stay
+/// attributable. The thread drains until the child closes the pipe.
+fn forward_stderr(
+    index: usize,
+    count: usize,
+    stderr: std::process::ChildStderr,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let reader = std::io::BufReader::new(stderr);
+        for line in reader.lines() {
+            match line {
+                Ok(line) => eprintln!("[shard {index}/{count}] {line}"),
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+/// Deletes telemetry sidecars left by a previous run so the post-run
+/// harvest ([`udse_obs::sidecar::collect`]) only sees this run's
+/// workers. Called once, before the first batch writes anything.
+fn remove_stale_sidecars(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(SIDECAR_SUFFIX)) {
+            let _ = std::fs::remove_file(&path);
+        }
     }
 }
 

@@ -1,0 +1,197 @@
+//! Cross-process telemetry: worker sidecars, merged multi-process
+//! traces, and stall detection.
+//!
+//! A sharded run is observable only if every worker leaves a telemetry
+//! sidecar the parent can read back — and the merged trace is useful
+//! only if it is a faithful union of those sidecars, with each worker on
+//! a stable pid lane and its clock normalized onto the parent's. These
+//! tests drive the real `repro` worker binary, exactly like
+//! `parallel_determinism.rs` does for the result path.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use udse_bench::ShardedOracle;
+use udse_core::oracle::SimOracle;
+use udse_core::plan::EvalPlan;
+use udse_core::space::DesignSpace;
+use udse_obs::sidecar;
+use udse_obs::trace::{self, worker_pid, WorkerTrace, PARENT_PID};
+use udse_trace::Benchmark;
+
+/// Trace enablement is process-global; tests that rely on it must not
+/// interleave with ones asserting its absence.
+static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const TEST_TRACE_LEN: usize = 2_000;
+
+fn test_plan(jobs: usize, label: &str) -> EvalPlan {
+    let space = DesignSpace::paper();
+    let work: Vec<_> = (0..jobs)
+        .map(|i| (Benchmark::ALL[i % 9], space.decode((i as u64 * 37) % 100).unwrap()))
+        .collect();
+    EvalPlan::from_jobs(label, work)
+}
+
+#[test]
+fn workers_leave_sidecars_and_merge_is_their_union() {
+    let _guard = serialized();
+    // The parent propagates UDSE_TRACE=1 to workers only when tracing is
+    // enabled in its own process.
+    trace::enable();
+    let dir = std::env::temp_dir().join(format!("udse_tel_merge_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let oracle = ShardedOracle::new(
+        SimOracle::with_trace_len(TEST_TRACE_LEN),
+        3,
+        PathBuf::from(env!("CARGO_BIN_EXE_repro")),
+        dir.clone(),
+        1,
+    );
+    let plan = test_plan(9, "tel");
+    oracle.run_plan(&plan).expect("sharded run succeeds");
+
+    let (sidecars, problems) = sidecar::collect(&dir);
+    assert!(problems.is_empty(), "sidecar problems: {problems:?}");
+    assert_eq!(sidecars.len(), 3, "one sidecar per worker");
+
+    let mut workers: Vec<WorkerTrace> = Vec::new();
+    for (path, doc) in &sidecars {
+        let meta = doc.meta.as_ref().unwrap_or_else(|| panic!("{} has no meta", path.display()));
+        let summary =
+            doc.summary.as_ref().unwrap_or_else(|| panic!("{} has no summary", path.display()));
+        let jobs = plan.shard_range(meta.shard_index as usize, 3).len() as u64;
+        assert_eq!(meta.jobs, jobs, "{}", path.display());
+        assert_eq!(summary.done, jobs, "{}", path.display());
+        assert_eq!(summary.dropped_events, 0, "{}", path.display());
+        assert!(!doc.heartbeats.is_empty(), "{} has no heartbeats", path.display());
+        assert!(!doc.events.is_empty(), "{} has no trace events", path.display());
+        workers.push(WorkerTrace {
+            lane: meta.shard_index,
+            anchor_unix_us: meta.anchor_unix_us,
+            events: doc.events.clone(),
+        });
+    }
+    // All three lanes present exactly once.
+    let mut lanes: Vec<u64> = workers.iter().map(|w| w.lane).collect();
+    lanes.sort_unstable();
+    assert_eq!(lanes, vec![0, 1, 2]);
+
+    let parent_anchor = trace::anchor_unix_us();
+    let merged = trace::merge_process_traces(&[], parent_anchor, &workers);
+
+    // The merge is a union: every sidecar event appears exactly once, on
+    // the pid lane of its shard index, and nothing else appears.
+    let total: usize = workers.iter().map(|w| w.events.len()).sum();
+    assert_eq!(merged.len(), total);
+    for w in &workers {
+        let lane_events: Vec<_> = merged.iter().filter(|e| e.pid == worker_pid(w.lane)).collect();
+        assert_eq!(lane_events.len(), w.events.len(), "lane {}", w.lane);
+        let mut names: Vec<&str> = lane_events.iter().map(|e| e.name.as_str()).collect();
+        let mut expect: Vec<&str> = w.events.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(names, expect, "lane {} event names diverge", w.lane);
+    }
+    assert!(merged.iter().all(|e| e.pid != PARENT_PID), "no parent events were supplied");
+
+    // Determinism: merging the same inputs twice is bit-identical, and
+    // the Chrome document round-trips through the parser with lanes
+    // intact.
+    assert_eq!(merged, trace::merge_process_traces(&[], parent_anchor, &workers));
+    let lane_names: Vec<(u64, String)> =
+        workers.iter().map(|w| (worker_pid(w.lane), format!("worker shard {}", w.lane))).collect();
+    let doc = trace::chrome_trace_json_named(&merged, &lane_names);
+    let back = trace::parse_chrome_trace(&doc.to_string_pretty()).expect("round trip");
+    assert_eq!(back.events, merged);
+    assert_eq!(back.lanes, lane_names);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lane_assignment_is_stable_across_batches() {
+    let _guard = serialized();
+    trace::enable();
+    let dir = std::env::temp_dir().join(format!("udse_tel_lanes_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let oracle = ShardedOracle::new(
+        SimOracle::with_trace_len(TEST_TRACE_LEN),
+        2,
+        PathBuf::from(env!("CARGO_BIN_EXE_repro")),
+        dir.clone(),
+        1,
+    );
+    oracle.run_plan(&test_plan(4, "first")).expect("batch 0");
+    oracle.run_plan(&test_plan(4, "second")).expect("batch 1");
+
+    let (sidecars, problems) = sidecar::collect(&dir);
+    assert!(problems.is_empty(), "sidecar problems: {problems:?}");
+    assert_eq!(sidecars.len(), 4, "two batches x two workers");
+    // Lane identity is the shard index, not the OS pid: shard 0 of both
+    // batches lands on the same merged-trace lane even though the worker
+    // processes differ.
+    for (path, doc) in &sidecars {
+        let meta = doc.meta.as_ref().expect("meta");
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.contains(&format!("shard-{}of2", meta.shard_index)),
+            "{name} vs shard_index {}",
+            meta.shard_index
+        );
+        assert!(worker_pid(meta.shard_index) >= 2);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigstopped_worker_is_flagged_as_stalled_not_dead() {
+    use std::os::unix::fs::PermissionsExt;
+    // A worker that goes silent while still alive (here: SIGSTOPped)
+    // must be flagged as a straggler/stall — with its shard named —
+    // before its eventual death surfaces through the failure path.
+    let dir = std::env::temp_dir().join(format!("udse_tel_stall_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let script = dir.join("stall.sh");
+    // The shell stops itself; the background watchdog SIGKILLs it two
+    // seconds later (SIGKILL acts on stopped processes) so the test
+    // always terminates.
+    std::fs::write(&script, "#!/bin/sh\n( sleep 2; kill -9 $$ ) &\nkill -STOP $$\n")
+        .expect("write script");
+    std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755))
+        .expect("make executable");
+    let oracle =
+        ShardedOracle::new(SimOracle::with_trace_len(TEST_TRACE_LEN), 1, script, dir.clone(), 1)
+            .with_stall_after(Duration::from_millis(200));
+    let err = oracle.run_plan(&test_plan(1, "stall")).expect_err("worker dies in the end");
+    let stalls = oracle.stall_log();
+    let _ = std::fs::remove_dir_all(&dir);
+    // The stall warning fired while the worker was alive-but-silent...
+    assert!(!stalls.is_empty(), "no stall warning recorded");
+    assert!(stalls[0].contains("worker 0/1"), "stall: {}", stalls[0]);
+    assert!(stalls[0].contains("silent"), "stall: {}", stalls[0]);
+    // ...and is distinct from the death report that ended the batch.
+    assert!(err.contains("was killed by a signal"), "err: {err}");
+}
+
+#[test]
+fn healthy_fast_workers_trigger_no_stall_warnings() {
+    let _guard = serialized();
+    let dir = std::env::temp_dir().join(format!("udse_tel_quiet_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let oracle = ShardedOracle::new(
+        SimOracle::with_trace_len(TEST_TRACE_LEN),
+        2,
+        PathBuf::from(env!("CARGO_BIN_EXE_repro")),
+        dir.clone(),
+        1,
+    );
+    oracle.run_plan(&test_plan(4, "quiet")).expect("run succeeds");
+    assert!(oracle.stall_log().is_empty(), "stalls: {:?}", oracle.stall_log());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -37,7 +37,13 @@
 //!   global [`quality::Collector`] and persisted in the manifest;
 //! - [`trace`] — an opt-in (`UDSE_TRACE`) buffer of discrete span/instant
 //!   events exporting to Chrome `trace_event` JSON (Perfetto-loadable)
-//!   and a JSONL stream.
+//!   and a JSONL stream, with per-process pid lanes and clock-offset
+//!   normalization ([`trace::merge_process_traces`]) for sharded runs;
+//! - [`sidecar`] — the worker telemetry sidecar: a JSONL stream of
+//!   heartbeats, span totals, and trace events each worker writes next
+//!   to its result shard, which the parent tails live
+//!   ([`sidecar::parse_tail`]) and harvests after reassembly
+//!   ([`sidecar::collect`]).
 //!
 //! # Conventions
 //!
@@ -69,6 +75,7 @@ pub mod pool;
 pub mod progress;
 pub mod quality;
 pub mod sharded;
+pub mod sidecar;
 pub mod span;
 pub mod trace;
 
@@ -76,7 +83,7 @@ pub use json::Json;
 pub use log::Level;
 pub use manifest::{ParsedManifest, RunManifest};
 pub use metrics::Registry;
-pub use progress::Progress;
+pub use progress::{Progress, ShardProgress};
 pub use quality::QualityRecord;
 pub use sharded::{ResultShard, ShardedResults};
 pub use span::SpanGuard;

@@ -1,0 +1,187 @@
+//! Property tests for the telemetry sidecar JSONL format.
+//!
+//! The parent tails sidecars while workers are still writing them, so
+//! the format must survive three hazards for arbitrary record contents:
+//! the full-document round trip must be an identity, incremental
+//! tailing at any chunk boundary must reconstruct exactly the records a
+//! one-shot parse sees, and a worker killed mid-write (torn final line)
+//! must cost at most that one record.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use udse_obs::sidecar::{
+    parse_tail, Heartbeat, SidecarDoc, SidecarMeta, SidecarRecord, SpanLine, Summary,
+};
+use udse_obs::trace::{Phase, TraceEvent};
+
+/// ASCII-only labels: sidecar names come from span paths and plan
+/// labels, which the codebase keeps in this alphabet.
+fn arbitrary_label(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1usize..20);
+    (0..len)
+        .map(|_| {
+            let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789._-/";
+            alphabet[rng.gen_range(0..alphabet.len())] as char
+        })
+        .collect()
+}
+
+fn arbitrary_meta(rng: &mut StdRng) -> SidecarMeta {
+    let shard_count = rng.gen_range(1u64..16);
+    SidecarMeta {
+        pid: rng.gen_range(1u64..1 << 22),
+        plan_label: arbitrary_label(rng),
+        shard_index: rng.gen_range(0..shard_count),
+        shard_count,
+        jobs: rng.gen_range(0u64..1 << 20),
+        anchor_unix_us: rng.gen_range(-(1i64 << 50)..1 << 50),
+    }
+}
+
+fn arbitrary_heartbeat(rng: &mut StdRng) -> Heartbeat {
+    let total = rng.gen_range(0u64..1 << 20);
+    Heartbeat {
+        t_us: rng.gen_range(0u64..1 << 50),
+        done: rng.gen_range(0..=total),
+        total,
+        last_job: if rng.gen::<bool>() { Some(rng.gen_range(0u64..1 << 40)) } else { None },
+        rss_kb: if rng.gen::<bool>() { Some(rng.gen_range(0u64..1 << 30)) } else { None },
+    }
+}
+
+fn arbitrary_event(rng: &mut StdRng) -> TraceEvent {
+    let phase = if rng.gen::<bool>() { Phase::Complete } else { Phase::Instant };
+    TraceEvent {
+        name: arbitrary_label(rng),
+        cat: if phase == Phase::Complete { "span".into() } else { "instant".into() },
+        phase,
+        // Instants carry no duration on the wire.
+        dur_us: if phase == Phase::Complete { rng.gen_range(0u64..1 << 40) } else { 0 },
+        ts_us: rng.gen_range(0u64..1 << 50),
+        pid: rng.gen_range(1u64..64),
+        tid: rng.gen_range(0u64..64),
+    }
+}
+
+fn arbitrary_record(rng: &mut StdRng) -> SidecarRecord {
+    match rng.gen_range(0u32..5) {
+        0 => SidecarRecord::Meta(arbitrary_meta(rng)),
+        1 => SidecarRecord::Heartbeat(arbitrary_heartbeat(rng)),
+        2 => SidecarRecord::Span(SpanLine {
+            path: arbitrary_label(rng),
+            count: rng.gen_range(0u64..1 << 40),
+            total_us: rng.gen_range(0u64..1 << 50),
+            max_us: rng.gen_range(0u64..1 << 50),
+        }),
+        3 => SidecarRecord::Event(arbitrary_event(rng)),
+        _ => SidecarRecord::Summary(Summary {
+            done: rng.gen_range(0u64..1 << 40),
+            wall_us: rng.gen_range(0u64..1 << 50),
+            dropped_events: rng.gen_range(0u64..1 << 30),
+        }),
+    }
+}
+
+/// A well-formed stream: meta first, then a body of arbitrary records,
+/// then a summary — the shape a clean worker writes.
+fn arbitrary_stream(rng: &mut StdRng) -> Vec<SidecarRecord> {
+    let mut records = vec![SidecarRecord::Meta(arbitrary_meta(rng))];
+    let body = rng.gen_range(0usize..30);
+    records.extend((0..body).map(|_| arbitrary_record(rng)));
+    records.push(SidecarRecord::Summary(Summary {
+        done: rng.gen_range(0u64..1 << 40),
+        wall_us: rng.gen_range(0u64..1 << 50),
+        dropped_events: 0,
+    }));
+    records
+}
+
+fn serialize(records: &[SidecarRecord]) -> String {
+    let mut text = String::new();
+    for r in records {
+        text.push_str(&r.to_json().to_string_compact());
+        text.push('\n');
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn record_json_round_trip_is_identity(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let record = arbitrary_record(&mut rng);
+            let line = record.to_json().to_string_compact();
+            let back = SidecarRecord::from_json(
+                &udse_obs::Json::parse(&line).expect("canonical line parses"),
+            )
+            .expect("canonical record decodes");
+            prop_assert_eq!(&back, &record);
+            // Byte identity: canonical serialization is a fixed point.
+            prop_assert_eq!(back.to_json().to_string_compact(), line);
+        }
+    }
+
+    #[test]
+    fn incremental_tailing_matches_one_shot_parse(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records = arbitrary_stream(&mut rng);
+        let text = serialize(&records);
+        // Feed the file in arbitrary-size increments, as the polling
+        // parent sees it grow on disk.
+        let mut seen = Vec::new();
+        let mut offset = 0usize;
+        let mut visible = 0usize;
+        while visible < text.len() {
+            visible = (visible + rng.gen_range(1usize..40)).min(text.len());
+            let (batch, next) = parse_tail(&text[..visible], offset);
+            prop_assert!(next >= offset, "offset must be monotonic");
+            prop_assert!(next <= visible);
+            seen.extend(batch);
+            offset = next;
+        }
+        // A complete stream is fully consumed.
+        prop_assert_eq!(offset, text.len());
+        prop_assert_eq!(&seen, &records);
+        // Re-polling an unchanged file yields nothing new.
+        let (rest, same) = parse_tail(&text, offset);
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(same, offset);
+    }
+
+    #[test]
+    fn any_prefix_parses_and_loses_at_most_the_torn_record(seed in 0u64..1_000_000) {
+        // A worker killed mid-write leaves an arbitrary byte prefix of
+        // its stream. Whatever the cut point, every record whose line is
+        // fully present must survive, the torn line must be reported,
+        // and nothing may error. (All content is ASCII, so every byte
+        // offset is a char boundary.)
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records = arbitrary_stream(&mut rng);
+        let text = serialize(&records);
+        let cut = rng.gen_range(0usize..=text.len());
+        let bytes = text.as_bytes();
+        // Records fully present in the prefix: one per newline consumed,
+        // plus the tail line when the cut lands exactly on its newline.
+        let complete = text[..cut].matches('\n').count()
+            + usize::from(cut < text.len() && bytes[cut] == b'\n');
+        let doc = SidecarDoc::parse(&text[..cut]).expect("a prefix is never corruption");
+        let reference =
+            SidecarDoc::parse(&serialize(&records[..complete])).expect("clean prefix parses");
+        prop_assert_eq!(&doc.meta, &reference.meta);
+        prop_assert_eq!(&doc.heartbeats, &reference.heartbeats);
+        prop_assert_eq!(&doc.spans, &reference.spans);
+        prop_assert_eq!(&doc.events, &reference.events);
+        prop_assert_eq!(&doc.summary, &reference.summary);
+        // A nonempty partial tail (the record being written) is reported
+        // as truncated, not silently dropped.
+        let torn = cut > 0 && cut < text.len() && bytes[cut - 1] != b'\n' && bytes[cut] != b'\n';
+        if torn {
+            prop_assert!(doc.problems.iter().any(|p| p.contains("truncated")),
+                "problems: {:?}", doc.problems);
+        }
+    }
+}

@@ -13,8 +13,11 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release (tier-1)"
-cargo build --release
+echo "==> cargo build --release --workspace (tier-1)"
+# --workspace matters: a bare root build compiles only the `udse`
+# facade crate, not the repro/udse-inspect binaries the smoke below
+# runs.
+cargo build --release --workspace
 
 echo "==> cargo test -q (tier-1)"
 cargo test -q
@@ -34,6 +37,7 @@ mkdir -p target/shard-smoke
 ./target/release/repro --quick --manifest target/shard-smoke/single.json fig1 \
     > target/shard-smoke/single.out
 ./target/release/repro --quick --shards 2 --shard-dir target/shard-smoke/shards \
+    --trace target/shard-smoke/trace.json \
     --manifest target/shard-smoke/sharded.json fig1 > target/shard-smoke/sharded.out
 diff target/shard-smoke/single.out target/shard-smoke/sharded.out
 ./target/release/udse-inspect merge target/shard-smoke/sharded.json \
@@ -41,6 +45,27 @@ diff target/shard-smoke/single.out target/shard-smoke/sharded.out
 echo "==> udse-inspect diff single-process vs merged sharded manifest"
 ./target/release/udse-inspect diff target/shard-smoke/single.json \
     target/shard-smoke/merged.json --warn-wall
+
+# Multi-process trace: the sharded run above also wrote a merged Chrome
+# trace. It must parse back through udse-inspect, and the per-worker
+# summary must show at least three pid lanes (the parent plus both
+# workers) — proving worker events actually crossed the process
+# boundary via the telemetry sidecars.
+echo "==> udse-inspect trace --per-worker on the merged multi-process trace"
+./target/release/udse-inspect trace target/shard-smoke/trace.json --per-worker \
+    | tee target/shard-smoke/per-worker.txt
+lanes=$(grep -c '^ *[0-9]' target/shard-smoke/per-worker.txt)
+if [ "${lanes}" -lt 3 ]; then
+    echo "==> merged trace has ${lanes} pid lane(s), expected >= 3" >&2
+    exit 1
+fi
+
+# Unified run report over the merged manifest plus the worker telemetry
+# sidecars: per-shard throughput skew, straggler warnings, dropped-event
+# accounting.
+echo "==> udse-inspect report on the merged manifest + sidecars"
+./target/release/udse-inspect report target/shard-smoke/merged.json \
+    --shard-dir target/shard-smoke/shards
 
 # Regression gate: re-run the fixed-seed benchmark and diff against the
 # committed baseline. Model quality gates hard (the fixed seed makes it

@@ -8,6 +8,7 @@
 //!                                    [--tol-quality-pooled <abs>]
 //!                                    [--tol-quality-max <abs>] [--warn-wall]
 //!                                    [--tol-gauge <name>:<pct> ...]
+//!                                    [--tol-resource <name>:<pct>[:<floor>] ...]
 //! udse-inspect merge <manifest>... [--tol <abs>] [-o <out>]
 //! udse-inspect trace <manifest | events.jsonl | trace.json> [--folded]
 //!                    [--per-worker] [-o <out>]
@@ -25,7 +26,14 @@
 //! metric and warns — never gates — when it falls more than `pct`
 //! percent below the baseline (e.g.
 //! `--tol-gauge sweep.designs_per_sec:50` catches prediction-throughput
-//! collapses). `merge` aggregates the per-process manifests of one
+//! collapses). `--tol-resource name:pct[:floor]` (repeatable) is its
+//! gating mirror image for resource metrics: the run fails when the
+//! named metric *rises* more than `pct` percent above the baseline and
+//! the absolute rise exceeds `floor` (default 0) — e.g.
+//! `--tol-resource sweep.allocs_per_design:100:0.05` keeps the compiled
+//! sweep allocation-free; `resources.`-prefixed names read the manifest
+//! `resources` section (`resources.alloc_bytes`, `resources.peak_rss_kb`,
+//! …). `merge` aggregates the per-process manifests of one
 //! `repro --shards` run (the parent's plus every worker's) into a single
 //! document: minimum wall per artifact/span, work counters summed across
 //! processes, quality records carried verbatim with shared keys required
@@ -55,11 +63,18 @@ use udse_bench::inspect::{self, DiffTolerances};
 use udse_obs::manifest::{write_with_parents, ParsedManifest};
 use udse_obs::trace;
 
+// Same counting allocator the `repro` binary installs: `udse-inspect`
+// produces no manifests, but keeping every workspace binary under the
+// counter means its cost stays continuously exercised end to end.
+#[global_allocator]
+static ALLOC: udse_obs::CountingAlloc = udse_obs::CountingAlloc::new();
+
 const USAGE: &str = "usage: udse-inspect <command>\n\
   show  <manifest>                                 summarize one run\n\
   diff  <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>]\n\
         [--tol-quality-pooled <abs>] [--tol-quality-max <abs>] [--warn-wall]\n\
-        [--tol-gauge <name>:<pct> ...]             gate a run against a baseline\n\
+        [--tol-gauge <name>:<pct> ...]\n\
+        [--tol-resource <name>:<pct>[:<floor>] ...] gate a run against a baseline\n\
   merge <manifest>... [--tol <abs>] [-o <path>]    aggregate sharded-run manifests\n\
   trace <manifest | events.jsonl | trace.json> [--folded] [--per-worker] [-o <path>]\n\
                                                    export Chrome trace_event JSON,\n\
@@ -82,12 +97,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Flags that consume the next argument; everything else non-dashed
     // is positional.
-    const VALUE_FLAGS: [&str; 8] = [
+    const VALUE_FLAGS: [&str; 9] = [
         "--tol-wall",
         "--tol-quality",
         "--tol-quality-pooled",
         "--tol-quality-max",
         "--tol-gauge",
+        "--tol-resource",
         "--tol",
         "--shard-dir",
         "-o",
@@ -170,6 +186,31 @@ fn main() -> ExitCode {
                     Some((name, pct)) => tol.gauge_warn.push((name.to_string(), pct)),
                     None => {
                         return fail(&format!("--tol-gauge expects <name>:<pct>, got `{spec}`"))
+                    }
+                }
+            }
+            // Repeatable --tol-resource name:pct[:floor] occurrences
+            // (metric names are dotted, never contain colons).
+            for (i, a) in args.iter().enumerate() {
+                if a != "--tol-resource" {
+                    continue;
+                }
+                let Some(spec) = args.get(i + 1) else {
+                    return fail("--tol-resource expects <name>:<pct>[:<floor>]");
+                };
+                let parsed = spec.split_once(':').and_then(|(name, rest)| {
+                    let (pct, floor) = match rest.split_once(':') {
+                        Some((p, f)) => (p.parse::<f64>().ok()?, f.parse::<f64>().ok()?),
+                        None => (rest.parse::<f64>().ok()?, 0.0),
+                    };
+                    (!name.is_empty()).then(|| (name.to_string(), pct, floor))
+                });
+                match parsed {
+                    Some(gate) => tol.resource_gate.push(gate),
+                    None => {
+                        return fail(&format!(
+                            "--tol-resource expects <name>:<pct>[:<floor>], got `{spec}`"
+                        ))
                     }
                 }
             }

@@ -87,8 +87,15 @@ use udse_core::report::format_table;
 use udse_core::space::DesignSpace;
 use udse_core::studies::TrainedSuite;
 use udse_core::{EvalPlan, Oracle, SimSpec};
-use udse_obs::{sidecar, span, trace, Json, Level, ResultShard, RunManifest};
+use udse_obs::{cputime, sidecar, span, trace, Json, Level, ResultShard, RunManifest};
 use udse_sim::MachineConfig;
+
+// Count every heap allocation (parent and forked workers alike — the
+// worker is this same binary) so manifests, telemetry sidecars, and
+// span attribution report measured numbers instead of "not measured".
+// See `udse_obs::alloc` for the near-zero disabled/enabled cost.
+#[global_allocator]
+static ALLOC: udse_obs::CountingAlloc = udse_obs::CountingAlloc::new();
 
 fn print_space() -> String {
     let rows = vec![
@@ -350,7 +357,7 @@ fn worker_main(args: &[String]) -> ExitCode {
             done: done.load(Ordering::Relaxed),
             total,
             last_job: job.checked_sub(1),
-            rss_kb: sidecar::read_rss_kb(),
+            rss_kb: cputime::read_rss_kb(),
         });
     };
     let mut metrics = Vec::with_capacity(range.len());
@@ -433,10 +440,15 @@ fn worker_main(args: &[String]) -> ExitCode {
         } else {
             Vec::new()
         };
+        let stats = udse_obs::alloc::stats();
         let summary = sidecar::Summary {
             done: done.load(Ordering::Relaxed),
             wall_us: udse_obs::trace::since_anchor_us(),
             dropped_events: dropped,
+            cpu_us: cputime::process_cpu_us(),
+            allocs: udse_obs::alloc::counting().then_some(stats.allocs),
+            alloc_bytes: udse_obs::alloc::counting().then_some(stats.bytes_allocated),
+            peak_rss_kb: cputime::peak_rss_kb(),
         };
         if let Err(e) = writer.finish(&spans, &events, &summary) {
             udse_obs::warn!("worker", "telemetry incomplete: {e}");
@@ -601,6 +613,15 @@ fn main() -> ExitCode {
     let dropped = trace::global().dropped();
     if trace::enabled() {
         udse_obs::metrics::counter("trace.dropped_events").add(dropped);
+    }
+    // Allocation totals as counters so `udse-inspect diff
+    // --tol-resource alloc.bytes:pct[:floor]` can gate allocation
+    // regressions between runs (the `resources` section carries the
+    // same totals; counters additionally merge across shard manifests).
+    if udse_obs::alloc::counting() {
+        let a = udse_obs::alloc::stats();
+        udse_obs::metrics::counter("alloc.count").add(a.allocs);
+        udse_obs::metrics::counter("alloc.bytes").add(a.bytes_allocated);
     }
     if let Some(path) = &manifest_path {
         match manifest.write_to_path(path) {

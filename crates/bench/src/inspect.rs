@@ -51,6 +51,18 @@ pub struct DiffTolerances {
     /// throughput gauges like `sweep.designs_per_sec`, where only a drop
     /// is suspicious.
     pub gauge_warn: Vec<(String, f64)>,
+    /// Resource gates: `(metric name, percent, absolute floor)`
+    /// triples. The mirror image of `gauge_warn` — a watched resource
+    /// metric that *rises* above the baseline **gates** (allocation
+    /// counts are deterministic, so a rise is a real regression, and
+    /// "the compiled sweep allocates nothing per design" is exactly the
+    /// kind of claim this enforces). The rise must exceed both the
+    /// relative `percent` and the `floor` (in the metric's own units)
+    /// to gate, so per-chunk setup noise on a near-zero baseline never
+    /// trips it. Names resolve against the metrics section, or against
+    /// the v3 `resources` section with a `resources.` prefix (e.g.
+    /// `resources.alloc_bytes`).
+    pub resource_gate: Vec<(String, f64, f64)>,
     /// Demote wall-time regressions to warnings (CI runs on shared,
     /// differently-sized machines; quality stays gated).
     pub warn_wall: bool,
@@ -66,6 +78,7 @@ impl Default for DiffTolerances {
             quality_max_abs: 0.05,
             counter_warn_pct: 10.0,
             gauge_warn: Vec::new(),
+            resource_gate: Vec::new(),
             warn_wall: false,
         }
     }
@@ -134,6 +147,7 @@ pub fn diff(old: &ParsedManifest, new: &ParsedManifest, tol: &DiffTolerances) ->
     diff_quality(old, new, tol, &mut report);
     diff_counters(old, new, tol, &mut report);
     diff_gauges(old, new, tol, &mut report);
+    diff_resources(old, new, tol, &mut report);
     report
 }
 
@@ -298,6 +312,48 @@ fn diff_gauges(
     }
 }
 
+/// Resolves a resource-gate name: `resources.<field>` reads the v3
+/// `resources` section, anything else reads the metrics section
+/// (counters and gauges both answer `as_f64`).
+fn resource_value(m: &ParsedManifest, name: &str) -> Option<f64> {
+    if let Some(field) = name.strip_prefix("resources.") {
+        let r = m.resources?;
+        return match field {
+            "allocs" => Some(r.allocs as f64),
+            "deallocs" => Some(r.deallocs as f64),
+            "alloc_bytes" => Some(r.alloc_bytes as f64),
+            "peak_bytes" => Some(r.peak_bytes as f64),
+            "peak_rss_kb" => r.peak_rss_kb.map(|v| v as f64),
+            "cpu_seconds" => r.cpu_seconds,
+            _ => None,
+        };
+    }
+    m.metric(name).and_then(Json::as_f64)
+}
+
+fn diff_resources(
+    old: &ParsedManifest,
+    new: &ParsedManifest,
+    tol: &DiffTolerances,
+    report: &mut DiffReport,
+) {
+    for (name, pct, floor) in &tol.resource_gate {
+        let (Some(o), Some(n)) = (resource_value(old, name), resource_value(new, name)) else {
+            report
+                .warnings
+                .push(format!("resource `{name}` on the watchlist but missing from a manifest"));
+            continue;
+        };
+        report.lines.push(format!("resource {name} {o:.3} -> {n:.3} ({:+.1}%)", pct_change(o, n)));
+        if n > o * (1.0 + pct / 100.0) && n - o > *floor {
+            report.regressions.push(format!(
+                "resource `{name}` rose {o:.3} -> {n:.3} (more than +{pct}% over baseline, \
+                 floor {floor})"
+            ));
+        }
+    }
+}
+
 fn pct_change(old: f64, new: f64) -> f64 {
     if old == 0.0 {
         if new == 0.0 {
@@ -367,12 +423,46 @@ pub fn show(m: &ParsedManifest) -> String {
         }
     }
     if !m.spans.is_empty() {
+        // Resource columns render only when some span measured something:
+        // an all-zero column would read as "allocation-free" when the
+        // producing binary simply had no counting allocator installed.
+        let with_resources =
+            m.spans.iter().any(|(_, s)| s.cpu_seconds > 0.0 || s.allocs > 0 || s.alloc_bytes > 0);
         out.push_str("\nspans (total seconds):\n");
         for (path, s) in &m.spans {
             out.push_str(&format!(
-                "  {:<36} {:>6} calls {:>10.3}s\n",
+                "  {:<36} {:>6} calls {:>10.3}s",
                 path, s.count, s.total_seconds
             ));
+            if with_resources {
+                out.push_str(&format!(
+                    " {:>9.3}s cpu {:>10} allocs {:>10}",
+                    s.cpu_seconds,
+                    s.allocs,
+                    udse_obs::span::fmt_bytes(s.alloc_bytes)
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    if let Some(r) = m.resources {
+        out.push_str("\nresources:\n");
+        if let Some(cpu) = r.cpu_seconds {
+            out.push_str(&format!("  cpu time: {cpu:.3}s\n"));
+        }
+        if let Some(rss) = r.peak_rss_kb {
+            out.push_str(&format!("  peak rss: {:.1} MB\n", rss as f64 / 1024.0));
+        }
+        if r.alloc_counting {
+            out.push_str(&format!(
+                "  heap: {} allocs / {} frees, {} allocated, peak live {}\n",
+                r.allocs,
+                r.deallocs,
+                udse_obs::span::fmt_bytes(r.alloc_bytes),
+                udse_obs::span::fmt_bytes(r.peak_bytes)
+            ));
+        } else {
+            out.push_str("  heap: not measured (producing binary had no counting allocator)\n");
         }
     }
     if !m.metrics.is_empty() {
@@ -394,6 +484,14 @@ struct ShardAggregate {
     max_rss_kb: u64,
     dropped_events: u64,
     unclean_exits: u64,
+    // Resource totals from worker summaries. The `*_known` flags keep
+    // "measured zero" distinct from "worker didn't measure" (old
+    // sidecars, dirty exits): unknown renders as `-`, never as 0.
+    cpu_us: u64,
+    cpu_known: bool,
+    allocs: u64,
+    alloc_bytes: u64,
+    alloc_known: bool,
 }
 
 /// The unified run report: the manifest summary ([`show`]) followed by
@@ -438,6 +536,16 @@ pub fn report(
                 slot.jobs += s.done;
                 slot.busy_us += s.wall_us;
                 slot.dropped_events += s.dropped_events;
+                if let Some(v) = s.cpu_us {
+                    slot.cpu_us += v;
+                    slot.cpu_known = true;
+                }
+                if let Some(v) = s.allocs {
+                    slot.allocs += v;
+                    slot.alloc_bytes += s.alloc_bytes.unwrap_or(0);
+                    slot.alloc_known = true;
+                }
+                slot.max_rss_kb = slot.max_rss_kb.max(s.peak_rss_kb.unwrap_or(0));
             }
             None => {
                 slot.unclean_exits += 1;
@@ -481,7 +589,8 @@ pub fn report(
             .fold(0.0f64, f64::max)
             .max(f64::MIN_POSITIVE);
         out.push_str(&format!(
-            "\nshard telemetry ({} sidecar(s)):\n  {:<5} {:>7} {:>8} {:>10} {:>8} {:>10} {:>9}\n",
+            "\nshard telemetry ({} sidecar(s)):\n  {:<5} {:>7} {:>8} {:>10} {:>8} {:>10} {:>9} \
+             {:>8} {:>12} {:>10}\n",
             sidecars.len(),
             "shard",
             "batches",
@@ -489,19 +598,35 @@ pub fn report(
             "busy(s)",
             "jobs/s",
             "vs-best",
-            "rss(MB)"
+            "rss(MB)",
+            "cpu(s)",
+            "allocs",
+            "alloc(MB)"
         ));
         for (index, agg) in &shards {
             let rate = throughput(agg.jobs, agg.busy_us);
+            let cpu =
+                if agg.cpu_known { format!("{:.3}", agg.cpu_us as f64 / 1e6) } else { "-".into() };
+            let (allocs, alloc_mb) = if agg.alloc_known {
+                (
+                    agg.allocs.to_string(),
+                    format!("{:.1}", agg.alloc_bytes as f64 / (1 << 20) as f64),
+                )
+            } else {
+                ("-".into(), "-".into())
+            };
             out.push_str(&format!(
-                "  {:<5} {:>7} {:>8} {:>10.3} {:>8.0} {:>9.0}% {:>9.1}\n",
+                "  {:<5} {:>7} {:>8} {:>10.3} {:>8.0} {:>9.0}% {:>9.1} {:>8} {:>12} {:>10}\n",
                 index,
                 agg.batches,
                 agg.jobs,
                 agg.busy_us as f64 / 1e6,
                 rate,
                 100.0 * rate / best,
-                agg.max_rss_kb as f64 / 1024.0
+                agg.max_rss_kb as f64 / 1024.0,
+                cpu,
+                allocs,
+                alloc_mb
             ));
         }
     }
@@ -598,7 +723,16 @@ pub fn folded_from_manifest(m: &ParsedManifest) -> String {
         .map(|(path, s)| {
             let total = std::time::Duration::from_secs_f64(s.total_seconds.max(0.0));
             let max = std::time::Duration::from_secs_f64(s.max_seconds.max(0.0));
-            (path.clone(), udse_obs::span::SpanStat { count: s.count, total, max })
+            let cpu = std::time::Duration::from_secs_f64(s.cpu_seconds.max(0.0));
+            let stat = udse_obs::span::SpanStat {
+                count: s.count,
+                total,
+                max,
+                cpu,
+                allocs: s.allocs,
+                alloc_bytes: s.alloc_bytes,
+            };
+            (path.clone(), stat)
         })
         .collect();
     udse_obs::span::folded(&stats)
@@ -627,7 +761,12 @@ mod tests {
             metrics: counters.iter().map(|&(n, v)| (n.to_string(), Json::Int(v))).collect(),
             spans: vec![(
                 "all".into(),
-                SpanTotal { count: 1, total_seconds: 1.0, max_seconds: 1.0 },
+                SpanTotal {
+                    count: 1,
+                    total_seconds: 1.0,
+                    max_seconds: 1.0,
+                    ..SpanTotal::default()
+                },
             )],
             quality: quality
                 .iter()
@@ -642,6 +781,7 @@ mod tests {
                     r_squared: 0.99,
                 })
                 .collect(),
+            resources: None,
         }
     }
 
@@ -751,8 +891,24 @@ mod tests {
     fn folded_export_from_manifest() {
         let mut m = manifest(&[("fig1", 1.0)], &[], &[]);
         m.spans = vec![
-            ("all".into(), SpanTotal { count: 1, total_seconds: 1.0, max_seconds: 1.0 }),
-            ("all/fit".into(), SpanTotal { count: 9, total_seconds: 0.4, max_seconds: 0.1 }),
+            (
+                "all".into(),
+                SpanTotal {
+                    count: 1,
+                    total_seconds: 1.0,
+                    max_seconds: 1.0,
+                    ..SpanTotal::default()
+                },
+            ),
+            (
+                "all/fit".into(),
+                SpanTotal {
+                    count: 9,
+                    total_seconds: 0.4,
+                    max_seconds: 0.1,
+                    ..SpanTotal::default()
+                },
+            ),
         ];
         let folded = folded_from_manifest(&m);
         assert_eq!(folded, "all 600000\nall;fit 400000\n");
@@ -807,6 +963,85 @@ mod tests {
     }
 
     #[test]
+    fn resource_rise_gates_a_deliberately_allocating_regression() {
+        let alloc = |bytes: i64| {
+            let mut m = manifest(&[("fig1", 1.0)], &[], &[]);
+            m.metrics.push(("alloc.bytes".into(), Json::Int(bytes)));
+            m
+        };
+        let tol = DiffTolerances {
+            resource_gate: vec![("alloc.bytes".into(), 10.0, 1024.0)],
+            ..DiffTolerances::default()
+        };
+        let old = alloc(100_000);
+        // A 4x allocation rise gates hard — unlike gauge_warn, which
+        // only watches falls and never gates.
+        let report = diff(&old, &alloc(400_000), &tol);
+        assert!(report.is_regression());
+        assert!(report.regressions[0].contains("alloc.bytes"), "{:?}", report.regressions);
+        // Identical usage and improvement pass.
+        assert!(!diff(&old, &alloc(100_000), &tol).is_regression());
+        assert!(!diff(&old, &alloc(50_000), &tol).is_regression());
+        // A big relative rise on a tiny baseline stays under the
+        // absolute floor: +90% but only 900 bytes.
+        assert!(!diff(&alloc(1_000), &alloc(1_900), &tol).is_regression());
+        // Unwatched resource metrics never gate.
+        assert!(!diff(&old, &alloc(400_000), &DiffTolerances::default()).is_regression());
+        // A watched resource missing from a manifest warns.
+        let bare = manifest(&[("fig1", 1.0)], &[], &[]);
+        assert!(diff(&old, &bare, &tol).warnings.iter().any(|w| w.contains("missing")));
+    }
+
+    #[test]
+    fn zero_baseline_resource_gate_enforces_allocation_free_claims() {
+        let gauge = |v: f64| {
+            let mut m = manifest(&[("fig1", 1.0)], &[], &[]);
+            m.metrics.push(("sweep.allocs_per_design".into(), Json::Float(v)));
+            m
+        };
+        let tol = DiffTolerances {
+            resource_gate: vec![("sweep.allocs_per_design".into(), 100.0, 0.05)],
+            ..DiffTolerances::default()
+        };
+        // Baseline zero: any rise past the floor gates, keeping "the
+        // compiled sweep allocates nothing per design" enforced.
+        assert!(diff(&gauge(0.0), &gauge(0.2), &tol).is_regression());
+        // Sub-floor noise (per-chunk bookkeeping amortized over the
+        // grid) and a clean zero both pass.
+        assert!(!diff(&gauge(0.0), &gauge(0.01), &tol).is_regression());
+        assert!(!diff(&gauge(0.0), &gauge(0.0), &tol).is_regression());
+    }
+
+    #[test]
+    fn resource_gate_reads_the_resources_section_with_prefix() {
+        use udse_obs::manifest::ResourceTotals;
+        let with = |alloc_bytes: u64| {
+            let mut m = manifest(&[("fig1", 1.0)], &[], &[]);
+            m.resources = Some(ResourceTotals {
+                alloc_counting: true,
+                allocs: 10,
+                deallocs: 10,
+                alloc_bytes,
+                peak_bytes: alloc_bytes,
+                peak_rss_kb: Some(10_000),
+                cpu_seconds: Some(1.0),
+            });
+            m
+        };
+        let tol = DiffTolerances {
+            resource_gate: vec![("resources.alloc_bytes".into(), 10.0, 0.0)],
+            ..DiffTolerances::default()
+        };
+        assert!(diff(&with(1_000), &with(2_000), &tol).is_regression());
+        assert!(!diff(&with(1_000), &with(1_000), &tol).is_regression());
+        // Pre-v3 manifests (no resources section) warn, not crash/gate.
+        let pre = manifest(&[("fig1", 1.0)], &[], &[]);
+        let report = diff(&pre, &with(1_000), &tol);
+        assert!(!report.is_regression());
+        assert!(report.warnings.iter().any(|w| w.contains("missing")));
+    }
+
+    #[test]
     fn counter_drift_warns_but_does_not_gate() {
         let old = manifest(&[("fig1", 1.0)], &[], &[("sim.instructions", 1_000)]);
         let new = manifest(&[("fig1", 1.0)], &[], &[("sim.instructions", 2_000)]);
@@ -828,6 +1063,39 @@ mod tests {
         {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn show_renders_resources_and_span_resource_columns() {
+        use udse_obs::manifest::ResourceTotals;
+        let mut m = manifest(&[("fig1", 1.0)], &[], &[]);
+        // Pre-v3: no resources section, no span resource columns — an
+        // all-zero allocs column would read as an allocation-free claim.
+        let text = show(&m);
+        assert!(!text.contains("resources:"), "{text}");
+        assert!(!text.contains("cpu"), "{text}");
+        m.resources = Some(ResourceTotals {
+            alloc_counting: true,
+            allocs: 1_000,
+            deallocs: 990,
+            alloc_bytes: 3 << 20,
+            peak_bytes: 1 << 20,
+            peak_rss_kb: Some(51_200),
+            cpu_seconds: Some(2.5),
+        });
+        m.spans[0].1.cpu_seconds = 0.75;
+        m.spans[0].1.allocs = 42;
+        m.spans[0].1.alloc_bytes = 2048;
+        let text = show(&m);
+        assert!(text.contains("cpu time: 2.500s"), "{text}");
+        assert!(text.contains("peak rss: 50.0 MB"), "{text}");
+        assert!(text.contains("1000 allocs / 990 frees"), "{text}");
+        assert!(text.contains("42 allocs"), "missing span alloc column:\n{text}");
+        assert!(text.contains("2.0 KiB"), "span alloc bytes not humanized:\n{text}");
+        // A manifest whose producer had no counting allocator says so
+        // instead of claiming zero heap usage.
+        m.resources = Some(ResourceTotals { alloc_counting: false, ..m.resources.unwrap() });
+        assert!(show(&m).contains("not measured"), "{}", show(&m));
     }
 
     #[test]
@@ -873,6 +1141,10 @@ mod tests {
                 done,
                 wall_us,
                 dropped_events,
+                cpu_us: Some(wall_us / 2),
+                allocs: Some(done * 10),
+                alloc_bytes: Some(done * 1024),
+                peak_rss_kb: Some(20_480),
             }),
             problems: vec![],
         };
@@ -904,6 +1176,15 @@ mod tests {
         assert!(text.contains("heartbeat gap"), "missing straggler warning:\n{text}");
         assert!(text.contains("did not exit cleanly"), "missing unclean-exit warning:\n{text}");
         assert!(text.contains("truncated final line"), "collector problems not surfaced:\n{text}");
+        // Resource columns: shard 0's summary reports cpu = wall/2 and
+        // 10 allocs/job; shard 1 died without a summary, so its
+        // resources are unknown and must render as `-`, never 0.
+        assert!(text.contains("cpu(s)"), "missing cpu column:\n{text}");
+        assert!(text.contains("alloc(MB)"), "missing alloc column:\n{text}");
+        let row0 = text.lines().find(|l| l.trim_start().starts_with("0 ")).unwrap();
+        assert!(row0.contains("0.500") && row0.contains("1000"), "{row0}");
+        let row1 = text.lines().find(|l| l.trim_start().starts_with("1 ")).unwrap();
+        assert!(row1.contains('-'), "unknown resources must render as -: {row1}");
     }
 
     #[test]

@@ -283,6 +283,10 @@ impl ShardedOracle {
                     .map_err(|e| format!("waiting for worker {}/{count}: {e}", worker.index))?;
                 match status {
                     Some(st) => {
+                        // One final tail: the summary record lands
+                        // between the last poll and process exit, and
+                        // it carries the worker's resource totals.
+                        worker.tail(&mut progress);
                         worker.status = Some(st);
                         progress.mark_finished(worker.index);
                     }
@@ -339,8 +343,9 @@ struct WorkerHandle {
 }
 
 impl WorkerHandle {
-    /// Reads any new complete sidecar lines and feeds heartbeats into
-    /// the progress meter. Best-effort: the sidecar may not exist yet.
+    /// Reads any new complete sidecar lines, feeds heartbeats into the
+    /// progress meter, and rolls worker summary resources up into the
+    /// parent's metrics. Best-effort: the sidecar may not exist yet.
     fn tail(&mut self, progress: &mut ShardProgress) {
         let Ok(text) = std::fs::read_to_string(&self.telemetry) else {
             return;
@@ -348,8 +353,27 @@ impl WorkerHandle {
         let (records, offset) = sidecar::parse_tail(&text, self.tail_offset);
         self.tail_offset = offset;
         for record in records {
-            if let SidecarRecord::Heartbeat(beat) = record {
-                progress.heartbeat(self.index, beat.done, beat.last_job);
+            match record {
+                SidecarRecord::Heartbeat(beat) => {
+                    progress.heartbeat(self.index, beat.done, beat.last_job);
+                }
+                // Cross-process resource roll-up: child totals land in
+                // the parent's metrics, so even a manifest-only run
+                // (no `report --shard-dir`) records what its workers
+                // cost. The tail offset guarantees each summary line is
+                // seen exactly once, so plain counters sum correctly.
+                SidecarRecord::Summary(s) => {
+                    if let Some(v) = s.cpu_us {
+                        udse_obs::metrics::counter("shard.worker.cpu_us").add(v);
+                    }
+                    if let Some(v) = s.allocs {
+                        udse_obs::metrics::counter("shard.worker.allocs").add(v);
+                    }
+                    if let Some(v) = s.alloc_bytes {
+                        udse_obs::metrics::counter("shard.worker.alloc_bytes").add(v);
+                    }
+                }
+                _ => {}
             }
         }
     }

@@ -95,6 +95,7 @@ impl DepthStudy {
         // every bucket's contents match a sequential pass exactly.
         let stride = config.eval_stride;
         let total = strided_count(&space, stride);
+        let allocs0 = crate::studies::sweep_allocs_snapshot();
         let started = Instant::now();
         let chunk_buckets = udse_obs::pool::map_chunks(total, |range| {
             let _chunk = udse_obs::span::enter("chunk");
@@ -108,7 +109,7 @@ impl DepthStudy {
             }
             (effs, pts)
         });
-        record_sweep(total, started.elapsed().as_secs_f64());
+        record_sweep(total, started.elapsed().as_secs_f64(), allocs0);
         let mut effs_by_depth: Vec<Vec<f64>> = vec![Vec::new(); depths.len()];
         let mut pts_by_depth: Vec<Vec<DesignPoint>> = vec![Vec::new(); depths.len()];
         for (effs, pts) in chunk_buckets {

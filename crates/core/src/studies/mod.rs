@@ -222,6 +222,7 @@ pub(crate) fn predicted_efficiency_optimum(
     stride: usize,
 ) -> (DesignPoint, Metrics) {
     let total = strided_count(space, stride);
+    let allocs0 = sweep_allocs_snapshot();
     let started = Instant::now();
     let chunk_bests = udse_obs::pool::map_chunks(total, |range| {
         let _chunk = udse_obs::span::enter("chunk");
@@ -238,7 +239,7 @@ pub(crate) fn predicted_efficiency_optimum(
         }
         best
     });
-    record_sweep(total, started.elapsed().as_secs_f64());
+    record_sweep(total, started.elapsed().as_secs_f64(), allocs0);
     chunk_bests
         .into_iter()
         .flatten()
@@ -248,11 +249,30 @@ pub(crate) fn predicted_efficiency_optimum(
         .expect("exploration space is non-empty")
 }
 
+/// Process-wide allocation count before a sweep starts, or `None` when
+/// no counting allocator is installed — pair with [`record_sweep`]'s
+/// `allocs_before` argument.
+pub(crate) fn sweep_allocs_snapshot() -> Option<u64> {
+    udse_obs::alloc::counting().then(|| udse_obs::alloc::stats().allocs)
+}
+
 /// Records the sweep throughput metrics: bumps the `sweep.designs`
-/// counter by `designs` and sets the `sweep.designs_per_sec` gauge.
+/// counter by `designs`, sets the `sweep.designs_per_sec` gauge, and —
+/// given a [`sweep_allocs_snapshot`] taken before the sweep — sets the
+/// `sweep.allocs_per_design` gauge so the CI diff gate
+/// (`--tol-resource sweep.allocs_per_design:…`) can hold the compiled
+/// sweep to (near) zero heap allocations per design. The allocation
+/// delta is process-wide, so concurrent non-sweep work inflates it;
+/// per-chunk pool bookkeeping amortizes to ~0 over a real grid walk.
 /// Returns the rate (0 when `elapsed_seconds` is not positive).
-pub(crate) fn record_sweep(designs: u64, elapsed_seconds: f64) -> f64 {
+pub(crate) fn record_sweep(designs: u64, elapsed_seconds: f64, allocs_before: Option<u64>) -> f64 {
     udse_obs::metrics::counter("sweep.designs").add(designs);
+    if let Some(before) = allocs_before {
+        if designs > 0 {
+            let delta = udse_obs::alloc::stats().allocs.saturating_sub(before);
+            udse_obs::metrics::gauge("sweep.allocs_per_design").set(delta as f64 / designs as f64);
+        }
+    }
     let rate = if elapsed_seconds > 0.0 { designs as f64 / elapsed_seconds } else { 0.0 };
     if rate > 0.0 {
         udse_obs::metrics::gauge("sweep.designs_per_sec").set(rate);

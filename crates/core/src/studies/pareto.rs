@@ -73,6 +73,7 @@ pub fn characterize(
     let compiled = models.compile(space);
     let stride = config.eval_stride;
     let total = strided_count(space, stride);
+    let allocs0 = crate::studies::sweep_allocs_snapshot();
     let started = Instant::now();
     let chunks = udse_obs::pool::map_chunks(total, |range| {
         let _chunk = udse_obs::span::enter("chunk");
@@ -84,7 +85,7 @@ pub fn characterize(
             .collect::<Vec<PredictedDesign>>()
     });
     let designs: Vec<PredictedDesign> = chunks.into_iter().flatten().collect();
-    let rate = record_sweep(designs.len() as u64, started.elapsed().as_secs_f64());
+    let rate = record_sweep(designs.len() as u64, started.elapsed().as_secs_f64(), allocs0);
     udse_obs::info!(
         "sweep",
         "characterized {} designs for {:?} at {:.0} designs/sec",
@@ -112,6 +113,7 @@ pub fn characterize_all(
     let compiled = suite.compile(space);
     let stride = config.eval_stride;
     let total = strided_count(space, stride);
+    let allocs0 = crate::studies::sweep_allocs_snapshot();
     let started = Instant::now();
     let chunks = udse_obs::pool::map_chunks(total, |range| {
         let _chunk = udse_obs::span::enter("chunk");
@@ -136,7 +138,7 @@ pub fn characterize_all(
         }
     }
     let swept: u64 = designs.iter().map(|d| d.len() as u64).sum();
-    let rate = record_sweep(swept, started.elapsed().as_secs_f64());
+    let rate = record_sweep(swept, started.elapsed().as_secs_f64(), allocs0);
     udse_obs::info!(
         "sweep",
         "characterized {} designs across {} benchmarks in one fused walk at {:.0} designs/sec",

@@ -1,0 +1,65 @@
+//! Allocation-free guarantee on the fused sweep's inner loop.
+//!
+//! The `characterize_all` grid walk predicts all nine benchmarks per
+//! visited design by resolving grid indices once and reading compiled
+//! tables (`grid_indices` + `predict_metrics_at`). The per-design work
+//! must never touch the heap — at 262,500 designs x 9 benchmarks, even
+//! one small allocation per design would dominate the sweep. This test
+//! pins that with the counting allocator: after a warm-up pass, the
+//! exact inner-loop sequence runs under `assert_no_alloc`, which panics
+//! on the first heap allocation on the asserting thread.
+
+use udse_core::model::PaperModels;
+use udse_core::oracle::{Metrics, Oracle};
+use udse_core::space::{DesignPoint, DesignSpace};
+use udse_trace::Benchmark;
+
+// Integration tests are separate binaries: each one that measures
+// allocations must install the counting allocator itself.
+#[global_allocator]
+static ALLOC: udse_obs::CountingAlloc = udse_obs::CountingAlloc::new();
+
+/// Smooth positive response surface so training is fast and both
+/// transforms stay in-domain; the allocation property does not depend
+/// on fit quality.
+struct SmoothOracle;
+
+impl Oracle for SmoothOracle {
+    fn evaluate(&self, _b: Benchmark, p: &DesignPoint) -> Metrics {
+        let v = p.predictors();
+        Metrics {
+            bips: (8.0 / v[0]) * (1.0 + 0.2 * v[1].ln()) * (1.0 + 0.002 * v[2]) + 0.05 * v[6],
+            watts: 4.0 + 40.0 / v[0] + 1.2 * v[1] + 0.5 * v[6] + 0.01 * v[2] + 0.3 * v[4],
+        }
+    }
+}
+
+#[test]
+fn fused_sweep_inner_loop_is_allocation_free_after_warmup() {
+    let space = DesignSpace::exploration();
+    let samples = DesignSpace::paper().sample_uar(300, 2007);
+    let models =
+        PaperModels::train(&SmoothOracle, Benchmark::Gzip, &samples).expect("smooth fit succeeds");
+    let compiled = models.compile(&space);
+    // The walk's decode bookkeeping is outside the per-design claim:
+    // points are precomputed, as `pool::map_chunks` ranges are in the
+    // real sweep.
+    let points: Vec<DesignPoint> = space.sample_uar(4_096, 99);
+
+    // Warm-up pass (first touches of lazily-faulted pages, etc.), and
+    // the reference sum for the post-assert equality check.
+    let sweep = |acc_init: f64| {
+        let mut acc = acc_init;
+        for p in &points {
+            let idx = compiled.grid_indices(p);
+            let m = compiled.predict_metrics_at(&idx);
+            acc += m.bips + m.watts;
+        }
+        acc
+    };
+    let expected = sweep(0.0);
+    let again =
+        udse_obs::alloc::assert_no_alloc("fused characterize_all inner loop", || sweep(0.0));
+    assert_eq!(again.to_bits(), expected.to_bits(), "repeat sweep must be deterministic");
+    assert!(expected.is_finite());
+}

@@ -62,6 +62,14 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The integer value, if this is `Int`.
     pub fn as_i64(&self) -> Option<i64> {
         match self {

@@ -10,7 +10,15 @@
 //!   thread-safe global collector ([`span::enter`], [`span::Collector`]);
 //!   per-thread stacks merge into one global path table, worker threads
 //!   inherit their spawner's path via [`span::adopt`], and
-//!   [`span::folded`] exports inferno-compatible folded stacks;
+//!   [`span::folded`] exports inferno-compatible folded stacks; every
+//!   span also carries per-thread resource deltas (allocations, bytes,
+//!   thread CPU time) sampled from [`alloc`] and [`cputime`];
+//! - [`alloc`] — a counting `#[global_allocator]` wrapper
+//!   ([`alloc::CountingAlloc`], opt-in per binary) whose process-wide
+//!   and per-thread counters feed the manifest `resources` section,
+//!   span attribution, and the [`alloc::assert_no_alloc`] test guard;
+//! - [`cputime`] — best-effort `/proc` probes shared by parent and
+//!   workers: thread/process CPU time, current and peak RSS;
 //! - [`pool`] — a scoped-thread work pool ([`pool::map`]) with
 //!   deterministic, input-ordered results; the oracle layer fans
 //!   simulation batches through it, sized by [`pool::set_max_workers`]
@@ -67,6 +75,8 @@
 //! assert_eq!(registry.counter("sim.instructions").get(), 20_000);
 //! ```
 
+pub mod alloc;
+pub mod cputime;
 pub mod json;
 pub mod log;
 pub mod manifest;
@@ -79,7 +89,15 @@ pub mod sidecar;
 pub mod span;
 pub mod trace;
 
+pub use alloc::CountingAlloc;
 pub use json::Json;
+
+// The crate's own unit-test binary runs under the counting allocator so
+// the `alloc`/`span` tests exercise real counting, exactly as the
+// `repro` and `udse-inspect` binaries do in production.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: CountingAlloc = CountingAlloc::new();
 pub use log::Level;
 pub use manifest::{ParsedManifest, RunManifest};
 pub use metrics::Registry;

@@ -28,11 +28,14 @@ use crate::{metrics, quality, span};
 
 /// Manifest JSON layout version, bumped on incompatible changes.
 ///
-/// v2 (this version) adds the `quality` section (model-quality records,
-/// see [`crate::quality`]) and p50/p90/p99 quantile fields on histogram
-/// metrics; [`ParsedManifest`] still reads v1 documents, treating both
-/// additions as absent.
-pub const SCHEMA_VERSION: i64 = 2;
+/// v2 added the `quality` section (model-quality records, see
+/// [`crate::quality`]) and p50/p90/p99 quantile fields on histogram
+/// metrics. v3 (this version) adds the `resources` section (process
+/// allocation totals, peak RSS, CPU time — see [`ResourceTotals`]) and
+/// per-span `cpu_seconds`/`allocs`/`alloc_bytes` columns.
+/// [`ParsedManifest`] still reads v1 and v2 documents, treating the
+/// additions as absent (no resources section, zero span resources).
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// One produced artifact and how long it took.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +44,75 @@ pub struct ArtifactRecord {
     pub name: String,
     /// Wall-clock seconds spent producing it.
     pub wall_seconds: f64,
+}
+
+/// Whole-process resource totals, captured at manifest-write time and
+/// stored in the v3 `resources` section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceTotals {
+    /// Whether the counting allocator served this process; the four
+    /// allocation fields are meaningful only when `true` (they read
+    /// zero otherwise, which is *not* the same as "allocation-free").
+    pub alloc_counting: bool,
+    /// Heap allocations served since startup.
+    pub allocs: u64,
+    /// Heap deallocations served since startup.
+    pub deallocs: u64,
+    /// Total heap bytes ever allocated.
+    pub alloc_bytes: u64,
+    /// High-water mark of live heap bytes.
+    pub peak_bytes: u64,
+    /// Peak resident-set size in KiB (`VmHWM`); `None` off-Linux.
+    pub peak_rss_kb: Option<u64>,
+    /// Process CPU time (user + system), seconds; `None` off-Linux.
+    pub cpu_seconds: Option<f64>,
+}
+
+impl ResourceTotals {
+    /// Snapshots this process's counters and `/proc` probes.
+    pub fn capture() -> Self {
+        let a = crate::alloc::stats();
+        ResourceTotals {
+            alloc_counting: crate::alloc::counting(),
+            allocs: a.allocs,
+            deallocs: a.deallocs,
+            alloc_bytes: a.bytes_allocated,
+            peak_bytes: a.peak_bytes,
+            peak_rss_kb: crate::cputime::peak_rss_kb(),
+            cpu_seconds: crate::cputime::process_cpu_us().map(|us| us as f64 / 1e6),
+        }
+    }
+
+    /// The `resources` section object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("alloc_counting", Json::Bool(self.alloc_counting)),
+            ("allocs", Json::Int(self.allocs as i64)),
+            ("deallocs", Json::Int(self.deallocs as i64)),
+            ("alloc_bytes", Json::Int(self.alloc_bytes as i64)),
+            ("peak_bytes", Json::Int(self.peak_bytes as i64)),
+            ("peak_rss_kb", self.peak_rss_kb.map_or(Json::Null, |v| Json::Int(v as i64))),
+            ("cpu_seconds", self.cpu_seconds.map_or(Json::Null, Json::Float)),
+        ])
+    }
+
+    /// Reads a `resources` section; `None` when `doc` is not an object
+    /// (v1/v2 manifests have no such section).
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        if !matches!(doc, Json::Obj(_)) {
+            return None;
+        }
+        let uint = |key: &str| doc.get(key).and_then(Json::as_i64).map(|v| v.max(0) as u64);
+        Some(ResourceTotals {
+            alloc_counting: doc.get("alloc_counting").and_then(Json::as_bool).unwrap_or(false),
+            allocs: uint("allocs").unwrap_or(0),
+            deallocs: uint("deallocs").unwrap_or(0),
+            alloc_bytes: uint("alloc_bytes").unwrap_or(0),
+            peak_bytes: uint("peak_bytes").unwrap_or(0),
+            peak_rss_kb: uint("peak_rss_kb"),
+            cpu_seconds: doc.get("cpu_seconds").and_then(Json::as_f64),
+        })
+    }
 }
 
 /// An in-progress record of a run, serialized to JSON at the end.
@@ -130,6 +202,9 @@ impl RunManifest {
                             ("count", Json::Int(s.count as i64)),
                             ("total_seconds", Json::Float(s.total.as_secs_f64())),
                             ("max_seconds", Json::Float(s.max.as_secs_f64())),
+                            ("cpu_seconds", Json::Float(s.cpu.as_secs_f64())),
+                            ("allocs", Json::Int(s.allocs as i64)),
+                            ("alloc_bytes", Json::Int(s.alloc_bytes as i64)),
                         ]),
                     )
                 })
@@ -146,6 +221,7 @@ impl RunManifest {
             ("metrics", metrics),
             ("spans", spans),
             ("quality", quality::global().to_json()),
+            ("resources", ResourceTotals::capture().to_json()),
         ])
     }
 
@@ -219,7 +295,7 @@ fn metric_to_json(value: &MetricValue) -> Json {
 }
 
 /// Aggregated timing of one span path, as stored in a manifest.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SpanTotal {
     /// Completed executions.
     pub count: u64,
@@ -227,11 +303,20 @@ pub struct SpanTotal {
     pub total_seconds: f64,
     /// Longest single execution, seconds.
     pub max_seconds: f64,
+    /// Total executing-thread CPU time, seconds (0 in pre-v3 docs and
+    /// where `/proc` is unavailable).
+    pub cpu_seconds: f64,
+    /// Heap allocations on the executing thread (0 in pre-v3 docs and
+    /// without the counting allocator).
+    pub allocs: u64,
+    /// Heap bytes allocated on the executing thread.
+    pub alloc_bytes: u64,
 }
 
 /// A manifest read back from disk, accepting any schema version this
-/// build understands (1 and 2): v1 documents simply have no quality
-/// records and no histogram quantile fields.
+/// build understands (1 through 3): v1 documents simply have no quality
+/// records and no histogram quantile fields, and pre-v3 documents have
+/// no `resources` section and zero span resource columns.
 #[derive(Debug, Clone)]
 pub struct ParsedManifest {
     /// The document's declared layout version.
@@ -251,6 +336,8 @@ pub struct ParsedManifest {
     pub spans: Vec<(String, SpanTotal)>,
     /// Model-quality records, sorted by key (empty for v1 documents).
     pub quality: Vec<QualityRecord>,
+    /// Whole-process resource totals (`None` for pre-v3 documents).
+    pub resources: Option<ResourceTotals>,
 }
 
 impl ParsedManifest {
@@ -319,6 +406,12 @@ impl ParsedManifest {
                         count: s.get("count")?.as_i64()?.max(0) as u64,
                         total_seconds: s.get("total_seconds")?.as_f64()?,
                         max_seconds: s.get("max_seconds")?.as_f64()?,
+                        // Resource columns are v3 additions: absent in
+                        // older documents, defaulting to zero.
+                        cpu_seconds: s.get("cpu_seconds").and_then(Json::as_f64).unwrap_or(0.0),
+                        allocs: s.get("allocs").and_then(Json::as_i64).unwrap_or(0).max(0) as u64,
+                        alloc_bytes: s.get("alloc_bytes").and_then(Json::as_i64).unwrap_or(0).max(0)
+                            as u64,
                     },
                 ))
             })
@@ -336,6 +429,7 @@ impl ParsedManifest {
             metrics: obj_entries("metrics"),
             spans,
             quality,
+            resources: doc.get("resources").and_then(ResourceTotals::from_json),
         })
     }
 
@@ -360,7 +454,7 @@ impl ParsedManifest {
     }
 }
 
-/// Aggregates several run manifests into one schema-v2 document, for
+/// Aggregates several run manifests into one schema-v3 document, for
 /// flaky-machine CI (merge repeated runs and keep the best wall numbers)
 /// and for sharded runs (merge the parent manifest with the per-shard
 /// worker manifests so counters reconstruct single-process totals).
@@ -372,12 +466,23 @@ impl ParsedManifest {
 /// - **artifacts**: union by name, keeping the *minimum* wall time
 ///   (first manifest's order, unseen names appended).
 /// - **spans**: union by path, minimum `total_seconds` and
-///   `max_seconds`, maximum `count`; sorted by path.
+///   `max_seconds`, maximum `count`; sorted by path. Resource columns
+///   merge conservatively: minimum `cpu_seconds` (timing, like wall),
+///   maximum `allocs`/`alloc_bytes` (deterministic, so inputs that are
+///   runs of the same experiment agree anyway).
 /// - **metrics**: union by name, sorted. Integer counters that agree
 ///   across inputs pass through; disagreeing counters are *summed*
 ///   (shard manifests partition the work, so their counters add up to
 ///   the single-process totals). Gauges keep the maximum; structured
 ///   metrics (histograms) keep the first occurrence.
+/// - **resources**: present when any input has the section. Counter
+///   fields (`allocs`, `deallocs`, `alloc_bytes`) follow the metrics
+///   rule — agree → pass through, disagree → sum (shards partition the
+///   work); `peak_bytes`/`peak_rss_kb` keep the maximum;
+///   `cpu_seconds` is summed (a sharded run's total CPU bill across
+///   processes — compare against min wall for parallel efficiency);
+///   `alloc_counting` is true only when *every* contributing input
+///   counted (a mixed merge would under-report).
 /// - **quality**: union by key, first occurrence passed through
 ///   verbatim. A key present in several inputs must agree within
 ///   `quality_tol` (absolute, on p50/p90/max/bias) or the merge fails —
@@ -421,12 +526,17 @@ pub fn merge_manifests(
                     e.total_seconds = e.total_seconds.min(s.total_seconds);
                     e.max_seconds = e.max_seconds.min(s.max_seconds);
                     e.count = e.count.max(s.count);
+                    e.cpu_seconds = e.cpu_seconds.min(s.cpu_seconds);
+                    e.allocs = e.allocs.max(s.allocs);
+                    e.alloc_bytes = e.alloc_bytes.max(s.alloc_bytes);
                 }
                 None => spans.push((path.clone(), *s)),
             }
         }
     }
     spans.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let resources = merge_resources(inputs);
 
     let mut metrics: Vec<(String, Vec<&Json>)> = Vec::new();
     for (_, m) in inputs {
@@ -521,6 +631,9 @@ pub fn merge_manifests(
                                 ("count", Json::Int(s.count as i64)),
                                 ("total_seconds", Json::Float(s.total_seconds)),
                                 ("max_seconds", Json::Float(s.max_seconds)),
+                                ("cpu_seconds", Json::Float(s.cpu_seconds)),
+                                ("allocs", Json::Int(s.allocs as i64)),
+                                ("alloc_bytes", Json::Int(s.alloc_bytes as i64)),
                             ]),
                         )
                     })
@@ -528,7 +641,37 @@ pub fn merge_manifests(
             ),
         ),
         ("quality", Json::Obj(quality.into_iter().map(|r| (r.key.clone(), r.to_json())).collect())),
+        ("resources", resources.map_or(Json::Null, |r| r.to_json())),
     ]))
+}
+
+/// Folds the inputs' `resources` sections per the rules documented on
+/// [`merge_manifests`]; `None` when no input has the section.
+fn merge_resources(inputs: &[(String, ParsedManifest)]) -> Option<ResourceTotals> {
+    let seen: Vec<ResourceTotals> = inputs.iter().filter_map(|(_, m)| m.resources).collect();
+    if seen.is_empty() {
+        return None;
+    }
+    let counter = |field: fn(&ResourceTotals) -> u64| -> u64 {
+        let values: Vec<u64> = seen.iter().map(field).collect();
+        if values.windows(2).all(|w| w[0] == w[1]) {
+            values[0]
+        } else {
+            values.iter().sum()
+        }
+    };
+    Some(ResourceTotals {
+        alloc_counting: seen.iter().all(|r| r.alloc_counting),
+        allocs: counter(|r| r.allocs),
+        deallocs: counter(|r| r.deallocs),
+        alloc_bytes: counter(|r| r.alloc_bytes),
+        peak_bytes: seen.iter().map(|r| r.peak_bytes).max().unwrap_or(0),
+        peak_rss_kb: seen.iter().filter_map(|r| r.peak_rss_kb).max(),
+        cpu_seconds: seen
+            .iter()
+            .filter_map(|r| r.cpu_seconds)
+            .fold(None, |acc, v| Some(acc.unwrap_or(0.0) + v)),
+    })
 }
 
 #[cfg(test)]
@@ -647,7 +790,7 @@ mod tests {
         );
         metrics::histogram("manifest.test.hist", &[0.1, 1.0, 10.0]).observe(0.5);
         let doc = RunManifest::new("q").to_json();
-        assert_eq!(doc.get("schema_version").and_then(Json::as_i64), Some(2));
+        assert_eq!(doc.get("schema_version").and_then(Json::as_i64), Some(SCHEMA_VERSION));
         let q = doc.get("quality").expect("quality section");
         let rec = q.get("manifest.test.bips").expect("recorded key");
         assert_eq!(rec.get("n").and_then(Json::as_i64), Some(3));
@@ -720,7 +863,105 @@ mod tests {
     }
 
     #[test]
-    fn parsed_manifest_reads_v1_and_v2_but_rejects_future() {
+    fn manifest_v3_carries_resources_and_span_resource_columns() {
+        {
+            let _g = span::enter("manifest_resource_span");
+            let v: Vec<u8> = vec![0; 64 * 1024];
+            assert!(!v.is_empty());
+        }
+        let doc = RunManifest::new("r").to_json();
+        // The obs test binary runs under the counting allocator, so the
+        // captured totals are live.
+        let res = doc.get("resources").expect("resources section");
+        assert_eq!(res.get("alloc_counting"), Some(&Json::Bool(true)));
+        assert!(res.get("allocs").and_then(Json::as_i64).unwrap_or(0) > 0);
+        assert!(res.get("peak_bytes").and_then(Json::as_i64).unwrap_or(0) > 0);
+        let span = doc.get("spans").and_then(|s| s.get("manifest_resource_span")).expect("span");
+        assert!(span.get("allocs").and_then(Json::as_i64).unwrap_or(0) >= 1);
+        assert!(span.get("alloc_bytes").and_then(Json::as_i64).unwrap_or(0) >= 64 * 1024);
+        assert!(span.get("cpu_seconds").and_then(Json::as_f64).is_some());
+
+        // And the whole thing reads back.
+        let parsed = ParsedManifest::parse(&doc.to_string_pretty()).expect("parses");
+        let back = parsed.resources.expect("parsed resources");
+        assert!(back.alloc_counting);
+        assert!(back.allocs > 0);
+        let (_, s) =
+            parsed.spans.iter().find(|(p, _)| p == "manifest_resource_span").expect("span");
+        assert!(s.allocs >= 1);
+        assert!(s.alloc_bytes >= 64 * 1024);
+    }
+
+    #[test]
+    fn resource_totals_round_trip_including_unmeasured_probes() {
+        for r in [
+            ResourceTotals {
+                alloc_counting: true,
+                allocs: 123,
+                deallocs: 120,
+                alloc_bytes: 1 << 30,
+                peak_bytes: 1 << 24,
+                peak_rss_kb: Some(65_536),
+                cpu_seconds: Some(1.25),
+            },
+            ResourceTotals {
+                alloc_counting: false,
+                allocs: 0,
+                deallocs: 0,
+                alloc_bytes: 0,
+                peak_bytes: 0,
+                peak_rss_kb: None,
+                cpu_seconds: None,
+            },
+        ] {
+            let text = r.to_json().to_string_compact();
+            let back = ResourceTotals::from_json(&Json::parse(&text).unwrap()).expect("parses");
+            assert_eq!(back, r, "round trip of {text}");
+        }
+        assert_eq!(ResourceTotals::from_json(&Json::Null), None, "pre-v3: no section");
+    }
+
+    #[test]
+    fn merge_folds_resources_per_documented_rules() {
+        let with_resources = |allocs: i64, peak_rss: i64, cpu: f64| -> ParsedManifest {
+            let text = format!(
+                r#"{{
+                "schema_version": 3, "tool": "repro", "created_unix_ms": 1,
+                "config": {{}}, "artifacts": [], "metrics": {{}}, "spans": {{}},
+                "quality": {{}},
+                "resources": {{"alloc_counting": true, "allocs": {allocs},
+                    "deallocs": {allocs}, "alloc_bytes": {b}, "peak_bytes": 10,
+                    "peak_rss_kb": {peak_rss}, "cpu_seconds": {cpu}}}
+            }}"#,
+                b = allocs * 100,
+            );
+            ParsedManifest::parse(&text).expect("fixture parses")
+        };
+        let a = with_resources(50, 9_000, 1.5);
+        let b = with_resources(70, 11_000, 2.5);
+        let doc = merge_manifests(&[("a".to_string(), a.clone()), ("b".to_string(), b)], 0.02)
+            .expect("merges");
+        let merged = ParsedManifest::from_json(&doc).expect("valid").resources.expect("resources");
+        assert_eq!(merged.allocs, 120, "disagreeing counters sum");
+        assert_eq!(merged.alloc_bytes, 12_000);
+        assert_eq!(merged.peak_rss_kb, Some(11_000), "peaks keep the max");
+        assert_eq!(merged.cpu_seconds, Some(4.0), "CPU sums across processes");
+        assert!(merged.alloc_counting);
+
+        // Identical inputs pass counters through unsummed.
+        let doc = merge_manifests(&[("a".to_string(), a.clone()), ("a2".to_string(), a)], 0.02)
+            .expect("merges");
+        let merged = ParsedManifest::from_json(&doc).expect("valid").resources.expect("resources");
+        assert_eq!(merged.allocs, 50);
+
+        // Pre-v3 inputs merge with no resources section.
+        let doc = merge_manifests(&[("old".to_string(), merge_fixture(1.0, 10, 0.07))], 0.02)
+            .expect("merges");
+        assert!(ParsedManifest::from_json(&doc).expect("valid").resources.is_none());
+    }
+
+    #[test]
+    fn parsed_manifest_reads_v1_through_v3_but_rejects_future() {
         let v1 = r#"{
             "schema_version": 1,
             "tool": "repro",
@@ -735,6 +976,8 @@ mod tests {
         assert_eq!(m.schema_version, 1);
         assert_eq!(m.tool, "repro");
         assert!(m.quality.is_empty(), "v1 has no quality section");
+        assert!(m.resources.is_none(), "v1 has no resources section");
+        assert_eq!(m.spans[0].1.allocs, 0, "pre-v3 span resources default to zero");
         assert_eq!(m.artifact_wall_seconds("fig1"), Some(2.0));
         assert_eq!(m.total_wall_seconds(), 2.0);
         assert_eq!(m.metric("sim.instructions").and_then(Json::as_i64), Some(100));
@@ -746,9 +989,10 @@ mod tests {
         ));
         let mut native = RunManifest::new("v2");
         native.record_artifact("a", 1.0);
-        let m = ParsedManifest::parse(&native.to_json().to_string_pretty()).expect("v2 parses");
+        let m = ParsedManifest::parse(&native.to_json().to_string_pretty()).expect("v3 parses");
         assert_eq!(m.schema_version, SCHEMA_VERSION);
         assert!(m.quality_record("parse.test.watts").is_some());
+        assert!(m.resources.is_some(), "native manifests carry resources");
 
         let future = r#"{"schema_version": 99, "tool": "x"}"#;
         let err = ParsedManifest::parse(future).expect_err("future version rejected");

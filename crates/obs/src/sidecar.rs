@@ -18,8 +18,11 @@
 //!   table;
 //! - `event` — one per buffered trace event at exit (only when tracing
 //!   was enabled);
-//! - `summary` — written last: final job count, wall time, and how many
-//!   trace events the bounded buffer dropped.
+//! - `summary` — written last: final job count, wall time, how many
+//!   trace events the bounded buffer dropped, and best-effort resource
+//!   totals (process CPU time, allocation counts/bytes from
+//!   [`crate::alloc`], peak RSS) the parent folds into per-shard skew
+//!   tables.
 //!
 //! The format is append-only and flushed per line, so a reader may see
 //! a torn final line while the worker is mid-write — and a killed
@@ -47,7 +50,7 @@
 //! };
 //! let writer = SidecarWriter::create(&path, &meta).unwrap();
 //! writer.heartbeat(&Heartbeat { t_us: 5, done: 10, total: 10, last_job: Some(9), rss_kb: None });
-//! writer.finish(&[], &[], &Summary { done: 10, wall_us: 6, dropped_events: 0 }).unwrap();
+//! writer.finish(&[], &[], &Summary { done: 10, wall_us: 6, ..Summary::default() }).unwrap();
 //! let doc = SidecarDoc::read_from_path(&path).unwrap();
 //! assert_eq!(doc.summary.as_ref().unwrap().done, 10);
 //! std::fs::remove_dir_all(&dir).ok();
@@ -118,7 +121,12 @@ pub struct SpanLine {
 }
 
 /// The closing record of a cleanly-exiting worker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The resource fields are all best-effort `Option`s: `None` when the
+/// probe is unavailable (non-Linux `/proc`, counting allocator not
+/// installed) *and* when reading a sidecar written before they existed
+/// — readers must treat "absent" and "unmeasured" identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Summary {
     /// Jobs completed over the worker's lifetime.
     pub done: u64,
@@ -126,6 +134,17 @@ pub struct Summary {
     pub wall_us: u64,
     /// Trace events rejected by the worker's bounded buffer.
     pub dropped_events: u64,
+    /// Process CPU time (user + system) at exit, microseconds
+    /// ([`crate::cputime::process_cpu_us`]).
+    pub cpu_us: Option<u64>,
+    /// Heap allocations served over the worker's lifetime
+    /// ([`crate::alloc::stats`]); `None` when the counting allocator is
+    /// not installed.
+    pub allocs: Option<u64>,
+    /// Heap bytes allocated over the worker's lifetime.
+    pub alloc_bytes: Option<u64>,
+    /// Peak resident-set size in KiB ([`crate::cputime::peak_rss_kb`]).
+    pub peak_rss_kb: Option<u64>,
 }
 
 /// Any one line of a sidecar stream.
@@ -184,6 +203,10 @@ impl SidecarRecord {
                 ("done", Json::Int(s.done as i64)),
                 ("wall_us", Json::Int(s.wall_us as i64)),
                 ("dropped_events", Json::Int(s.dropped_events as i64)),
+                ("cpu_us", s.cpu_us.map_or(Json::Null, |v| Json::Int(v as i64))),
+                ("allocs", s.allocs.map_or(Json::Null, |v| Json::Int(v as i64))),
+                ("alloc_bytes", s.alloc_bytes.map_or(Json::Null, |v| Json::Int(v as i64))),
+                ("peak_rss_kb", s.peak_rss_kb.map_or(Json::Null, |v| Json::Int(v as i64))),
             ]),
         }
     }
@@ -243,6 +266,12 @@ impl SidecarRecord {
                 done: uint("done")?,
                 wall_us: uint("wall_us")?,
                 dropped_events: uint("dropped_events")?,
+                // Resource totals arrived after v1 sidecars shipped:
+                // absent fields parse as "unmeasured", not as errors.
+                cpu_us: opt_uint("cpu_us"),
+                allocs: opt_uint("allocs"),
+                alloc_bytes: opt_uint("alloc_bytes"),
+                peak_rss_kb: opt_uint("peak_rss_kb"),
             })),
             other => Err(format!("unknown rec tag {other:?}")),
         }
@@ -260,15 +289,6 @@ pub fn span_lines(snapshot: &[(String, SpanStat)]) -> Vec<SpanLine> {
             max_us: stat.max.as_micros() as u64,
         })
         .collect()
-}
-
-/// Resident-set size of this process in KiB, read from
-/// `/proc/self/status` (`VmRSS`). `None` where `/proc` is unavailable —
-/// callers treat RSS as best-effort.
-pub fn read_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Streaming sidecar writer: one flushed JSONL line per record, so the
@@ -513,7 +533,17 @@ mod tests {
                 pid: PARENT_PID,
                 tid: 1,
             }),
-            SidecarRecord::Summary(Summary { done: 40, wall_us: 1_234, dropped_events: 2 }),
+            SidecarRecord::Summary(Summary {
+                done: 40,
+                wall_us: 1_234,
+                dropped_events: 2,
+                cpu_us: Some(800),
+                allocs: Some(12_345),
+                alloc_bytes: Some(1 << 20),
+                peak_rss_kb: Some(64_000),
+            }),
+            // Unmeasured resources round-trip as explicit nulls.
+            SidecarRecord::Summary(Summary { done: 1, wall_us: 2, ..Summary::default() }),
         ];
         for record in &records {
             let line = record.to_json().to_string_compact();
@@ -599,7 +629,7 @@ mod tests {
             tid: 1,
         }];
         writer
-            .finish(&spans, &events, &Summary { done: 40, wall_us: 100, dropped_events: 0 })
+            .finish(&spans, &events, &Summary { done: 40, wall_us: 100, ..Summary::default() })
             .expect("finish");
         let doc = SidecarDoc::read_from_path(&path).expect("reads");
         assert!(doc.problems.is_empty(), "clean file: {:?}", doc.problems);
@@ -652,12 +682,14 @@ mod tests {
     }
 
     #[test]
-    fn rss_probe_is_best_effort() {
-        // On Linux this reads a real value; elsewhere it returns None.
-        // Either way it must not panic.
-        let rss = read_rss_kb();
-        if let Some(kb) = rss {
-            assert!(kb > 0, "a live process has nonzero RSS");
-        }
+    fn v1_summaries_without_resource_fields_still_parse() {
+        let line = "{\"rec\":\"summary\",\"done\":40,\"wall_us\":123,\"dropped_events\":0}";
+        let back = SidecarRecord::from_json(&Json::parse(line).unwrap()).expect("v1 parses");
+        let SidecarRecord::Summary(s) = back else { panic!("not a summary: {back:?}") };
+        assert_eq!(s.done, 40);
+        assert_eq!(s.cpu_us, None);
+        assert_eq!(s.allocs, None);
+        assert_eq!(s.alloc_bytes, None);
+        assert_eq!(s.peak_rss_kb, None);
     }
 }

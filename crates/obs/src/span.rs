@@ -8,6 +8,13 @@
 //! [`Collector`] that [`report_table`](Collector::report_table) renders
 //! as the end-of-run timing summary.
 //!
+//! Each guard also snapshots the executing thread's resource counters
+//! at enter — heap allocations/bytes from [`crate::alloc`] (when the
+//! counting allocator is installed) and thread CPU time from
+//! [`crate::cputime`] — and records the deltas at drop, so the same
+//! table answers "what did that span *cost*", not just how long it
+//! took. Attribution is strictly per-thread: see [`ResourceDelta`].
+//!
 //! # Threads
 //!
 //! Each thread keeps its own open-span stack, and every thread records
@@ -53,6 +60,31 @@ pub struct SpanStat {
     pub total: Duration,
     /// Longest single execution.
     pub max: Duration,
+    /// Total CPU time (user + system) of the *executing thread* across
+    /// executions; zero where `/proc` is unavailable. Tick-granular
+    /// (see [`crate::cputime`]), so short spans legitimately read 0.
+    pub cpu: Duration,
+    /// Heap allocations on the executing thread across executions;
+    /// zero when the counting allocator is not installed.
+    pub allocs: u64,
+    /// Heap bytes allocated on the executing thread across executions.
+    pub alloc_bytes: u64,
+}
+
+/// Resource consumption of one completed span execution, measured on
+/// the executing thread between enter and drop. Wall time still covers
+/// blocking on other threads (a dispatching span waiting on the pool),
+/// but these columns deliberately do **not**: work fanned out to
+/// [`crate::pool`] workers is attributed to the workers' own
+/// ([`adopt`]ed) span paths, never double-counted into the parent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceDelta {
+    /// Thread CPU time consumed, microseconds.
+    pub cpu_us: u64,
+    /// Heap allocations on the thread.
+    pub allocs: u64,
+    /// Heap bytes allocated on the thread.
+    pub alloc_bytes: u64,
 }
 
 /// Thread-safe sink of completed span timings.
@@ -67,13 +99,23 @@ impl Collector {
         Collector::default()
     }
 
-    /// Records one completed execution of `path`.
+    /// Records one completed execution of `path` with no resource
+    /// attribution (equivalent to a zero [`ResourceDelta`]).
     pub fn record(&self, path: &str, elapsed: Duration) {
+        self.record_resources(path, elapsed, ResourceDelta::default());
+    }
+
+    /// Records one completed execution of `path` along with what it
+    /// consumed on the executing thread.
+    pub fn record_resources(&self, path: &str, elapsed: Duration, res: ResourceDelta) {
         let mut stats = self.stats.lock().expect("span collector poisoned");
         let s = stats.entry(path.to_string()).or_default();
         s.count += 1;
         s.total += elapsed;
         s.max = s.max.max(elapsed);
+        s.cpu += Duration::from_micros(res.cpu_us);
+        s.allocs += res.allocs;
+        s.alloc_bytes += res.alloc_bytes;
     }
 
     /// All recorded paths with their statistics, sorted by path so
@@ -86,30 +128,65 @@ impl Collector {
     }
 
     /// Renders the timing summary table. Returns `None` when nothing was
-    /// recorded.
+    /// recorded. Resource columns (thread CPU, allocation count/bytes)
+    /// appear only when at least one span recorded a nonzero value —
+    /// a run without the counting allocator would otherwise print
+    /// all-zero columns that read as "allocation-free".
     pub fn report_table(&self) -> Option<String> {
         let snap = self.snapshot();
         if snap.is_empty() {
             return None;
         }
+        let with_resources =
+            snap.iter().any(|(_, s)| s.cpu > Duration::ZERO || s.allocs > 0 || s.alloc_bytes > 0);
         let name_width = snap.iter().map(|(p, _)| p.len()).max().unwrap_or(4).max("span".len());
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+            "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}",
             "span", "calls", "total", "mean", "max"
         ));
+        if with_resources {
+            out.push_str(&format!("  {:>10}  {:>10}  {:>10}", "cpu", "allocs", "alloc"));
+        }
+        out.push('\n');
         for (path, s) in &snap {
             let mean = s.total.as_secs_f64() / s.count.max(1) as f64;
             out.push_str(&format!(
-                "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}\n",
+                "{:<name_width$}  {:>6}  {:>10}  {:>10}  {:>10}",
                 path,
                 s.count,
                 fmt_duration(s.total.as_secs_f64()),
                 fmt_duration(mean),
                 fmt_duration(s.max.as_secs_f64()),
             ));
+            if with_resources {
+                out.push_str(&format!(
+                    "  {:>10}  {:>10}  {:>10}",
+                    fmt_duration(s.cpu.as_secs_f64()),
+                    s.allocs,
+                    fmt_bytes(s.alloc_bytes),
+                ));
+            }
+            out.push('\n');
         }
         Some(out)
+    }
+}
+
+/// Formats a byte count with a binary unit keeping 3–4 significant
+/// digits. Shared by every report surface that prints allocation
+/// volumes (span tables here, `udse-inspect show`/`report`).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2} GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.2} MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1} KiB", b / KIB)
+    } else {
+        format!("{bytes} B")
     }
 }
 
@@ -132,12 +209,20 @@ pub fn global() -> &'static Collector {
     GLOBAL.get_or_init(Collector::new)
 }
 
-/// An open span; dropping it records the elapsed time.
+/// An open span; dropping it records the elapsed time plus the
+/// resources the executing thread consumed (thread CPU time and, when
+/// the counting allocator is installed, allocation count/bytes).
 #[derive(Debug)]
 #[must_use = "dropping the guard immediately records a ~zero-length span"]
 pub struct SpanGuard {
     path: String,
     start: Instant,
+    /// Thread CPU time at enter, µs; `None` where `/proc` is absent.
+    cpu_start_us: Option<u64>,
+    /// This thread's allocation counters at enter (zeros when the
+    /// counting allocator is not installed — the exit snapshot then
+    /// reads zeros too, so the delta stays zero).
+    alloc_start: crate::alloc::ThreadAllocStats,
 }
 
 /// Opens a span named `name` nested under the thread's currently open
@@ -148,7 +233,14 @@ pub fn enter(name: &str) -> SpanGuard {
         stack.push(name.to_string());
         stack.join("/")
     });
-    SpanGuard { path, start: Instant::now() }
+    SpanGuard {
+        path,
+        // Resource snapshots before the wall clock starts, so probe
+        // cost (a /proc read) lands outside the measured window.
+        cpu_start_us: crate::cputime::thread_cpu_us(),
+        alloc_start: crate::alloc::thread_stats(),
+        start: Instant::now(),
+    }
 }
 
 /// The `/`-joined path of the spans currently open on this thread, or
@@ -260,10 +352,20 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
+        let alloc_end = crate::alloc::thread_stats();
+        let cpu_us = match (self.cpu_start_us, crate::cputime::thread_cpu_us()) {
+            (Some(t0), Some(t1)) => t1.saturating_sub(t0),
+            _ => 0,
+        };
+        let res = ResourceDelta {
+            cpu_us,
+            allocs: alloc_end.allocs - self.alloc_start.allocs,
+            alloc_bytes: alloc_end.bytes - self.alloc_start.bytes,
+        };
         STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
-        global().record(&self.path, elapsed);
+        global().record_resources(&self.path, elapsed, res);
         crate::trace::record_complete(&self.path, elapsed);
         crate::trace!("span", "{} took {}", self.path, fmt_duration(elapsed.as_secs_f64()));
     }
@@ -378,49 +480,23 @@ mod tests {
         assert!(stats.iter().any(|(p, _)| p == "adopt_root/adopted_child"));
     }
 
+    fn wall_stat(count: u64, total_us: u64, max_us: u64) -> SpanStat {
+        SpanStat {
+            count,
+            total: Duration::from_micros(total_us),
+            max: Duration::from_micros(max_us),
+            ..SpanStat::default()
+        }
+    }
+
     #[test]
     fn folded_emits_self_time_per_stack() {
         let snapshot = vec![
-            (
-                "all".to_string(),
-                SpanStat {
-                    count: 1,
-                    total: Duration::from_micros(1_000),
-                    max: Duration::from_micros(1_000),
-                },
-            ),
-            (
-                "all/fit".to_string(),
-                SpanStat {
-                    count: 2,
-                    total: Duration::from_micros(400),
-                    max: Duration::from_micros(300),
-                },
-            ),
-            (
-                "all/sweep".to_string(),
-                SpanStat {
-                    count: 1,
-                    total: Duration::from_micros(600),
-                    max: Duration::from_micros(600),
-                },
-            ),
-            (
-                "all/sweep/inner".to_string(),
-                SpanStat {
-                    count: 1,
-                    total: Duration::from_micros(250),
-                    max: Duration::from_micros(250),
-                },
-            ),
-            (
-                "other".to_string(),
-                SpanStat {
-                    count: 1,
-                    total: Duration::from_micros(70),
-                    max: Duration::from_micros(70),
-                },
-            ),
+            ("all".to_string(), wall_stat(1, 1_000, 1_000)),
+            ("all/fit".to_string(), wall_stat(2, 400, 300)),
+            ("all/sweep".to_string(), wall_stat(1, 600, 600)),
+            ("all/sweep/inner".to_string(), wall_stat(1, 250, 250)),
+            ("other".to_string(), wall_stat(1, 70, 70)),
         ];
         let text = folded(&snapshot);
         // `all` has zero self time (children cover it) and is omitted;
@@ -438,23 +514,54 @@ mod tests {
         // A parent whose recorded children total more than itself (clock
         // skew across threads) must clamp to zero, not underflow.
         let snapshot = vec![
-            (
-                "p".to_string(),
-                SpanStat {
-                    count: 1,
-                    total: Duration::from_micros(10),
-                    max: Duration::from_micros(10),
-                },
-            ),
-            (
-                "p/c".to_string(),
-                SpanStat {
-                    count: 1,
-                    total: Duration::from_micros(25),
-                    max: Duration::from_micros(25),
-                },
-            ),
+            ("p".to_string(), wall_stat(1, 10, 10)),
+            ("p/c".to_string(), wall_stat(1, 25, 25)),
         ];
         assert_eq!(folded(&snapshot), "p;c 25\n");
+    }
+
+    #[test]
+    fn spans_attribute_thread_allocations() {
+        // The obs test binary installs the counting allocator, so a
+        // span that allocates must show a nonzero alloc delta.
+        {
+            let _g = enter("alloc_attr_span");
+            let v: Vec<u8> = vec![0; 100 * 1024];
+            assert!(!v.is_empty());
+        }
+        let snap = global().snapshot();
+        let (_, s) = snap.iter().find(|(p, _)| p == "alloc_attr_span").expect("recorded");
+        assert!(s.allocs >= 1, "span saw {} allocs", s.allocs);
+        assert!(s.alloc_bytes >= 100 * 1024, "span saw {} bytes", s.alloc_bytes);
+    }
+
+    #[test]
+    fn resource_columns_appear_only_when_nonzero() {
+        let c = Collector::new();
+        c.record("plain", Duration::from_millis(1));
+        let table = c.report_table().expect("non-empty");
+        assert!(!table.contains("allocs"), "zero-resource table stays narrow:\n{table}");
+        c.record_resources(
+            "plain",
+            Duration::from_millis(1),
+            ResourceDelta { cpu_us: 500, allocs: 3, alloc_bytes: 2048 },
+        );
+        let table = c.report_table().expect("non-empty");
+        assert!(table.contains("cpu"), "resource header:\n{table}");
+        assert!(table.contains("allocs"), "resource header:\n{table}");
+        assert!(table.contains("2.0 KiB"), "humanized bytes:\n{table}");
+        let snap: HashMap<String, SpanStat> = c.snapshot().into_iter().collect();
+        assert_eq!(snap["plain"].count, 2);
+        assert_eq!(snap["plain"].allocs, 3);
+        assert_eq!(snap["plain"].cpu, Duration::from_micros(500));
+    }
+
+    #[test]
+    fn fmt_bytes_picks_binary_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(999), "999 B");
+        assert_eq!(fmt_bytes(4 * 1024), "4.0 KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 / 2), "1.50 MiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
     }
 }

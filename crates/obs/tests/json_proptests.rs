@@ -122,6 +122,32 @@ proptest! {
     }
 
     #[test]
+    fn resource_sections_round_trip_for_arbitrary_measurements(seed in 0u64..1_000_000) {
+        // The manifest v3 `resources` section flows through this same
+        // writer/parser; the round trip must hold for any measurement,
+        // including "probe unavailable" (None → null) fields.
+        use udse_obs::manifest::ResourceTotals;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Counters serialize as JSON ints, so stay within i64 range.
+        let counter = |rng: &mut StdRng| rng.gen::<u64>() >> 1;
+        let totals = ResourceTotals {
+            alloc_counting: rng.gen::<bool>(),
+            allocs: counter(&mut rng),
+            deallocs: counter(&mut rng),
+            alloc_bytes: counter(&mut rng),
+            peak_bytes: counter(&mut rng),
+            peak_rss_kb: rng.gen::<bool>().then(|| counter(&mut rng)),
+            cpu_seconds: rng.gen::<bool>().then(|| arbitrary_float(&mut rng).abs()),
+        };
+        let text = totals.to_json().to_string_compact();
+        let parsed = Json::parse(&text).expect("canonical section parses");
+        let back = ResourceTotals::from_json(&parsed).expect("object decodes");
+        prop_assert_eq!(back, totals);
+        // A pre-v3 placeholder (null) reads as "no section", not zeros.
+        prop_assert_eq!(ResourceTotals::from_json(&Json::Null), None);
+    }
+
+    #[test]
     fn truncated_documents_error_never_panic(seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
         // Top-level object, like every document the pipeline writes: any

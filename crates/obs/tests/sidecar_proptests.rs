@@ -75,11 +75,29 @@ fn arbitrary_record(rng: &mut StdRng) -> SidecarRecord {
             max_us: rng.gen_range(0u64..1 << 50),
         }),
         3 => SidecarRecord::Event(arbitrary_event(rng)),
-        _ => SidecarRecord::Summary(Summary {
-            done: rng.gen_range(0u64..1 << 40),
-            wall_us: rng.gen_range(0u64..1 << 50),
-            dropped_events: rng.gen_range(0u64..1 << 30),
-        }),
+        _ => SidecarRecord::Summary(arbitrary_summary(rng)),
+    }
+}
+
+/// Summaries cover both measured and unmeasured resource probes: the
+/// round-trip identity property then proves explicit nulls and absent
+/// measurements are indistinguishable on the wire.
+fn arbitrary_summary(rng: &mut StdRng) -> Summary {
+    let opt = |rng: &mut StdRng, hi: u64| -> Option<u64> {
+        if rng.gen::<bool>() {
+            Some(rng.gen_range(0u64..hi))
+        } else {
+            None
+        }
+    };
+    Summary {
+        done: rng.gen_range(0u64..1 << 40),
+        wall_us: rng.gen_range(0u64..1 << 50),
+        dropped_events: rng.gen_range(0u64..1 << 30),
+        cpu_us: opt(rng, 1 << 50),
+        allocs: opt(rng, 1 << 40),
+        alloc_bytes: opt(rng, 1 << 50),
+        peak_rss_kb: opt(rng, 1 << 30),
     }
 }
 
@@ -89,11 +107,7 @@ fn arbitrary_stream(rng: &mut StdRng) -> Vec<SidecarRecord> {
     let mut records = vec![SidecarRecord::Meta(arbitrary_meta(rng))];
     let body = rng.gen_range(0usize..30);
     records.extend((0..body).map(|_| arbitrary_record(rng)));
-    records.push(SidecarRecord::Summary(Summary {
-        done: rng.gen_range(0u64..1 << 40),
-        wall_us: rng.gen_range(0u64..1 << 50),
-        dropped_events: 0,
-    }));
+    records.push(SidecarRecord::Summary(Summary { dropped_events: 0, ..arbitrary_summary(rng) }));
     records
 }
 

@@ -1,0 +1,69 @@
+//! Allocation-free guarantees on the compiled predictor hot path.
+//!
+//! `CompiledModel::predict_many_into` documents that steady-state sweeps
+//! allocate nothing: the output buffer is reused and every per-row
+//! prediction walks precomputed tables. These tests pin that claim with
+//! the counting allocator — `assert_no_alloc` panics on the first heap
+//! allocation (or free) on the asserting thread, so a regression that
+//! sneaks a `Vec`/`format!`/boxing into the loop fails loudly instead
+//! of quietly eroding sweep throughput.
+
+use udse_regress::{Dataset, ModelSpec, ResponseTransform, TermSpec};
+
+// Integration tests are separate binaries: each one that measures
+// allocations must install the counting allocator itself.
+#[global_allocator]
+static ALLOC: udse_obs::CountingAlloc = udse_obs::CountingAlloc::new();
+
+/// Grid, spline+interaction model, and its level table — the same
+/// shape the study sweeps compile (spline + linear + interaction,
+/// log-transformed response).
+fn fitted_on_grid() -> (udse_regress::FittedModel, Vec<Vec<f64>>) {
+    let a_levels: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+    let b_levels: Vec<f64> = vec![10.0, 20.0, 40.0];
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for &a in &a_levels {
+        for &b in &b_levels {
+            rows.push(vec![a, b]);
+            y.push((2.0 + 0.8 * a + 0.01 * b + 0.3 * (a - 3.0).max(0.0) + 0.002 * a * b).exp());
+        }
+    }
+    let data = Dataset::new(vec!["a".into(), "b".into()], rows).unwrap();
+    let model = ModelSpec::new(ResponseTransform::Log)
+        .with_term(TermSpec::Spline { var: 0, knots: 4 })
+        .with_term(TermSpec::Linear(1))
+        .with_term(TermSpec::Interaction(0, 1))
+        .fit(&data, &y)
+        .unwrap();
+    (model, vec![a_levels, b_levels])
+}
+
+#[test]
+fn predict_many_into_is_allocation_free_after_warmup() {
+    let (model, levels) = fitted_on_grid();
+    let compiled = model.compile(&levels).expect("grid compiles");
+    let rows: Vec<Vec<f64>> =
+        levels[0].iter().flat_map(|&a| levels[1].iter().map(move |&b| vec![a, b])).collect();
+    // Warm-up: the first batch may grow `out` to full capacity.
+    let mut out = Vec::new();
+    compiled.predict_many_into(&rows, &mut out).expect("on-grid rows predict");
+    let warm = out.clone();
+    // Steady state: the reused buffer means zero heap traffic per batch.
+    udse_obs::alloc::assert_no_alloc("compiled predict_many_into steady state", || {
+        compiled.predict_many_into(&rows, &mut out).expect("on-grid rows predict")
+    });
+    assert_eq!(out, warm, "the allocation-free batch must predict the same values");
+}
+
+#[test]
+fn predict_row_is_allocation_free() {
+    let (model, levels) = fitted_on_grid();
+    let compiled = model.compile(&levels).expect("grid compiles");
+    let row = [levels[0][3], levels[1][1]];
+    let expected = compiled.predict_row(&row).expect("on-grid row predicts");
+    let again = udse_obs::alloc::assert_no_alloc("compiled predict_row", || {
+        compiled.predict_row(&row).expect("on-grid row predicts")
+    });
+    assert_eq!(again, expected);
+}

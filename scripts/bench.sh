@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Fixed-seed benchmark run: produces BENCH_<shortsha>.json, a schema-v2
+# Fixed-seed benchmark run: produces BENCH_<shortsha>.json, a schema-v3
 # run manifest with per-benchmark model-quality quantiles, metric
-# snapshots, and span wall times for `udse-inspect diff` gating.
+# snapshots, span wall/cpu/alloc totals, and a process `resources`
+# section for `udse-inspect diff` gating (including --tol-resource).
 #
 # The run is `repro --quick fig1 fig2` with the baked-in seed (2007), so
 # the quality section (error p50/p90/max, bias, RMSE, R² per benchmark

@@ -62,10 +62,24 @@ fi
 
 # Unified run report over the merged manifest plus the worker telemetry
 # sidecars: per-shard throughput skew, straggler warnings, dropped-event
-# accounting.
+# accounting — and, since manifest v3, per-shard resource columns. The
+# counting allocator is compiled into every workspace binary and the
+# workers report CPU time in their exit summaries, so for a 2-shard run
+# the cpu(s)/allocs/alloc(MB) columns must render with real numbers, not
+# the "-" placeholder a resource-blind sidecar would produce.
 echo "==> udse-inspect report on the merged manifest + sidecars"
 ./target/release/udse-inspect report target/shard-smoke/merged.json \
-    --shard-dir target/shard-smoke/shards
+    --shard-dir target/shard-smoke/shards | tee target/shard-smoke/report.txt
+for col in 'cpu(s)' 'allocs' 'alloc(MB)'; do
+    if ! grep -qF "${col}" target/shard-smoke/report.txt; then
+        echo "==> report is missing the '${col}' resource column" >&2
+        exit 1
+    fi
+done
+if grep -E '^ *[0-9]+ ' target/shard-smoke/report.txt | grep -q ' - '; then
+    echo "==> report shows unmeasured ('-') resources for a live worker shard" >&2
+    exit 1
+fi
 
 # Regression gate: re-run the fixed-seed benchmark and diff against the
 # committed baseline. Model quality gates hard (the fixed seed makes it
@@ -90,9 +104,19 @@ fi
 if [ -n "${baseline}" ]; then
     echo "==> scripts/bench.sh (regression gate vs ${baseline})"
     scripts/bench.sh target/bench-current.json
-    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50"
+    # Resource gates (hard failures, unlike the warn-only wall/gauge
+    # watches): the fixed seed makes allocation counts deterministic, so
+    # a rise beyond the band is a real code regression. alloc.bytes may
+    # double before failing (model-layer churn is legitimate);
+    # sweep.allocs_per_design guards the fused sweep's allocation-free
+    # inner loop — the 0.05 floor absorbs per-chunk bookkeeping noise
+    # while still catching a per-design allocation creeping in (which
+    # would land at >= 1.0).
+    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50 --tol-resource alloc.bytes:100 --tol-resource sweep.allocs_per_design:100:0.05"
     ./target/release/udse-inspect diff "${baseline}" target/bench-current.json --warn-wall \
-        --tol-gauge sweep.designs_per_sec:50
+        --tol-gauge sweep.designs_per_sec:50 \
+        --tol-resource alloc.bytes:100 \
+        --tol-resource sweep.allocs_per_design:100:0.05
 else
     echo "==> no BENCH_*.json baseline; skipping regression gate (run scripts/bench.sh and commit the output)"
 fi

@@ -6,7 +6,7 @@
 //! magnitude faster).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use udse_core::model::{design_dataset, performance_spec, PaperModels};
+use udse_core::model::{design_dataset, performance_spec, PaperModels, SuiteLanes};
 use udse_core::oracle::Metrics;
 use udse_core::space::{DesignPoint, DesignSpace};
 use udse_trace::Benchmark;
@@ -60,13 +60,17 @@ fn bench_predict(c: &mut Criterion) {
 
 /// The §3.6 claim at modern scale: sweeping the full 262,500-point
 /// exploration grid, naive per-row spline evaluation vs the compiled
-/// per-level lookup tables. The acceptance bar is compiled ≥ 5x naive.
+/// per-level lookup path vs the incremental structure-of-arrays grid
+/// walker. The acceptance bar is the walker ≥ 5x the pointwise compiled
+/// path (and orders of magnitude over naive).
 fn bench_compiled_sweep(c: &mut Criterion) {
     let models = trained_models();
     let space = DesignSpace::exploration();
     let compiled = models.compile(&space);
+    let lanes = compiled.lanes();
+    let total = space.len();
     let mut group = c.benchmark_group("compiled_predict_sweep");
-    group.throughput(Throughput::Elements(space.len()));
+    group.throughput(Throughput::Elements(total));
     group.bench_function("naive_full_grid", |b| {
         b.iter(|| {
             let mut acc = 0.0f64;
@@ -76,7 +80,9 @@ fn bench_compiled_sweep(c: &mut Criterion) {
             acc
         })
     });
-    group.bench_function("compiled_full_grid", |b| {
+    // The pre-SoA hot path: decode + quantize every point, then scattered
+    // per-variable partial-sum lookups (PR-4's ~11.5M designs/sec shape).
+    group.bench_function("compiled_pointwise_grid", |b| {
         b.iter(|| {
             let mut acc = 0.0f64;
             for p in space.iter() {
@@ -85,11 +91,21 @@ fn bench_compiled_sweep(c: &mut Criterion) {
             acc
         })
     });
+    // The SoA hot path the studies actually run: lexicographic walker with
+    // incremental per-prefix partial sums — no decode, no quantization.
+    group.bench_function("compiled_full_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            let mut walker = lanes.walker(&space, 1);
+            walker.walk(0..total, |_, m| acc += m[0].bips_cubed_per_watt());
+            acc
+        })
+    });
 
     // The fused sweep behind `pareto::characterize_all`: per-benchmark
     // walks decode every design point and quantize it once *per model*,
-    // while the fused walk quantizes once per point and reuses the grid
-    // indices across all nine compiled models.
+    // while the stacked walk reads one incremental grid index per point
+    // and feeds all eighteen model lanes from it.
     let suite: Vec<_> = (0..Benchmark::ALL.len())
         .map(|i| {
             let samples = DesignSpace::paper().sample_uar(1_000, 7 + i as u64);
@@ -99,7 +115,8 @@ fn bench_compiled_sweep(c: &mut Criterion) {
                 .compile(&space)
         })
         .collect();
-    group.throughput(Throughput::Elements(space.len() * Benchmark::ALL.len() as u64));
+    let suite_lanes = SuiteLanes::stack(&suite);
+    group.throughput(Throughput::Elements(total * Benchmark::ALL.len() as u64));
     group.bench_function("nine_separate_grid_walks", |b| {
         b.iter(|| {
             let mut acc = 0.0f64;
@@ -114,13 +131,27 @@ fn bench_compiled_sweep(c: &mut Criterion) {
     group.bench_function("fused_nine_benchmark_walk", |b| {
         b.iter(|| {
             let mut acc = 0.0f64;
-            for p in space.iter() {
-                let idx = suite[0].grid_indices(&p);
-                for m in &suite {
-                    acc += m.predict_metrics_at(&idx).bips_cubed_per_watt();
+            let mut walker = suite_lanes.walker(&space, 1);
+            walker.walk(0..total, |_, ms| {
+                for m in ms {
+                    acc += m.bips_cubed_per_watt();
                 }
-            }
+            });
             acc
+        })
+    });
+
+    // The raw batch kernel with the walk factored out: grid-index rows are
+    // precomputed, so this is the pure predict-side throughput ceiling.
+    let rows = 32_768usize;
+    let idx_rows: Vec<usize> =
+        space.sample_uar(rows, 11).iter().flat_map(|p| suite[0].grid_indices(p)).collect();
+    let mut out = vec![Metrics { bips: 0.0, watts: 0.0 }; rows * Benchmark::ALL.len()];
+    group.throughput(Throughput::Elements((rows * Benchmark::ALL.len()) as u64));
+    group.bench_function("stacked_batch_kernel_32k_rows", |b| {
+        b.iter(|| {
+            suite_lanes.predict_metrics_batch(&idx_rows, &mut out);
+            out[0].bips
         })
     });
     group.finish();

@@ -8,6 +8,7 @@
 //!                                    [--tol-quality-pooled <abs>]
 //!                                    [--tol-quality-max <abs>] [--warn-wall]
 //!                                    [--tol-gauge <name>:<pct> ...]
+//!                                    [--min-gauge <name>:<value> ...]
 //!                                    [--tol-resource <name>:<pct>[:<floor>] ...]
 //! udse-inspect merge <manifest>... [--tol <abs>] [-o <out>]
 //! udse-inspect trace <manifest | events.jsonl | trace.json> [--folded]
@@ -26,7 +27,12 @@
 //! metric and warns — never gates — when it falls more than `pct`
 //! percent below the baseline (e.g.
 //! `--tol-gauge sweep.designs_per_sec:50` catches prediction-throughput
-//! collapses). `--tol-resource name:pct[:floor]` (repeatable) is its
+//! collapses). `--min-gauge name:value` (repeatable) is the hard floor
+//! variant: the run *fails* when the named gauge in the NEW manifest
+//! falls below the absolute `value` (or is missing) — e.g.
+//! `--min-gauge sweep.designs_per_sec:50000000` locks in a step-change
+//! throughput win that a relative watch against a refreshed baseline
+//! would let erode. `--tol-resource name:pct[:floor]` (repeatable) is its
 //! gating mirror image for resource metrics: the run fails when the
 //! named metric *rises* more than `pct` percent above the baseline and
 //! the absolute rise exceeds `floor` (default 0) — e.g.
@@ -73,7 +79,7 @@ const USAGE: &str = "usage: udse-inspect <command>\n\
   show  <manifest>                                 summarize one run\n\
   diff  <baseline> <new> [--tol-wall <pct>] [--tol-quality <abs>]\n\
         [--tol-quality-pooled <abs>] [--tol-quality-max <abs>] [--warn-wall]\n\
-        [--tol-gauge <name>:<pct> ...]\n\
+        [--tol-gauge <name>:<pct> ...] [--min-gauge <name>:<value> ...]\n\
         [--tol-resource <name>:<pct>[:<floor>] ...] gate a run against a baseline\n\
   merge <manifest>... [--tol <abs>] [-o <path>]    aggregate sharded-run manifests\n\
   trace <manifest | events.jsonl | trace.json> [--folded] [--per-worker] [-o <path>]\n\
@@ -97,12 +103,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Flags that consume the next argument; everything else non-dashed
     // is positional.
-    const VALUE_FLAGS: [&str; 9] = [
+    const VALUE_FLAGS: [&str; 10] = [
         "--tol-wall",
         "--tol-quality",
         "--tol-quality-pooled",
         "--tol-quality-max",
         "--tol-gauge",
+        "--min-gauge",
         "--tol-resource",
         "--tol",
         "--shard-dir",
@@ -186,6 +193,25 @@ fn main() -> ExitCode {
                     Some((name, pct)) => tol.gauge_warn.push((name.to_string(), pct)),
                     None => {
                         return fail(&format!("--tol-gauge expects <name>:<pct>, got `{spec}`"))
+                    }
+                }
+            }
+            // Repeatable --min-gauge name:value occurrences.
+            for (i, a) in args.iter().enumerate() {
+                if a != "--min-gauge" {
+                    continue;
+                }
+                let Some(spec) = args.get(i + 1) else {
+                    return fail("--min-gauge expects <name>:<value>");
+                };
+                let parsed = spec
+                    .rsplit_once(':')
+                    .and_then(|(name, value)| Some((name, value.parse::<f64>().ok()?)))
+                    .filter(|(name, _)| !name.is_empty());
+                match parsed {
+                    Some((name, value)) => tol.min_gauge.push((name.to_string(), value)),
+                    None => {
+                        return fail(&format!("--min-gauge expects <name>:<value>, got `{spec}`"))
                     }
                 }
             }

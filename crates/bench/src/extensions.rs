@@ -9,7 +9,7 @@ use udse_core::search::{
     genetic_search, random_restart_hill_climb, simulated_annealing, GeneticConfig,
 };
 use udse_core::space::{DesignPoint, DesignSpace};
-use udse_core::studies::{strided_count, strided_point};
+use udse_core::studies::strided_count;
 use udse_regress::{residual_report, Dataset, ModelSpec, ResponseTransform, TermSpec};
 use udse_sim::Simulator;
 use udse_trace::Benchmark;
@@ -28,17 +28,18 @@ pub fn search(ctx: &Context) -> String {
     for b in Benchmark::ALL {
         let models = suite.models(b);
         let objective = |p: &DesignPoint| models.predict_efficiency(p);
-        // Exhaustive (strided in quick mode) reference: compiled models,
-        // chunk-parallel. The fold is a plain `f64::max` over the chunk
-        // maxima, which is associative, so chunk boundaries cannot change
-        // the result.
+        // Exhaustive (strided in quick mode) reference: stacked compiled
+        // lanes driven by the incremental grid walker, chunk-parallel. The
+        // fold is a plain `f64::max` over the chunk maxima, which is
+        // associative, so chunk boundaries cannot change the result.
         let stride = ctx.config().eval_stride;
         let exhaustive_evals = strided_count(&space, stride);
-        let fast = compiled.models(b);
+        let lanes = compiled.models(b).lanes();
         let best_exhaustive = udse_obs::pool::map_chunks(exhaustive_evals, |range| {
-            range
-                .map(|k| fast.predict_efficiency(&strided_point(&space, stride, k)))
-                .fold(f64::NEG_INFINITY, f64::max)
+            let mut walker = lanes.walker(&space, stride);
+            let mut best = f64::NEG_INFINITY;
+            walker.walk(range, |_, m| best = best.max(m[0].bips_cubed_per_watt()));
+            best
         })
         .into_iter()
         .fold(f64::NEG_INFINITY, f64::max);

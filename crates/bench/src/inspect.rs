@@ -51,6 +51,15 @@ pub struct DiffTolerances {
     /// throughput gauges like `sweep.designs_per_sec`, where only a drop
     /// is suspicious.
     pub gauge_warn: Vec<(String, f64)>,
+    /// Gauge floors: `(metric name, minimum value)` pairs. Unlike the
+    /// relative `gauge_warn` watchlist, a floored gauge **gates**: if the
+    /// NEW run's gauge falls below the absolute floor (or is missing
+    /// entirely), the diff fails. This is how a step-change throughput
+    /// win is locked in — e.g. `sweep.designs_per_sec:<floor>` keeps the
+    /// structure-of-arrays sweep from silently regressing toward the
+    /// pre-SoA rate, where a percentage watch against a fresh baseline
+    /// would drift along with it.
+    pub min_gauge: Vec<(String, f64)>,
     /// Resource gates: `(metric name, percent, absolute floor)`
     /// triples. The mirror image of `gauge_warn` — a watched resource
     /// metric that *rises* above the baseline **gates** (allocation
@@ -78,6 +87,7 @@ impl Default for DiffTolerances {
             quality_max_abs: 0.05,
             counter_warn_pct: 10.0,
             gauge_warn: Vec::new(),
+            min_gauge: Vec::new(),
             resource_gate: Vec::new(),
             warn_wall: false,
         }
@@ -147,6 +157,7 @@ pub fn diff(old: &ParsedManifest, new: &ParsedManifest, tol: &DiffTolerances) ->
     diff_quality(old, new, tol, &mut report);
     diff_counters(old, new, tol, &mut report);
     diff_gauges(old, new, tol, &mut report);
+    diff_min_gauges(new, tol, &mut report);
     diff_resources(old, new, tol, &mut report);
     report
 }
@@ -308,6 +319,28 @@ fn diff_gauges(
             report.warnings.push(format!(
                 "gauge `{name}` fell {o:.1} -> {n:.1} (more than {pct}% below baseline)"
             ));
+        }
+    }
+}
+
+/// Hard absolute floors on the NEW run's gauges. Only the new manifest is
+/// consulted: the floor is a fixed contract, not a comparison, so a
+/// refreshed baseline can never relax it by accident. A floored gauge
+/// missing from the new run also gates — losing the telemetry would
+/// otherwise disable the gate silently.
+fn diff_min_gauges(new: &ParsedManifest, tol: &DiffTolerances, report: &mut DiffReport) {
+    for (name, floor) in &tol.min_gauge {
+        let Some(n) = new.metric(name).and_then(Json::as_f64) else {
+            report
+                .regressions
+                .push(format!("gauge `{name}` has floor {floor} but is missing from the new run"));
+            continue;
+        };
+        report.lines.push(format!("gauge {name} {n:.1} (floor {floor:.1})"));
+        if n < *floor {
+            report
+                .regressions
+                .push(format!("gauge `{name}` {n:.1} fell below the hard floor {floor:.1}"));
         }
     }
 }
@@ -960,6 +993,38 @@ mod tests {
         // A watched gauge missing from a manifest warns.
         let bare = manifest(&[("fig1", 1.0)], &[], &[]);
         assert!(diff(&old, &bare, &tol).warnings.iter().any(|w| w.contains("missing")));
+    }
+
+    #[test]
+    fn gauge_floor_gates_hard_on_the_new_run() {
+        let gauge = |v: f64| {
+            let mut m = manifest(&[("fig1", 1.0)], &[], &[]);
+            m.metrics.push(("sweep.designs_per_sec".into(), Json::Float(v)));
+            m
+        };
+        let tol = DiffTolerances {
+            min_gauge: vec![("sweep.designs_per_sec".into(), 50_000.0)],
+            ..DiffTolerances::default()
+        };
+        let old = gauge(100_000.0);
+        // Below the floor: gates regardless of how the baseline moved.
+        let report = diff(&old, &gauge(40_000.0), &tol);
+        assert!(report.is_regression());
+        assert!(report.regressions[0].contains("hard floor"), "{:?}", report.regressions);
+        // At or above the floor: passes, even if below the baseline.
+        assert!(!diff(&old, &gauge(50_000.0), &tol).is_regression());
+        assert!(!diff(&old, &gauge(80_000.0), &tol).is_regression());
+        // The floor reads only the NEW run: a baseline without the gauge
+        // still gates a floored new run correctly.
+        let bare = manifest(&[("fig1", 1.0)], &[], &[]);
+        assert!(!diff(&bare, &gauge(80_000.0), &tol).is_regression());
+        // A floored gauge missing from the new run gates — losing the
+        // telemetry must not silently disable the gate.
+        let report = diff(&old, &bare, &tol);
+        assert!(report.is_regression());
+        assert!(report.regressions[0].contains("missing"), "{:?}", report.regressions);
+        // Unfloored runs are unaffected.
+        assert!(!diff(&old, &gauge(40_000.0), &DiffTolerances::default()).is_regression());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The paper-standard performance and power regression models (§3).
 
+use std::ops::Range;
+
 use udse_regress::{
     CompiledModel, Dataset, FittedModel, ModelSpec, RegressError, ResponseTransform, TermSpec,
 };
@@ -302,6 +304,396 @@ impl CompiledPaperModels {
     pub fn power_model(&self) -> &CompiledModel {
         &self.power
     }
+
+    /// Stacks this pair into a single-pair [`SuiteLanes`] — the sweep
+    /// kernel shape the study walks run on, here feeding two output
+    /// lanes (bips, watts) per grid read.
+    pub fn lanes(&self) -> SuiteLanes {
+        SuiteLanes::stack(std::slice::from_ref(self))
+    }
+}
+
+/// Accumulator capacity of the stacked kernels: room for the full
+/// nine-benchmark suite (18 lanes) with headroom, small enough that the
+/// per-point accumulators stay a couple of cache lines on the stack.
+const MAX_LANES: usize = 32;
+
+/// One or more [`CompiledPaperModels`] re-laid out *model-major*: for
+/// every grid level there is one contiguous group of `2 × pairs` partial
+/// sums — performance lanes first, then power lanes — so a single grid
+/// index read feeds every stacked model at once. This is the
+/// structure-of-arrays engine behind the fused study sweeps: the fused
+/// nine-benchmark walk reads one level group per axis (18 adjacent
+/// `f64`s) instead of paging through nine separate model tables.
+///
+/// Per lane, the accumulation order is identical to
+/// [`CompiledModel::predict_indices`] — intercept, per-axis partial sums
+/// in predictor order, interaction products in model order, response
+/// back-transform — so stacked predictions are *bitwise-identical* to
+/// per-model calls, which keeps fused sweeps interchangeable with
+/// separate ones and `--jobs`/`--shards` runs deterministic.
+#[derive(Debug, Clone)]
+pub struct SuiteLanes {
+    /// Stacked (performance, power) model pairs.
+    pairs: usize,
+    /// Output lanes: `2 * pairs`.
+    lanes: usize,
+    /// Depth list of the compiled grid (for space validation).
+    depths: &'static [u32],
+    /// Per-axis level-group offsets into `levels` (and, scaled by
+    /// `lanes`, into `partial`).
+    offsets: [usize; 8],
+    /// The shared grid levels, flattened axis-major.
+    levels: Vec<f64>,
+    /// Per-lane intercepts.
+    intercepts: Vec<f64>,
+    /// Per-level lane groups: `partial[(offsets[v] + i) * lanes + m]` is
+    /// lane `m`'s single-variable partial sum at axis `v`, level `i`.
+    partial: Vec<f64>,
+    /// Shared interaction variable pairs, in model order.
+    inter_vars: Vec<(usize, usize)>,
+    /// Interaction coefficients, lane groups in `inter_vars` order.
+    inter_betas: Vec<f64>,
+    /// Per-lane response transforms.
+    transforms: Vec<ResponseTransform>,
+}
+
+impl SuiteLanes {
+    /// Stacks compiled model pairs (1–9, e.g. a whole suite in
+    /// [`Benchmark::ALL`] order) into one model-major lane plan. All
+    /// pairs must be compiled on the same space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `models` is empty, exceeds the lane capacity, or the
+    /// models disagree on grid levels or interaction structure.
+    pub fn stack(models: &[CompiledPaperModels]) -> SuiteLanes {
+        assert!(!models.is_empty(), "stack at least one model pair");
+        let pairs = models.len();
+        let lanes = 2 * pairs;
+        assert!(lanes <= MAX_LANES, "at most {} model pairs per stack", MAX_LANES / 2);
+        let first = models[0].performance_model();
+        assert_eq!(first.width(), 7, "paper models have seven predictors");
+        let mut offsets = [0usize; 8];
+        for v in 0..7 {
+            offsets[v + 1] = offsets[v] + first.levels(v).len();
+        }
+        let mut levels = Vec::with_capacity(offsets[7]);
+        for v in 0..7 {
+            levels.extend_from_slice(first.levels(v));
+        }
+        let inter_vars: Vec<(usize, usize)> =
+            first.interactions().map(|(a, b, _)| (a, b)).collect();
+        // Lane order: performance models 0..pairs, then power models.
+        let columns: Vec<&CompiledModel> = models
+            .iter()
+            .map(CompiledPaperModels::performance_model)
+            .chain(models.iter().map(CompiledPaperModels::power_model))
+            .collect();
+        for cm in &columns {
+            assert_eq!(cm.width(), 7, "paper models have seven predictors");
+            for v in 0..7 {
+                assert_eq!(
+                    cm.levels(v),
+                    &levels[offsets[v]..offsets[v + 1]],
+                    "stacked models must share one compiled grid (axis {v})"
+                );
+            }
+            let ab: Vec<(usize, usize)> = cm.interactions().map(|(a, b, _)| (a, b)).collect();
+            assert_eq!(ab, inter_vars, "stacked models must share the interaction structure");
+        }
+        let mut partial = vec![0.0; offsets[7] * lanes];
+        let mut inter_betas = vec![0.0; inter_vars.len() * lanes];
+        for (lane, cm) in columns.iter().enumerate() {
+            for v in 0..7 {
+                for (i, &p) in cm.partial_sums(v).iter().enumerate() {
+                    partial[(offsets[v] + i) * lanes + lane] = p;
+                }
+            }
+            for (t, (_, _, beta)) in cm.interactions().enumerate() {
+                inter_betas[t * lanes + lane] = beta;
+            }
+        }
+        SuiteLanes {
+            pairs,
+            lanes,
+            depths: models[0].depths,
+            offsets,
+            levels,
+            intercepts: columns.iter().map(|cm| cm.intercept()).collect(),
+            partial,
+            inter_vars,
+            inter_betas,
+            transforms: columns.iter().map(|cm| cm.transform()).collect(),
+        }
+    }
+
+    /// Number of stacked (performance, power) model pairs.
+    pub fn pairs(&self) -> usize {
+        self.pairs
+    }
+
+    /// Runs every lane up to the interaction terms: accumulators seed
+    /// with the intercepts, then each axis adds its contiguous level
+    /// group, then each interaction adds its coefficient-lane product.
+    #[inline]
+    fn accumulate(&self, idx: &[usize; 7], acc: &mut [f64; MAX_LANES]) {
+        let lanes = self.lanes;
+        acc[..lanes].copy_from_slice(&self.intercepts);
+        for (v, &i) in idx.iter().enumerate() {
+            assert!(
+                i < self.offsets[v + 1] - self.offsets[v],
+                "level index {i} out of range on axis {v}"
+            );
+            let grp = &self.partial[(self.offsets[v] + i) * lanes..][..lanes];
+            for (a, &p) in acc[..lanes].iter_mut().zip(grp) {
+                *a += p;
+            }
+        }
+        for (betas, &(av, bv)) in self.inter_betas.chunks_exact(lanes).zip(&self.inter_vars) {
+            let xa = self.levels[self.offsets[av] + idx[av]];
+            let xb = self.levels[self.offsets[bv] + idx[bv]];
+            for (a, &b) in acc[..lanes].iter_mut().zip(betas) {
+                *a += b * xa * xb;
+            }
+        }
+    }
+
+    /// Back-transforms the accumulator lanes into per-pair [`Metrics`].
+    #[inline]
+    fn finish(&self, acc: &[f64; MAX_LANES], out: &mut [Metrics]) {
+        assert_eq!(out.len(), self.pairs, "one Metrics slot per stacked pair");
+        for (m, o) in out.iter_mut().enumerate() {
+            o.bips = self.transforms[m].invert(acc[m]);
+            o.watts = self.transforms[self.pairs + m].invert(acc[self.pairs + m]);
+        }
+    }
+
+    /// Predicts every stacked pair at one set of grid indices (see
+    /// [`CompiledPaperModels::grid_indices`]): `out[m]` receives pair
+    /// `m`'s metrics, bitwise-identical to
+    /// [`CompiledPaperModels::predict_metrics_at`] on that pair.
+    /// Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != pairs` or an index is out of range.
+    pub fn predict_metrics_into(&self, idx: &[usize; 7], out: &mut [Metrics]) {
+        let mut acc = [0.0f64; MAX_LANES];
+        self.accumulate(idx, &mut acc);
+        self.finish(&acc, out);
+    }
+
+    /// Batch kernel: predicts every stacked pair for each 7-index row of
+    /// `idx_rows` (row-major), writing point-major into `out`
+    /// (`out[r * pairs + m]` is row `r`, pair `m`). One grid-index read
+    /// feeds all `2 × pairs` output lanes. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer lengths disagree
+    /// (`out.len() * 7 != idx_rows.len() * pairs`) or an index is out of
+    /// range.
+    pub fn predict_metrics_batch(&self, idx_rows: &[usize], out: &mut [Metrics]) {
+        assert_eq!(idx_rows.len() % 7, 0, "idx_rows must be 7-index rows");
+        assert_eq!(
+            out.len(),
+            (idx_rows.len() / 7) * self.pairs,
+            "out must hold {} Metrics per index row",
+            self.pairs
+        );
+        let mut acc = [0.0f64; MAX_LANES];
+        for (row, outs) in idx_rows.chunks_exact(7).zip(out.chunks_mut(self.pairs)) {
+            let idx: &[usize; 7] = row.try_into().expect("chunks_exact yields 7-index rows");
+            self.accumulate(idx, &mut acc);
+            self.finish(&acc, outs);
+        }
+    }
+
+    /// A reusable walker over `space` for these lanes: all scratch
+    /// buffers are allocated here, so [`GridWalker::walk`] itself is
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `space`'s grid does not match the compiled levels.
+    pub fn walker(&self, space: &DesignSpace, stride: usize) -> GridWalker<'_> {
+        assert_eq!(space.depths(), self.depths, "walker space must match the compiled grid");
+        let dims = space.dimensions();
+        for (v, &d) in dims.iter().enumerate() {
+            assert_eq!(
+                self.offsets[v + 1] - self.offsets[v],
+                d as usize,
+                "axis {v} level count differs from the compiled grid"
+            );
+        }
+        GridWalker {
+            lanes: self,
+            space: space.clone(),
+            stride: stride.max(1),
+            dims,
+            prefix: vec![0.0; 7 * self.lanes],
+            metrics: vec![Metrics { bips: 0.0, watts: 0.0 }; self.pairs],
+        }
+    }
+}
+
+/// The shared inner loop of every exhaustive study sweep: enumerates a
+/// contiguous range of the (possibly strided) design walk and hands each
+/// visited [`DesignPoint`] plus its per-pair [`Metrics`] to a visitor.
+///
+/// For `stride == 1` the walk is a lexicographic odometer over the grid
+/// axes carrying *incremental prefix sums*: `prefix[v]` holds the lane
+/// accumulators through axis `v` (`intercept + partial₀ + … + partialᵥ`),
+/// and an increment on axis `v` recomputes only `prefix[v..7]`. Since the
+/// innermost axis moves on 4 of 5 steps, a point costs ~one lane add plus
+/// the interaction products instead of seven scattered table reads and a
+/// full index decode. Each prefix is a pure function of the point's own
+/// indices and the accumulation order matches
+/// [`CompiledModel::predict_indices`] exactly (left-to-right, one sum per
+/// axis), so every visited value is bitwise-identical to a per-point
+/// call — chunk boundaries cannot change results, which preserves the
+/// `--jobs`/`--shards` determinism contract.
+///
+/// For `stride > 1` the walk visits [`crate::studies::strided_point`]
+/// positions and runs the stacked per-point kernel; same bitwise
+/// guarantee, no prefix reuse (consecutive strided points share no index
+/// prefix).
+///
+/// After construction ([`SuiteLanes::walker`]), walking is
+/// allocation-free.
+#[derive(Debug)]
+pub struct GridWalker<'a> {
+    lanes: &'a SuiteLanes,
+    space: DesignSpace,
+    stride: usize,
+    dims: [u8; 7],
+    /// `prefix[v * lanes..][..lanes]`: accumulators through axis `v`.
+    prefix: Vec<f64>,
+    /// Per-pair metrics scratch handed to the visitor.
+    metrics: Vec<Metrics>,
+}
+
+impl GridWalker<'_> {
+    /// Visits positions `range` of the walk in order, calling
+    /// `visit(point, metrics)` per design; `metrics[m]` is stacked pair
+    /// `m`'s prediction. Ranges partition: walking `a..b` then `b..c`
+    /// visits exactly the points of `a..c`, with identical values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range.end` exceeds the strided walk length
+    /// ([`crate::studies::strided_count`]).
+    pub fn walk(&mut self, range: Range<u64>, mut visit: impl FnMut(DesignPoint, &[Metrics])) {
+        assert!(
+            range.end <= crate::studies::strided_count(&self.space, self.stride),
+            "walk range exceeds the strided space"
+        );
+        if range.start >= range.end {
+            return;
+        }
+        if self.stride == 1 {
+            self.walk_natural(range, &mut visit);
+        } else {
+            self.walk_strided(range, &mut visit);
+        }
+    }
+
+    /// Recomputes the prefix lanes for axes `from..7` at the current
+    /// odometer indices.
+    fn reprime(&mut self, from: usize, idx: &[usize; 7]) {
+        let lanes = self.lanes.lanes;
+        for v in from..7 {
+            let grp = &self.lanes.partial[(self.lanes.offsets[v] + idx[v]) * lanes..][..lanes];
+            if v == 0 {
+                for ((d, &ic), &p) in
+                    self.prefix[..lanes].iter_mut().zip(&self.lanes.intercepts).zip(grp)
+                {
+                    *d = ic + p;
+                }
+            } else {
+                let (prev, cur) = self.prefix.split_at_mut(v * lanes);
+                let prev = &prev[(v - 1) * lanes..];
+                for ((d, &pr), &p) in cur[..lanes].iter_mut().zip(prev).zip(grp) {
+                    *d = pr + p;
+                }
+            }
+        }
+    }
+
+    fn walk_natural(&mut self, range: Range<u64>, visit: &mut impl FnMut(DesignPoint, &[Metrics])) {
+        let lanes = self.lanes.lanes;
+        let pairs = self.lanes.pairs;
+        // Decode the first flat index into the odometer once; after that
+        // every step is an increment.
+        let mut idx = [0usize; 7];
+        let mut rem = range.start;
+        for v in (0..7).rev() {
+            let d = self.dims[v] as u64;
+            idx[v] = (rem % d) as usize;
+            rem /= d;
+        }
+        self.reprime(0, &idx);
+        let mut acc = [0.0f64; MAX_LANES];
+        for _ in range {
+            acc[..lanes].copy_from_slice(&self.prefix[6 * lanes..]);
+            for (betas, &(av, bv)) in
+                self.lanes.inter_betas.chunks_exact(lanes).zip(&self.lanes.inter_vars)
+            {
+                let xa = self.lanes.levels[self.lanes.offsets[av] + idx[av]];
+                let xb = self.lanes.levels[self.lanes.offsets[bv] + idx[bv]];
+                for (a, &b) in acc[..lanes].iter_mut().zip(betas) {
+                    *a += b * xa * xb;
+                }
+            }
+            for (m, o) in self.metrics.iter_mut().enumerate() {
+                o.bips = self.lanes.transforms[m].invert(acc[m]);
+                o.watts = self.lanes.transforms[pairs + m].invert(acc[pairs + m]);
+            }
+            let point = self
+                .space
+                .point([
+                    idx[0] as u8,
+                    idx[1] as u8,
+                    idx[2] as u8,
+                    idx[3] as u8,
+                    idx[4] as u8,
+                    idx[5] as u8,
+                    idx[6] as u8,
+                ])
+                .expect("walker odometer stays in range");
+            visit(point, &self.metrics);
+            // Lexicographic increment; reprime from the lowest changed
+            // axis. A full wrap only happens past the last grid point,
+            // where the range is necessarily exhausted.
+            for v in (0..7).rev() {
+                idx[v] += 1;
+                if idx[v] < self.dims[v] as usize {
+                    self.reprime(v, &idx);
+                    break;
+                }
+                idx[v] = 0;
+            }
+        }
+    }
+
+    fn walk_strided(&mut self, range: Range<u64>, visit: &mut impl FnMut(DesignPoint, &[Metrics])) {
+        let lanes = self.lanes;
+        for k in range {
+            let point = crate::studies::strided_point(&self.space, self.stride, k);
+            let idx = [
+                point.depth_idx as usize,
+                point.width_idx as usize,
+                point.regs_idx as usize,
+                point.resv_idx as usize,
+                point.il1_idx as usize,
+                point.dl1_idx as usize,
+                point.l2_idx as usize,
+            ];
+            lanes.predict_metrics_into(&idx, &mut self.metrics);
+            visit(point, &self.metrics);
+        }
+    }
 }
 
 /// Expands design points into the regression dataset.
@@ -381,6 +773,131 @@ mod tests {
             let row = p.predictors();
             assert_eq!(compiled.performance_model().predict_row(&row).unwrap(), fast.bips);
         }
+    }
+
+    /// Two distinct model pairs on the exploration grid.
+    fn two_compiled() -> (DesignSpace, Vec<CompiledPaperModels>) {
+        let space = DesignSpace::exploration();
+        let compiled: Vec<CompiledPaperModels> = [7u64, 21]
+            .iter()
+            .map(|&seed| {
+                let samples = DesignSpace::paper().sample_uar(300, seed);
+                PaperModels::train(&FakeOracle, Benchmark::Gzip, &samples).unwrap().compile(&space)
+            })
+            .collect();
+        (space, compiled)
+    }
+
+    #[test]
+    fn stacked_lanes_match_per_model_predictions_bitwise() {
+        let (space, compiled) = two_compiled();
+        let lanes = SuiteLanes::stack(&compiled);
+        assert_eq!(lanes.pairs(), 2);
+        let mut out = vec![Metrics { bips: 0.0, watts: 0.0 }; 2];
+        for k in [0u64, 1, 999, 123_456, 262_499] {
+            let p = space.decode(k).unwrap();
+            let idx = compiled[0].grid_indices(&p);
+            lanes.predict_metrics_into(&idx, &mut out);
+            for (got, cm) in out.iter().zip(&compiled) {
+                let want = cm.predict_metrics_at(&idx);
+                assert_eq!(got.bips.to_bits(), want.bips.to_bits());
+                assert_eq!(got.watts.to_bits(), want.watts.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_batch_kernel_matches_scalar_path() {
+        let (space, compiled) = two_compiled();
+        let lanes = SuiteLanes::stack(&compiled);
+        let points: Vec<DesignPoint> = space.sample_uar(37, 3);
+        let idx_rows: Vec<usize> =
+            points.iter().flat_map(|p| compiled[0].grid_indices(p)).collect();
+        let mut out = vec![Metrics { bips: 0.0, watts: 0.0 }; points.len() * 2];
+        lanes.predict_metrics_batch(&idx_rows, &mut out);
+        for (p, outs) in points.iter().zip(out.chunks(2)) {
+            for (got, cm) in outs.iter().zip(&compiled) {
+                let want = cm.predict_metrics(p);
+                assert_eq!(got.bips.to_bits(), want.bips.to_bits());
+                assert_eq!(got.watts.to_bits(), want.watts.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_walker_matches_per_point_predictions_bitwise() {
+        let (space, compiled) = two_compiled();
+        let lanes = SuiteLanes::stack(&compiled);
+        let mut walker = lanes.walker(&space, 1);
+        // Ranges crossing several axis rollovers, including the very end
+        // of the space (full odometer wrap).
+        for range in [0u64..150, 12_340..12_640, 262_400..262_500] {
+            let mut k = range.start;
+            walker.walk(range.clone(), |point, metrics| {
+                assert_eq!(point, space.decode(k).unwrap(), "walk order must be natural order");
+                for (got, cm) in metrics.iter().zip(&compiled) {
+                    let want = cm.predict_metrics(&point);
+                    assert_eq!(got.bips.to_bits(), want.bips.to_bits());
+                    assert_eq!(got.watts.to_bits(), want.watts.to_bits());
+                }
+                k += 1;
+            });
+            assert_eq!(k, range.end, "walk must visit every range position");
+        }
+    }
+
+    #[test]
+    fn grid_walker_ranges_partition() {
+        // Chunked walks concatenate to the whole walk — the property the
+        // pool-parallel sweeps rely on.
+        let (space, compiled) = two_compiled();
+        let lanes = SuiteLanes::stack(&compiled);
+        let whole: Vec<(DesignPoint, f64)> = {
+            let mut walker = lanes.walker(&space, 1);
+            let mut v = Vec::new();
+            walker.walk(1000..1400, |p, m| v.push((p, m[1].bips)));
+            v
+        };
+        let mut pieces = Vec::new();
+        let mut walker = lanes.walker(&space, 1);
+        for r in [1000u64..1111, 1111..1112, 1112..1400] {
+            walker.walk(r, |p, m| pieces.push((p, m[1].bips)));
+        }
+        assert_eq!(whole.len(), pieces.len());
+        for (a, b) in whole.iter().zip(&pieces) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn strided_walker_matches_strided_points() {
+        let (space, compiled) = two_compiled();
+        let lanes = compiled[1].lanes();
+        assert_eq!(lanes.pairs(), 1);
+        let stride = 500;
+        let total = crate::studies::strided_count(&space, stride);
+        let mut walker = lanes.walker(&space, stride);
+        let mut k = 0u64;
+        walker.walk(0..total, |point, metrics| {
+            let want_p = crate::studies::strided_point(&space, stride, k);
+            assert_eq!(point, want_p);
+            let want = compiled[1].predict_metrics(&point);
+            assert_eq!(metrics[0].bips.to_bits(), want.bips.to_bits());
+            assert_eq!(metrics[0].watts.to_bits(), want.watts.to_bits());
+            k += 1;
+        });
+        assert_eq!(k, total);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one compiled grid")]
+    fn stacking_rejects_mismatched_grids() {
+        let samples = DesignSpace::paper().sample_uar(300, 7);
+        let models = PaperModels::train(&FakeOracle, Benchmark::Gzip, &samples).unwrap();
+        let a = models.compile(&DesignSpace::exploration());
+        let b = models.compile(&DesignSpace::paper());
+        let _ = SuiteLanes::stack(&[a, b]);
     }
 
     #[test]

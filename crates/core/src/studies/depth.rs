@@ -21,7 +21,7 @@ use udse_trace::Benchmark;
 use crate::baseline::baseline_at_depth;
 use crate::oracle::Oracle;
 use crate::space::{DesignPoint, DesignSpace};
-use crate::studies::{record_sweep, strided_count, strided_point, StudyConfig, TrainedSuite};
+use crate::studies::{record_sweep, strided_count, StudyConfig, TrainedSuite};
 
 /// The Figure 5 artifact.
 #[derive(Debug, Clone)]
@@ -60,6 +60,7 @@ impl DepthStudy {
 
         // Compiled models make the 9x full-space sweep below affordable.
         let compiled = suite.compile(&space);
+        let lanes = compiled.lanes();
 
         // Per-benchmark reference: best predicted baseline efficiency.
         let refs: Vec<f64> = Benchmark::ALL
@@ -79,6 +80,12 @@ impl DepthStudy {
                 .map(|(&b, &r)| compiled.models(b).predict_efficiency(p) / r)
                 .sum::<f64>()
                 / 9.0
+        };
+        // Same ratio from a stacked walker visit: `metrics` arrives in
+        // [`Benchmark::ALL`] order with bitwise-identical values, so this
+        // matches `rel` exactly for the same point.
+        let rel_stacked = |metrics: &[crate::oracle::Metrics]| -> f64 {
+            metrics.iter().zip(&refs).map(|(m, &r)| m.bips_cubed_per_watt() / r).sum::<f64>() / 9.0
         };
 
         let original_relative: Vec<f64> = original_points.iter().map(&rel).collect();
@@ -101,12 +108,12 @@ impl DepthStudy {
             let _chunk = udse_obs::span::enter("chunk");
             let mut effs: Vec<Vec<f64>> = vec![Vec::new(); depths.len()];
             let mut pts: Vec<Vec<DesignPoint>> = vec![Vec::new(); depths.len()];
-            for k in range {
-                let p = strided_point(&space, stride, k);
+            let mut walker = lanes.walker(&space, stride);
+            walker.walk(range, |p, metrics| {
                 let di = p.depth_idx as usize;
-                effs[di].push(rel(&p));
+                effs[di].push(rel_stacked(metrics));
                 pts[di].push(p);
-            }
+            });
             (effs, pts)
         });
         record_sweep(total, started.elapsed().as_secs_f64(), allocs0);

@@ -16,7 +16,7 @@ use udse_trace::Benchmark;
 use crate::baseline::baseline_point;
 use crate::oracle::{Metrics, Oracle};
 use crate::space::{DesignPoint, DesignSpace};
-use crate::studies::{predicted_efficiency_optimum, StudyConfig, TrainedSuite};
+use crate::studies::{predicted_efficiency_optima, StudyConfig, TrainedSuite};
 
 /// The nine per-benchmark predicted-optimal architectures (the paper's
 /// "benchmark architectures", Table 2's design columns).
@@ -29,20 +29,19 @@ pub struct BenchmarkArchitectures {
 
 impl BenchmarkArchitectures {
     /// Finds each benchmark's predicted `bips³/w` optimum over the
-    /// exploration space. Each per-benchmark sweep is compiled and
-    /// chunk-parallel with a boundary-independent tie-break, so the nine
-    /// optima match sequential `max_by` scans exactly.
+    /// exploration space. All nine argmaxes come out of *one* fused,
+    /// chunk-parallel grid walk over the stacked suite lanes with a
+    /// boundary-independent per-benchmark tie-break, so the nine optima
+    /// match sequential `max_by` scans exactly.
     pub fn find(suite: &TrainedSuite, config: &StudyConfig) -> Self {
         let _span = udse_obs::span::enter("optima");
         let space = DesignSpace::exploration();
         let compiled = suite.compile(&space);
         let optima = Benchmark::ALL
             .iter()
-            .map(|&b| {
-                let (best, _) =
-                    predicted_efficiency_optimum(compiled.models(b), &space, config.eval_stride);
-                (b, best)
-            })
+            .copied()
+            .zip(predicted_efficiency_optima(&compiled.lanes(), &space, config.eval_stride))
+            .map(|(b, (best, _))| (b, best))
             .collect();
         BenchmarkArchitectures { optima }
     }

@@ -13,7 +13,7 @@ use std::time::Instant;
 use udse_regress::RegressError;
 use udse_trace::Benchmark;
 
-use crate::model::{CompiledPaperModels, PaperModels};
+use crate::model::{CompiledPaperModels, PaperModels, SuiteLanes};
 use crate::oracle::{Metrics, Oracle};
 use crate::plan::EvalPlan;
 use crate::space::{DesignPoint, DesignSpace};
@@ -172,6 +172,12 @@ impl CompiledSuite {
     pub fn all_models(&self) -> &[CompiledPaperModels] {
         &self.models
     }
+
+    /// Stacks all nine pairs into one model-major [`SuiteLanes`] plan, so
+    /// a fused sweep feeds 18 output lanes from one grid-index read.
+    pub fn lanes(&self) -> SuiteLanes {
+        SuiteLanes::stack(&self.models)
+    }
 }
 
 /// Iterates ~`len / stride` points of the space, spread across *all*
@@ -221,32 +227,62 @@ pub(crate) fn predicted_efficiency_optimum(
     space: &DesignSpace,
     stride: usize,
 ) -> (DesignPoint, Metrics) {
+    let optima = predicted_efficiency_optima(&models.lanes(), space, stride);
+    optima.into_iter().next().expect("one stacked pair yields one optimum")
+}
+
+/// Finds each stacked pair's highest *predicted* `bips^3/w` design over
+/// the strided exploration walk in one fused pass: every chunk drives a
+/// [`crate::model::GridWalker`] and maintains one running best per pair,
+/// so nine per-benchmark argmaxes cost a single grid traversal.
+///
+/// Per pair the result is identical to a separate
+/// [`predicted_efficiency_optimum`] sweep: stacked predictions are
+/// bitwise-equal to the per-model path and the `>=` tie-break (last
+/// maximal element wins, as `Iterator::max_by` would) is applied both
+/// inside each chunk and across the in-order chunk fold, so the winners
+/// do not depend on chunk boundaries and `--jobs 1` vs `--jobs N` runs
+/// stay bitwise-identical. Records `pairs × walk length` under the
+/// `sweep.designs` / `sweep.designs_per_sec` metrics.
+pub(crate) fn predicted_efficiency_optima(
+    lanes: &SuiteLanes,
+    space: &DesignSpace,
+    stride: usize,
+) -> Vec<(DesignPoint, Metrics)> {
     let total = strided_count(space, stride);
+    let pairs = lanes.pairs();
     let allocs0 = sweep_allocs_snapshot();
     let started = Instant::now();
     let chunk_bests = udse_obs::pool::map_chunks(total, |range| {
         let _chunk = udse_obs::span::enter("chunk");
-        let mut best: Option<(DesignPoint, Metrics, f64)> = None;
-        for k in range {
-            let p = strided_point(space, stride, k);
-            let m = models.predict_metrics(&p);
-            let eff = m.bips_cubed_per_watt();
-            // `>=` replaces: the last maximal element wins, as in a
-            // sequential `max_by` over the same walk.
-            if best.as_ref().is_none_or(|b| eff.total_cmp(&b.2) != Ordering::Less) {
-                best = Some((p, m, eff));
+        let mut best: Vec<Option<(DesignPoint, Metrics, f64)>> = vec![None; pairs];
+        let mut walker = lanes.walker(space, stride);
+        walker.walk(range, |p, metrics| {
+            for (b, m) in best.iter_mut().zip(metrics) {
+                let eff = m.bips_cubed_per_watt();
+                // `>=` replaces: the last maximal element wins, as in a
+                // sequential `max_by` over the same walk.
+                if b.as_ref().is_none_or(|cur| eff.total_cmp(&cur.2) != Ordering::Less) {
+                    *b = Some((p, *m, eff));
+                }
             }
-        }
+        });
         best
     });
-    record_sweep(total, started.elapsed().as_secs_f64(), allocs0);
-    chunk_bests
-        .into_iter()
-        .flatten()
-        // Chunks arrive in range order; `>=` keeps the later chunk on ties.
-        .reduce(|cur, next| if next.2.total_cmp(&cur.2) != Ordering::Less { next } else { cur })
-        .map(|(p, m, _)| (p, m))
-        .expect("exploration space is non-empty")
+    record_sweep(total * pairs as u64, started.elapsed().as_secs_f64(), allocs0);
+    let mut best: Vec<Option<(DesignPoint, Metrics, f64)>> = vec![None; pairs];
+    for chunk in chunk_bests {
+        for (cur, next) in best.iter_mut().zip(chunk) {
+            let Some(next) = next else { continue };
+            // Chunks arrive in range order; `>=` keeps the later chunk on ties.
+            if cur.as_ref().is_none_or(|c| next.2.total_cmp(&c.2) != Ordering::Less) {
+                *cur = Some(next);
+            }
+        }
+    }
+    best.into_iter()
+        .map(|b| b.map(|(p, m, _)| (p, m)).expect("exploration space is non-empty"))
+        .collect()
 }
 
 /// Process-wide allocation count before a sweep starts, or `None` when

@@ -6,14 +6,13 @@ use std::time::Instant;
 use udse_stats::ErrorSummary;
 use udse_trace::Benchmark;
 
-use crate::model::PaperModels;
+use crate::model::{PaperModels, SuiteLanes};
 use crate::oracle::{Metrics, Oracle};
 use crate::pareto::ParetoFrontier;
 use crate::plan::EvalPlan;
 use crate::space::{DesignPoint, DesignSpace};
 use crate::studies::{
-    predicted_efficiency_optimum, record_sweep, strided_count, strided_point, StudyConfig,
-    TrainedSuite,
+    predicted_efficiency_optimum, record_sweep, strided_count, StudyConfig, TrainedSuite,
 };
 
 /// One design with its regression-predicted delay and power.
@@ -71,20 +70,10 @@ pub fn characterize(
 ) -> Characterization {
     let _span = udse_obs::span::enter("sweep");
     let compiled = models.compile(space);
-    let stride = config.eval_stride;
-    let total = strided_count(space, stride);
     let allocs0 = crate::studies::sweep_allocs_snapshot();
     let started = Instant::now();
-    let chunks = udse_obs::pool::map_chunks(total, |range| {
-        let _chunk = udse_obs::span::enter("chunk");
-        range
-            .map(|k| {
-                let point = strided_point(space, stride, k);
-                PredictedDesign { point, predicted: compiled.predict_metrics(&point) }
-            })
-            .collect::<Vec<PredictedDesign>>()
-    });
-    let designs: Vec<PredictedDesign> = chunks.into_iter().flatten().collect();
+    let mut per_pair = sweep_designs(&compiled.lanes(), space, config.eval_stride);
+    let designs = per_pair.pop().expect("one compiled pair stacks to one lane pair");
     let rate = record_sweep(designs.len() as u64, started.elapsed().as_secs_f64(), allocs0);
     udse_obs::info!(
         "sweep",
@@ -98,12 +87,12 @@ pub fn characterize(
 }
 
 /// Characterizes the space for *all nine benchmarks* in one fused grid
-/// walk: each visited point is decoded and index-resolved once, then
-/// predicted through every benchmark's compiled tables (see
-/// [`crate::model::CompiledPaperModels::predict_metrics_at`]). Per
-/// benchmark, `designs` is bitwise-identical to a separate
-/// [`characterize`] call — only the walk overhead is amortized (the
-/// `compiled_predict_sweep` criterion group measures the speedup).
+/// walk: the suite's eighteen models stack into one [`SuiteLanes`] plan
+/// and a [`crate::model::GridWalker`] feeds all lanes from a single
+/// incremental index read per point. Per benchmark, `designs` is
+/// bitwise-identical to a separate [`characterize`] call — only the walk
+/// overhead is amortized (the `compiled_predict_sweep` criterion group
+/// measures the speedup).
 pub fn characterize_all(
     suite: &TrainedSuite,
     space: &DesignSpace,
@@ -111,32 +100,9 @@ pub fn characterize_all(
 ) -> Vec<Characterization> {
     let _span = udse_obs::span::enter("sweep");
     let compiled = suite.compile(space);
-    let stride = config.eval_stride;
-    let total = strided_count(space, stride);
     let allocs0 = crate::studies::sweep_allocs_snapshot();
     let started = Instant::now();
-    let chunks = udse_obs::pool::map_chunks(total, |range| {
-        let _chunk = udse_obs::span::enter("chunk");
-        let chunk_len = (range.end - range.start) as usize;
-        let mut per_bench: Vec<Vec<PredictedDesign>> =
-            (0..compiled.all_models().len()).map(|_| Vec::with_capacity(chunk_len)).collect();
-        for k in range {
-            let point = strided_point(space, stride, k);
-            let idx = compiled.all_models()[0].grid_indices(&point);
-            for (out, m) in per_bench.iter_mut().zip(compiled.all_models()) {
-                out.push(PredictedDesign { point, predicted: m.predict_metrics_at(&idx) });
-            }
-        }
-        per_bench
-    });
-    // Concatenate each benchmark's chunk slices in range order.
-    let mut designs: Vec<Vec<PredictedDesign>> =
-        (0..compiled.all_models().len()).map(|_| Vec::with_capacity(total as usize)).collect();
-    for chunk in chunks {
-        for (out, part) in designs.iter_mut().zip(chunk) {
-            out.extend(part);
-        }
-    }
+    let designs = sweep_designs(&compiled.lanes(), space, config.eval_stride);
     let swept: u64 = designs.iter().map(|d| d.len() as u64).sum();
     let rate = record_sweep(swept, started.elapsed().as_secs_f64(), allocs0);
     udse_obs::info!(
@@ -154,6 +120,42 @@ pub fn characterize_all(
             Characterization { benchmark: models.benchmark(), designs, clusters }
         })
         .collect()
+}
+
+/// The shared fused-sweep inner loop: walks the strided space once and
+/// materializes every visited point's predicted metrics for every stacked
+/// pair, chunk-parallel through [`udse_obs::pool::map_chunks`]. Chunk
+/// results concatenate in range order, so each pair's `Vec` is identical
+/// to a sequential walk regardless of worker count.
+pub(crate) fn sweep_designs(
+    lanes: &SuiteLanes,
+    space: &DesignSpace,
+    stride: usize,
+) -> Vec<Vec<PredictedDesign>> {
+    let total = strided_count(space, stride);
+    let pairs = lanes.pairs();
+    let chunks = udse_obs::pool::map_chunks(total, |range| {
+        let _chunk = udse_obs::span::enter("chunk");
+        let chunk_len = (range.end - range.start) as usize;
+        let mut per_pair: Vec<Vec<PredictedDesign>> =
+            (0..pairs).map(|_| Vec::with_capacity(chunk_len)).collect();
+        let mut walker = lanes.walker(space, stride);
+        walker.walk(range, |point, metrics| {
+            for (out, m) in per_pair.iter_mut().zip(metrics) {
+                out.push(PredictedDesign { point, predicted: *m });
+            }
+        });
+        per_pair
+    });
+    // Concatenate each pair's chunk slices in range order.
+    let mut designs: Vec<Vec<PredictedDesign>> =
+        (0..pairs).map(|_| Vec::with_capacity(total as usize)).collect();
+    for chunk in chunks {
+        for (out, part) in designs.iter_mut().zip(chunk) {
+            out.extend(part);
+        }
+    }
+    designs
 }
 
 /// Cluster summaries keyed by (depth, width): one hash lookup per design

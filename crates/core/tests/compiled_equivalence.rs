@@ -53,6 +53,41 @@ fn compiled_matches_naive_over_the_entire_exploration_grid() {
 }
 
 #[test]
+fn grid_walker_matches_naive_over_the_entire_exploration_grid() {
+    // The incremental grid walker (the study sweeps' actual inner loop)
+    // must stay inside the same ≤1e-12 bound against per-row spline-basis
+    // evaluation at every one of the 262,500 designs — and bitwise equal
+    // to the pointwise compiled path it regroups nothing relative to.
+    let space = DesignSpace::exploration();
+    let samples = DesignSpace::paper().sample_uar(500, 2007);
+    let models =
+        PaperModels::train(&SmoothOracle, Benchmark::Gzip, &samples).expect("smooth fit succeeds");
+    let compiled = models.compile(&space);
+    let lanes = compiled.lanes();
+    let mut walker = lanes.walker(&space, 1);
+
+    let mut max_rel_bips = 0.0f64;
+    let mut max_rel_watts = 0.0f64;
+    let mut visited = 0u64;
+    walker.walk(0..space.len(), |p, m| {
+        assert_eq!(m[0].bips.to_bits(), compiled.predict_bips(&p).to_bits());
+        assert_eq!(m[0].watts.to_bits(), compiled.predict_watts(&p).to_bits());
+        let row = p.predictors();
+        let naive_bips = models.performance_model().predict_row(&row).expect("valid row");
+        max_rel_bips = max_rel_bips.max((m[0].bips - naive_bips).abs() / naive_bips.abs());
+        let naive_watts = models.power_model().predict_row(&row).expect("valid row");
+        max_rel_watts = max_rel_watts.max((m[0].watts - naive_watts).abs() / naive_watts.abs());
+        visited += 1;
+    });
+    assert_eq!(visited, space.len(), "must cover the whole grid");
+    assert!(max_rel_bips <= 1e-12, "walker sqrt-bips max relative error {max_rel_bips:e} > 1e-12");
+    assert!(
+        max_rel_watts <= 1e-12,
+        "walker log-watts max relative error {max_rel_watts:e} > 1e-12"
+    );
+}
+
+#[test]
 fn compiled_row_and_index_paths_are_bitwise_identical() {
     // The grid-index path (used by the study sweeps) and the row path
     // (exact-equality lookup of predictor values) must agree to the bit:

@@ -1,13 +1,14 @@
 //! Allocation-free guarantee on the fused sweep's inner loop.
 //!
-//! The `characterize_all` grid walk predicts all nine benchmarks per
-//! visited design by resolving grid indices once and reading compiled
-//! tables (`grid_indices` + `predict_metrics_at`). The per-design work
-//! must never touch the heap — at 262,500 designs x 9 benchmarks, even
-//! one small allocation per design would dominate the sweep. This test
-//! pins that with the counting allocator: after a warm-up pass, the
-//! exact inner-loop sequence runs under `assert_no_alloc`, which panics
-//! on the first heap allocation on the asserting thread.
+//! The study sweeps drive a [`udse_core::model::GridWalker`] over stacked
+//! [`udse_core::model::SuiteLanes`]: per visited design the walker
+//! refreshes incremental prefix sums and predicts every stacked pair. The
+//! per-design work must never touch the heap — at 262,500 designs x 9
+//! benchmarks, even one small allocation per design would dominate the
+//! sweep. This test pins that with the counting allocator: walkers
+//! allocate their scratch at construction, then the whole walk (and the
+//! raw batch kernel) runs under `assert_no_alloc`, which panics on the
+//! first heap allocation on the asserting thread.
 
 use udse_core::model::PaperModels;
 use udse_core::oracle::{Metrics, Oracle};
@@ -34,32 +35,65 @@ impl Oracle for SmoothOracle {
     }
 }
 
-#[test]
-fn fused_sweep_inner_loop_is_allocation_free_after_warmup() {
-    let space = DesignSpace::exploration();
+fn compiled_pair(space: &DesignSpace) -> udse_core::model::CompiledPaperModels {
     let samples = DesignSpace::paper().sample_uar(300, 2007);
     let models =
         PaperModels::train(&SmoothOracle, Benchmark::Gzip, &samples).expect("smooth fit succeeds");
-    let compiled = models.compile(&space);
-    // The walk's decode bookkeeping is outside the per-design claim:
-    // points are precomputed, as `pool::map_chunks` ranges are in the
-    // real sweep.
-    let points: Vec<DesignPoint> = space.sample_uar(4_096, 99);
+    models.compile(space)
+}
 
-    // Warm-up pass (first touches of lazily-faulted pages, etc.), and
-    // the reference sum for the post-assert equality check.
-    let sweep = |acc_init: f64| {
-        let mut acc = acc_init;
-        for p in &points {
-            let idx = compiled.grid_indices(p);
-            let m = compiled.predict_metrics_at(&idx);
-            acc += m.bips + m.watts;
-        }
+#[test]
+fn grid_walker_walk_is_allocation_free() {
+    let space = DesignSpace::exploration();
+    let compiled = compiled_pair(&space);
+    let lanes = compiled.lanes();
+
+    // Natural-order walk over a mid-space window. The walker owns its
+    // prefix/metrics scratch, so everything past construction is pure
+    // arithmetic — exactly what each `pool::map_chunks` chunk runs.
+    let mut walker = lanes.walker(&space, 1);
+    let sweep = |walker: &mut udse_core::model::GridWalker| {
+        let mut acc = 0.0f64;
+        walker.walk(100_000..104_096, |_, m| acc += m[0].bips + m[0].watts);
         acc
     };
-    let expected = sweep(0.0);
+    let expected = sweep(&mut walker);
     let again =
-        udse_obs::alloc::assert_no_alloc("fused characterize_all inner loop", || sweep(0.0));
-    assert_eq!(again.to_bits(), expected.to_bits(), "repeat sweep must be deterministic");
+        udse_obs::alloc::assert_no_alloc("grid walker natural-order walk", || sweep(&mut walker));
+    assert_eq!(again.to_bits(), expected.to_bits(), "repeat walk must be deterministic");
+    assert!(expected.is_finite());
+
+    // Strided walk (the quick-mode coprime subset) — same guarantee.
+    let mut strided = lanes.walker(&space, 97);
+    let strided_sweep = |walker: &mut udse_core::model::GridWalker| {
+        let mut acc = 0.0f64;
+        walker.walk(0..2_048, |_, m| acc += m[0].bips + m[0].watts);
+        acc
+    };
+    let expected = strided_sweep(&mut strided);
+    let again = udse_obs::alloc::assert_no_alloc("grid walker strided walk", || {
+        strided_sweep(&mut strided)
+    });
+    assert_eq!(again.to_bits(), expected.to_bits(), "repeat strided walk must be deterministic");
+}
+
+#[test]
+fn stacked_batch_kernel_is_allocation_free() {
+    let space = DesignSpace::exploration();
+    let compiled = compiled_pair(&space);
+    let lanes = compiled.lanes();
+
+    // Grid-index rows precomputed, as the real batch callers do.
+    let points: Vec<DesignPoint> = space.sample_uar(4_096, 99);
+    let idx_rows: Vec<usize> = points.iter().flat_map(|p| compiled.grid_indices(p)).collect();
+    let mut out = vec![Metrics { bips: 0.0, watts: 0.0 }; points.len() * lanes.pairs()];
+
+    lanes.predict_metrics_batch(&idx_rows, &mut out);
+    let expected: f64 = out.iter().map(|m| m.bips + m.watts).sum();
+    udse_obs::alloc::assert_no_alloc("stacked batch prediction kernel", || {
+        lanes.predict_metrics_batch(&idx_rows, &mut out)
+    });
+    let again: f64 = out.iter().map(|m| m.bips + m.watts).sum();
+    assert_eq!(again.to_bits(), expected.to_bits(), "repeat batch must be deterministic");
     assert!(expected.is_finite());
 }

@@ -1,5 +1,5 @@
 //! Compiled grid prediction: [`FittedModel`] lowered onto a discrete
-//! predictor grid.
+//! predictor grid, structure-of-arrays layout.
 //!
 //! The paper's design space (Table 1) is fully discrete — every predictor
 //! takes only 3–10 distinct levels — while [`FittedModel::predict_row`]
@@ -21,25 +21,30 @@
 //! f⁻¹( β₀ + Σ_v partial[v][idx_v] + Σ_(a,b) β_ab · x_a · x_b )
 //! ```
 //!
+//! The tables live in a structure-of-arrays plan: *one* flat `levels`
+//! buffer and *one* flat `partial` buffer, with per-variable offsets
+//! slicing out each axis's contiguous lane. That keeps the whole plan in
+//! a few cache lines (the paper grid is 47 levels × 2 `f64` buffers) and
+//! lets [`CompiledModel::predict_batch_into`] process index rows in fixed
+//! chunks of [`CompiledModel::BATCH_CHUNK`] with straight-line lane
+//! arithmetic: accumulators initialize to the intercept, each axis adds
+//! its partial-sum lane, each interaction adds a `β·x_a·x_b` product, and
+//! the response back-transform is applied in-lane with the `match` hoisted
+//! out of the row loop — no per-row branching anywhere.
+//!
 //! The lowering is exact up to floating-point summation order (the terms
 //! are accumulated in the same model order, only grouped per variable),
 //! so compiled predictions agree with [`FittedModel::predict_row`] to
 //! ~1e-15 relative — well inside the 1e-12 equivalence bound the
-//! exhaustive grid tests assert.
+//! exhaustive grid tests assert. All compiled paths (row, index, batch)
+//! accumulate in the identical order, so they agree with each other
+//! *bitwise*.
 
 use crate::fit::FittedModel;
 use crate::spec::ResolvedTerm;
 use crate::spline::spline_basis;
 use crate::transform::ResponseTransform;
 use crate::RegressError;
-
-/// Per-variable lookup table: the grid levels (strictly increasing) and
-/// the precomputed single-variable partial sum at each level.
-#[derive(Debug, Clone, PartialEq)]
-struct VarTable {
-    levels: Vec<f64>,
-    partial: Vec<f64>,
-}
 
 /// One interaction term surviving compilation: `beta * x_a * x_b`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,7 +55,8 @@ struct CompiledInteraction {
 }
 
 /// A [`FittedModel`] specialized to a discrete predictor grid; see the
-/// module docs for the lowering scheme.
+/// module docs for the lowering scheme and the structure-of-arrays
+/// layout.
 ///
 /// # Examples
 ///
@@ -77,16 +83,24 @@ pub struct CompiledModel {
     transform: ResponseTransform,
     width: usize,
     intercept: f64,
-    vars: Vec<VarTable>,
+    /// Every predictor's grid levels, flattened; variable `v` owns
+    /// `levels[offsets[v]..offsets[v + 1]]` (strictly increasing).
+    levels: Vec<f64>,
+    /// Per-level single-variable partial sums, same layout as `levels`.
+    partial: Vec<f64>,
+    /// Per-variable lane offsets into `levels`/`partial`; `width + 1`
+    /// entries, `offsets[0] == 0`, `offsets[width] == levels.len()`.
+    offsets: Vec<usize>,
     interactions: Vec<CompiledInteraction>,
 }
 
 impl FittedModel {
     /// Lowers this model onto a discrete grid: `levels[v]` lists the
     /// values predictor `v` may take (strictly increasing). All
-    /// single-variable terms collapse into per-level partial-sum tables;
+    /// single-variable terms collapse into per-level partial-sum lanes;
     /// interaction terms keep their coefficient and multiply at predict
-    /// time.
+    /// time. The plan owns one flattened levels buffer (no per-variable
+    /// clones) sliced by per-axis offsets.
     ///
     /// # Errors
     ///
@@ -103,11 +117,16 @@ impl FittedModel {
                 return Err(RegressError::BadLevels { var });
             }
         }
+        let total: usize = levels.iter().map(Vec::len).sum();
+        let mut flat = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(width + 1);
+        offsets.push(0);
+        for ls in levels {
+            flat.extend_from_slice(ls);
+            offsets.push(flat.len());
+        }
+        let mut partial = vec![0.0; total];
         let beta = self.coefficients();
-        let mut vars: Vec<VarTable> = levels
-            .iter()
-            .map(|ls| VarTable { levels: ls.clone(), partial: vec![0.0; ls.len()] })
-            .collect();
         let mut interactions = Vec::new();
         let mut next = 1; // beta[0] is the intercept
         for term in self.resolved_terms() {
@@ -115,7 +134,8 @@ impl FittedModel {
                 ResolvedTerm::Linear(v) => {
                     let b = beta[next];
                     next += 1;
-                    for (p, &x) in vars[*v].partial.iter_mut().zip(&levels[*v]) {
+                    let lane = &mut partial[offsets[*v]..offsets[*v + 1]];
+                    for (p, &x) in lane.iter_mut().zip(&levels[*v]) {
                         *p += b * x;
                     }
                 }
@@ -123,13 +143,14 @@ impl FittedModel {
                     let n = term.columns();
                     let bs = &beta[next..next + n];
                     next += n;
-                    for (i, &x) in levels[*var].iter().enumerate() {
+                    let lane = &mut partial[offsets[*var]..offsets[*var + 1]];
+                    for (p, &x) in lane.iter_mut().zip(&levels[*var]) {
                         let basis = spline_basis(x, knots);
                         let mut acc = 0.0;
                         for (b, c) in bs.iter().zip(&basis) {
                             acc += b * c;
                         }
-                        vars[*var].partial[i] += acc;
+                        *p += acc;
                     }
                 }
                 ResolvedTerm::Interaction(a, b) => {
@@ -142,13 +163,22 @@ impl FittedModel {
             transform: self.spec().transform(),
             width,
             intercept: beta[0],
-            vars,
+            levels: flat,
+            partial,
+            offsets,
             interactions,
         })
     }
 }
 
 impl CompiledModel {
+    /// Rows per inner chunk of [`CompiledModel::predict_batch_into`]. The
+    /// batch kernel's accumulators live in a `[f64; BATCH_CHUNK]` stack
+    /// array: 8 lanes fill a 64-byte cache line, wide enough for the
+    /// autovectorizer to keep 2–4 AVX lanes busy per axis pass while
+    /// small enough that the gather indices stay in registers.
+    pub const BATCH_CHUNK: usize = 8;
+
     /// Number of predictor variables.
     pub fn width(&self) -> usize {
         self.width
@@ -159,24 +189,47 @@ impl CompiledModel {
         self.transform
     }
 
+    /// The model intercept `β₀` (transformed scale). Exposed so callers
+    /// stacking several compiled models into wider lane groups can seed
+    /// their accumulators identically to [`CompiledModel::predict_indices`].
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
     /// The grid levels of one predictor.
     ///
     /// # Panics
     ///
     /// Panics when `var` is out of range.
     pub fn levels(&self, var: usize) -> &[f64] {
-        &self.vars[var].levels
+        &self.levels[self.offsets[var]..self.offsets[var + 1]]
+    }
+
+    /// The per-level single-variable partial-sum lane of one predictor
+    /// (`partial[v][i]` in the module docs), parallel to
+    /// [`CompiledModel::levels`]`(var)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `var` is out of range.
+    pub fn partial_sums(&self, var: usize) -> &[f64] {
+        &self.partial[self.offsets[var]..self.offsets[var + 1]]
+    }
+
+    /// The compiled interaction terms `(a, b, beta)` in model order.
+    pub fn interactions(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.interactions.iter().map(|it| (it.a, it.b, it.beta))
     }
 
     /// The position of `value` in predictor `var`'s level list, if it is
     /// on the grid. Exact comparison — the caller is expected to produce
     /// grid values by the same arithmetic that built the level lists.
     pub fn level_index(&self, var: usize, value: f64) -> Option<usize> {
-        self.vars[var].levels.iter().position(|&v| v == value)
+        self.levels(var).iter().position(|&v| v == value)
     }
 
     /// Predicts on the transformed scale from per-variable *level
-    /// indices* — the fastest path: `idx[v]` indexes into
+    /// indices* — the fastest scalar path: `idx[v]` indexes into
     /// [`CompiledModel::levels`]`(v)`.
     ///
     /// # Panics
@@ -186,11 +239,11 @@ impl CompiledModel {
     pub fn predict_transformed_indices(&self, idx: &[usize]) -> f64 {
         assert_eq!(idx.len(), self.width, "one level index per predictor");
         let mut acc = self.intercept;
-        for (t, &i) in self.vars.iter().zip(idx) {
-            acc += t.partial[i];
+        for (v, &i) in idx.iter().enumerate() {
+            acc += self.partial_sums(v)[i];
         }
         for it in &self.interactions {
-            acc += it.beta * self.vars[it.a].levels[idx[it.a]] * self.vars[it.b].levels[idx[it.b]];
+            acc += it.beta * self.levels(it.a)[idx[it.a]] * self.levels(it.b)[idx[it.b]];
         }
         acc
     }
@@ -206,8 +259,71 @@ impl CompiledModel {
         self.transform.invert(self.predict_transformed_indices(idx))
     }
 
+    /// Batch kernel: predicts one response per `width`-index row of
+    /// `idx_rows` (row-major: `idx_rows[r * width + v]` is row `r`'s
+    /// level index for predictor `v`) into `out`.
+    ///
+    /// Rows are processed in chunks of [`CompiledModel::BATCH_CHUNK`]
+    /// with no per-row branching: stack accumulators seed with the
+    /// intercept, every axis adds its contiguous partial-sum lane, every
+    /// interaction adds its product, and the response back-transform is
+    /// applied in-lane (the transform `match` runs once per chunk, not
+    /// per row). Each row's result is bitwise-identical to
+    /// [`CompiledModel::predict_indices`] on the same indices — the
+    /// accumulation order per lane is the same; only the loop structure
+    /// differs. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx_rows.len() != out.len() * width` or any index is
+    /// out of its variable's level range.
+    pub fn predict_batch_into(&self, idx_rows: &[usize], out: &mut [f64]) {
+        assert_eq!(
+            idx_rows.len(),
+            out.len() * self.width,
+            "idx_rows must hold one {}-index row per output slot",
+            self.width
+        );
+        let width = self.width;
+        let mut start = 0;
+        for outs in out.chunks_mut(Self::BATCH_CHUNK) {
+            let n = outs.len();
+            let rows = &idx_rows[start..start + n * width];
+            start += n * width;
+            let mut acc = [self.intercept; Self::BATCH_CHUNK];
+            for v in 0..width {
+                let lane = self.partial_sums(v);
+                for (j, a) in acc[..n].iter_mut().enumerate() {
+                    *a += lane[rows[j * width + v]];
+                }
+            }
+            for it in &self.interactions {
+                let la = self.levels(it.a);
+                let lb = self.levels(it.b);
+                for (j, a) in acc[..n].iter_mut().enumerate() {
+                    *a += it.beta * la[rows[j * width + it.a]] * lb[rows[j * width + it.b]];
+                }
+            }
+            match self.transform {
+                ResponseTransform::Identity => outs.copy_from_slice(&acc[..n]),
+                ResponseTransform::Sqrt => {
+                    for (o, &z) in outs.iter_mut().zip(&acc[..n]) {
+                        *o = z * z;
+                    }
+                }
+                ResponseTransform::Log => {
+                    for (o, &z) in outs.iter_mut().zip(&acc[..n]) {
+                        *o = z.exp();
+                    }
+                }
+            }
+        }
+    }
+
     /// Predicts the response for one predictor row whose values lie on
-    /// the compiled grid. Allocation-free.
+    /// the compiled grid: the scalar wrapper over the same lanes the
+    /// batch kernel reads, resolving each value to its level index by
+    /// exact equality. Allocation-free.
     ///
     /// # Errors
     ///
@@ -219,16 +335,17 @@ impl CompiledModel {
             return Err(RegressError::RowLength { expected: self.width, got: row.len() });
         }
         let mut acc = self.intercept;
-        for (var, (&x, t)) in row.iter().zip(&self.vars).enumerate() {
-            let i = t
-                .levels
+        for (var, &x) in row.iter().enumerate() {
+            let lane = self.partial_sums(var);
+            let i = self
+                .levels(var)
                 .iter()
                 .position(|&v| v == x)
                 .ok_or(RegressError::OffGridValue { var, value: x })?;
-            acc += t.partial[i];
+            acc += lane[i];
         }
         // Row values equal their grid levels bitwise (checked above), so
-        // the products match the index-based path exactly.
+        // the products match the index-based paths exactly.
         for it in &self.interactions {
             acc += it.beta * row[it.a] * row[it.b];
         }
@@ -304,6 +421,38 @@ mod tests {
     }
 
     #[test]
+    fn batch_kernel_matches_index_path_at_every_chunk_remainder() {
+        let (model, levels) = fitted_on_grid();
+        let compiled = model.compile(&levels).unwrap();
+        let all: Vec<[usize; 2]> =
+            (0..levels[0].len()).flat_map(|a| (0..levels[1].len()).map(move |b| [a, b])).collect();
+        // 18 rows with BATCH_CHUNK = 8 covers full chunks plus every
+        // remainder 1..BATCH_CHUNK as the batch length varies.
+        assert!(all.len() > 2 * CompiledModel::BATCH_CHUNK);
+        for n in 1..=all.len() {
+            let rows: Vec<usize> = all[..n].iter().flatten().copied().collect();
+            let mut out = vec![0.0; n];
+            compiled.predict_batch_into(&rows, &mut out);
+            for (idx, &got) in all[..n].iter().zip(&out) {
+                assert_eq!(
+                    got.to_bits(),
+                    compiled.predict_indices(idx).to_bits(),
+                    "batch kernel diverges at {idx:?} in a batch of {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one 2-index row per output slot")]
+    fn batch_kernel_rejects_mismatched_lengths() {
+        let (model, levels) = fitted_on_grid();
+        let compiled = model.compile(&levels).unwrap();
+        let mut out = vec![0.0; 2];
+        compiled.predict_batch_into(&[0, 0, 1], &mut out);
+    }
+
+    #[test]
     fn predict_many_into_reuses_buffer() {
         let (model, levels) = fitted_on_grid();
         let compiled = model.compile(&levels).unwrap();
@@ -355,5 +504,11 @@ mod tests {
         assert_eq!(compiled.levels(0), &levels[0][..]);
         assert_eq!(compiled.level_index(1, 20.0), Some(1));
         assert_eq!(compiled.level_index(1, 21.0), None);
+        // The SoA plan exposes its lanes for model stacking.
+        assert_eq!(compiled.partial_sums(0).len(), levels[0].len());
+        assert_eq!(compiled.partial_sums(1).len(), levels[1].len());
+        let inter: Vec<(usize, usize, f64)> = compiled.interactions().collect();
+        assert_eq!(inter.len(), 1);
+        assert_eq!((inter[0].0, inter[0].1), (0, 1));
     }
 }

@@ -112,6 +112,42 @@ proptest! {
     }
 
     #[test]
+    fn batch_kernel_agrees_at_every_chunk_remainder(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let case = random_grid_model(&mut rng);
+        prop_assume!(case.is_some());
+        let (model, compiled, rows) = case.unwrap();
+        let idx_rows: Vec<usize> = rows
+            .iter()
+            .flat_map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(var, &x)| compiled.level_index(var, x).expect("row is on the grid"))
+            })
+            .collect();
+        let width = compiled.width();
+        let mut out = vec![0.0f64; rows.len()];
+        // Every prefix length exercises every possible final-chunk
+        // remainder (grids have ≥ 9 rows, so > CompiledModel::BATCH_CHUNK).
+        for n in 1..=rows.len() {
+            let out = &mut out[..n];
+            compiled.predict_batch_into(&idx_rows[..n * width], out);
+            for (i, (&fast, row)) in out.iter().zip(&rows).enumerate() {
+                // Bitwise vs the scalar compiled path: both resolve the
+                // same lanes and accumulate in the same order.
+                let scalar = compiled.predict_row(row).expect("row is on the grid");
+                prop_assert!(
+                    fast.to_bits() == scalar.to_bits(),
+                    "prefix {}, row {}: batch {} vs scalar {}", n, i, fast, scalar
+                );
+                // And numerically vs the uncompiled spline-basis path.
+                let naive = model.predict_row(row).expect("width matches");
+                prop_assert!(close(naive, fast), "row {}: naive {} vs batch {}", i, naive, fast);
+            }
+        }
+    }
+
+    #[test]
     fn off_grid_rows_are_rejected(seed in 0u64..1_000_000) {
         let mut rng = StdRng::seed_from_u64(seed);
         let case = random_grid_model(&mut rng);

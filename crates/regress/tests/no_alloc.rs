@@ -57,6 +57,25 @@ fn predict_many_into_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn predict_batch_into_is_allocation_free() {
+    let (model, levels) = fitted_on_grid();
+    let compiled = model.compile(&levels).expect("grid compiles");
+    // Every grid cell as an index row — both buffers preallocated, so the
+    // branch-free batch kernel must never touch the heap.
+    let idx_rows: Vec<usize> = (0..levels[0].len())
+        .flat_map(|i| (0..levels[1].len()).map(move |j| [i, j]))
+        .flatten()
+        .collect();
+    let mut out = vec![0.0f64; idx_rows.len() / 2];
+    compiled.predict_batch_into(&idx_rows, &mut out);
+    let warm = out.clone();
+    udse_obs::alloc::assert_no_alloc("compiled predict_batch_into", || {
+        compiled.predict_batch_into(&idx_rows, &mut out)
+    });
+    assert_eq!(out, warm, "the allocation-free batch must predict the same values");
+}
+
+#[test]
 fn predict_row_is_allocation_free() {
     let (model, levels) = fitted_on_grid();
     let compiled = model.compile(&levels).expect("grid compiles");

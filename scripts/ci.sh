@@ -34,17 +34,27 @@ cargo test -q --workspace
 echo "==> shard smoke: repro --quick --shards 2 vs single process"
 rm -rf target/shard-smoke
 mkdir -p target/shard-smoke
-./target/release/repro --quick --manifest target/shard-smoke/single.json fig1 \
+./target/release/repro --quick --manifest target/shard-smoke/single.json fig1 fig2 \
     > target/shard-smoke/single.out
 ./target/release/repro --quick --shards 2 --shard-dir target/shard-smoke/shards \
     --trace target/shard-smoke/trace.json \
-    --manifest target/shard-smoke/sharded.json fig1 > target/shard-smoke/sharded.out
+    --manifest target/shard-smoke/sharded.json fig1 fig2 > target/shard-smoke/sharded.out
 diff target/shard-smoke/single.out target/shard-smoke/sharded.out
 ./target/release/udse-inspect merge target/shard-smoke/sharded.json \
     target/shard-smoke/shards/*.manifest.json -o target/shard-smoke/merged.json
 echo "==> udse-inspect diff single-process vs merged sharded manifest"
 ./target/release/udse-inspect diff target/shard-smoke/single.json \
     target/shard-smoke/merged.json --warn-wall
+# The fused-sweep instrumentation must survive sharding: the merged
+# manifest has to carry both the throughput gauge and the per-design
+# allocation ratio, or the floor gate below would silently stop
+# guarding multi-process runs.
+for key in '"sweep.designs_per_sec"' '"sweep.allocs_per_design"'; do
+    if ! grep -qF "${key}" target/shard-smoke/merged.json; then
+        echo "==> merged sharded manifest is missing ${key}" >&2
+        exit 1
+    fi
+done
 
 # Multi-process trace: the sharded run above also wrote a merged Chrome
 # trace. It must parse back through udse-inspect, and the per-worker
@@ -112,9 +122,16 @@ if [ -n "${baseline}" ]; then
     # inner loop — the 0.05 floor absorbs per-chunk bookkeeping noise
     # while still catching a per-design allocation creeping in (which
     # would land at >= 1.0).
-    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50 --tol-resource alloc.bytes:100 --tol-resource sweep.allocs_per_design:100:0.05"
+    #
+    # The --min-gauge floor is absolute, not relative to the baseline:
+    # quick-mode sweeps run ~13M designs/sec on the SoA walker, and a
+    # collapse back to per-point spline evaluation lands near 2M. The
+    # 5M floor sits far from both, so machine noise cannot trip it but
+    # losing the compiled fast path always does.
+    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50 --min-gauge sweep.designs_per_sec:5000000 --tol-resource alloc.bytes:100 --tol-resource sweep.allocs_per_design:100:0.05"
     ./target/release/udse-inspect diff "${baseline}" target/bench-current.json --warn-wall \
         --tol-gauge sweep.designs_per_sec:50 \
+        --min-gauge sweep.designs_per_sec:5000000 \
         --tol-resource alloc.bytes:100 \
         --tol-resource sweep.allocs_per_design:100:0.05
 else

@@ -449,6 +449,11 @@ fn worker_main(args: &[String]) -> ExitCode {
             allocs: udse_obs::alloc::counting().then_some(stats.allocs),
             alloc_bytes: udse_obs::alloc::counting().then_some(stats.bytes_allocated),
             peak_rss_kb: cputime::peak_rss_kb(),
+            // Memo effectiveness travels with the shard: a worker only
+            // sees its own job range, so the parent needs these to
+            // judge sub-config reuse across the whole plan.
+            precompute_hits: Some(udse_obs::metrics::counter("sim.precompute.hits").get()),
+            precompute_misses: Some(udse_obs::metrics::counter("sim.precompute.misses").get()),
         };
         if let Err(e) = writer.finish(&spans, &events, &summary) {
             udse_obs::warn!("worker", "telemetry incomplete: {e}");

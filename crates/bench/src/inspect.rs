@@ -525,6 +525,9 @@ struct ShardAggregate {
     allocs: u64,
     alloc_bytes: u64,
     alloc_known: bool,
+    precompute_hits: u64,
+    precompute_misses: u64,
+    precompute_known: bool,
 }
 
 /// The unified run report: the manifest summary ([`show`]) followed by
@@ -579,6 +582,11 @@ pub fn report(
                     slot.alloc_known = true;
                 }
                 slot.max_rss_kb = slot.max_rss_kb.max(s.peak_rss_kb.unwrap_or(0));
+                if let (Some(h), Some(miss)) = (s.precompute_hits, s.precompute_misses) {
+                    slot.precompute_hits += h;
+                    slot.precompute_misses += miss;
+                    slot.precompute_known = true;
+                }
             }
             None => {
                 slot.unclean_exits += 1;
@@ -623,7 +631,7 @@ pub fn report(
             .max(f64::MIN_POSITIVE);
         out.push_str(&format!(
             "\nshard telemetry ({} sidecar(s)):\n  {:<5} {:>7} {:>8} {:>10} {:>8} {:>10} {:>9} \
-             {:>8} {:>12} {:>10}\n",
+             {:>8} {:>12} {:>10} {:>10} {:>8}\n",
             sidecars.len(),
             "shard",
             "batches",
@@ -634,7 +642,9 @@ pub fn report(
             "rss(MB)",
             "cpu(s)",
             "allocs",
-            "alloc(MB)"
+            "alloc(MB)",
+            "memo-hit",
+            "resolve"
         ));
         for (index, agg) in &shards {
             let rate = throughput(agg.jobs, agg.busy_us);
@@ -648,8 +658,20 @@ pub fn report(
             } else {
                 ("-".into(), "-".into())
             };
+            // Memoized-stream effectiveness: hit share of the shard's
+            // stream lookups, and how many streams it resolved itself.
+            let (memo_hit, resolves) = if agg.precompute_known {
+                let lookups = (agg.precompute_hits + agg.precompute_misses).max(1);
+                (
+                    format!("{:.0}%", 100.0 * agg.precompute_hits as f64 / lookups as f64),
+                    agg.precompute_misses.to_string(),
+                )
+            } else {
+                ("-".into(), "-".into())
+            };
             out.push_str(&format!(
-                "  {:<5} {:>7} {:>8} {:>10.3} {:>8.0} {:>9.0}% {:>9.1} {:>8} {:>12} {:>10}\n",
+                "  {:<5} {:>7} {:>8} {:>10.3} {:>8.0} {:>9.0}% {:>9.1} {:>8} {:>12} {:>10} \
+                 {:>10} {:>8}\n",
                 index,
                 agg.batches,
                 agg.jobs,
@@ -659,7 +681,9 @@ pub fn report(
                 agg.max_rss_kb as f64 / 1024.0,
                 cpu,
                 allocs,
-                alloc_mb
+                alloc_mb,
+                memo_hit,
+                resolves
             ));
         }
     }
@@ -1210,6 +1234,8 @@ mod tests {
                 allocs: Some(done * 10),
                 alloc_bytes: Some(done * 1024),
                 peak_rss_kb: Some(20_480),
+                precompute_hits: Some(done * 2),
+                precompute_misses: Some(done / 2),
             }),
             problems: vec![],
         };

@@ -372,6 +372,18 @@ impl WorkerHandle {
                     if let Some(v) = s.alloc_bytes {
                         udse_obs::metrics::counter("shard.worker.alloc_bytes").add(v);
                     }
+                    // Namespaced like the other worker roll-ups: the
+                    // workers' own manifests already carry
+                    // `sim.precompute.*`, so folding the sidecar values
+                    // into the same keys would double-count them when
+                    // `udse-inspect merge` sums parent and worker
+                    // manifests.
+                    if let Some(v) = s.precompute_hits {
+                        udse_obs::metrics::counter("shard.worker.precompute.hits").add(v);
+                    }
+                    if let Some(v) = s.precompute_misses {
+                        udse_obs::metrics::counter("shard.worker.precompute.misses").add(v);
+                    }
                 }
                 _ => {}
             }

@@ -8,11 +8,15 @@
 //! a sequential one — `repro --jobs 1` and `--jobs N` produce the same
 //! numbers.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use udse_sim::Simulator;
+use udse_sim::{
+    BhtSubConfig, BranchStream, CacheStreams, CacheSubConfig, Simulator, StreamScratch,
+    TracePreflight,
+};
 use udse_trace::{Benchmark, Trace};
 
 use crate::plan::EvalPlan;
@@ -102,11 +106,104 @@ pub struct SimOracle {
     warmup_frac: f64,
     seed: u64,
     traces: RwLock<HashMap<Benchmark, Arc<Trace>>>,
+    preflights: RwLock<HashMap<Benchmark, Arc<TracePreflight>>>,
+    streams: RwLock<StreamStore>,
+    precompute_hits: AtomicU64,
+    precompute_misses: AtomicU64,
 }
 
 /// Default trace length for study-quality runs; long enough that L2-scale
 /// reuse distances and predictor training are exercised past warmup.
 pub const DEFAULT_TRACE_LEN: usize = 200_000;
+
+/// Default byte budget for memoized outcome streams. The paper-scale
+/// workload (9 traces x 125 cache sub-configs x ~0.5 bytes/instruction
+/// over 200k instructions) fits comfortably; the bound exists so
+/// enlarged spaces degrade to recomputation instead of unbounded memory.
+pub const DEFAULT_STREAM_BUDGET: usize = 256 << 20;
+
+/// Key of one memoized entry, for FIFO eviction bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum StreamKey {
+    Cache(Benchmark, CacheSubConfig),
+    Branch(Benchmark, BhtSubConfig),
+}
+
+/// Bounded store of resolved outcome streams, shared across every run
+/// of the owning oracle. Entries evict FIFO once the byte budget is
+/// exceeded (the newest entry always survives, so the evaluation that
+/// just resolved it can proceed).
+#[derive(Debug)]
+struct StreamStore {
+    budget: usize,
+    bytes: usize,
+    cache: HashMap<(Benchmark, CacheSubConfig), Arc<CacheStreams>>,
+    branch: HashMap<(Benchmark, BhtSubConfig), Arc<BranchStream>>,
+    fifo: VecDeque<StreamKey>,
+}
+
+impl StreamStore {
+    fn new(budget: usize) -> Self {
+        StreamStore {
+            budget,
+            bytes: 0,
+            cache: HashMap::new(),
+            branch: HashMap::new(),
+            fifo: VecDeque::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.bytes = 0;
+        self.cache.clear();
+        self.branch.clear();
+        self.fifo.clear();
+    }
+
+    fn insert_cache(&mut self, key: (Benchmark, CacheSubConfig), streams: Arc<CacheStreams>) {
+        if self.cache.contains_key(&key) {
+            return; // another thread resolved it first; keep theirs
+        }
+        self.bytes += streams.bytes();
+        self.cache.insert(key, streams);
+        self.fifo.push_back(StreamKey::Cache(key.0, key.1));
+        self.evict();
+    }
+
+    fn insert_branch(&mut self, key: (Benchmark, BhtSubConfig), stream: Arc<BranchStream>) {
+        if self.branch.contains_key(&key) {
+            return;
+        }
+        self.bytes += stream.bytes();
+        self.branch.insert(key, stream);
+        self.fifo.push_back(StreamKey::Branch(key.0, key.1));
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        while self.bytes > self.budget && self.fifo.len() > 1 {
+            match self.fifo.pop_front().expect("fifo non-empty") {
+                StreamKey::Cache(b, sub) => {
+                    if let Some(s) = self.cache.remove(&(b, sub)) {
+                        self.bytes -= s.bytes();
+                    }
+                }
+                StreamKey::Branch(b, sub) => {
+                    if let Some(s) = self.branch.remove(&(b, sub)) {
+                        self.bytes -= s.bytes();
+                    }
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread engine scratch: work-pool threads reuse one set of
+    /// pools and one completion ring across every simulation they run,
+    /// keeping the steady-state cycle loop allocation-free.
+    static SCRATCH: RefCell<StreamScratch> = RefCell::new(StreamScratch::default());
+}
 
 impl SimOracle {
     /// Creates an oracle with the default study-quality trace length.
@@ -127,6 +224,10 @@ impl SimOracle {
             warmup_frac: 0.25,
             seed: 0x5EED,
             traces: RwLock::new(HashMap::new()),
+            preflights: RwLock::new(HashMap::new()),
+            streams: RwLock::new(StreamStore::new(DEFAULT_STREAM_BUDGET)),
+            precompute_hits: AtomicU64::new(0),
+            precompute_misses: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +236,17 @@ impl SimOracle {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self.traces = RwLock::new(HashMap::new());
+        self.preflights = RwLock::new(HashMap::new());
+        self.streams.write().expect("stream store poisoned").clear();
+        self
+    }
+
+    /// Overrides the memoized-stream byte budget (tests exercise
+    /// eviction with tiny budgets; `0` disables memoization except for
+    /// the entry currently being used).
+    #[must_use]
+    pub fn with_stream_budget(self, bytes: usize) -> Self {
+        self.streams.write().expect("stream store poisoned").budget = bytes;
         self
     }
 
@@ -169,6 +281,96 @@ impl SimOracle {
     pub fn warmup_insts(&self) -> usize {
         (self.trace_len as f64 * self.warmup_frac) as usize
     }
+
+    /// Stream-store lookups served from the memo (cache + BHT keys each
+    /// count one lookup per evaluation).
+    pub fn precompute_hits(&self) -> u64 {
+        self.precompute_hits.load(Ordering::Relaxed)
+    }
+
+    /// Stream-store lookups that had to resolve a fresh stream.
+    pub fn precompute_misses(&self) -> u64 {
+        self.precompute_misses.load(Ordering::Relaxed)
+    }
+
+    /// The design-invariant preflight of a benchmark's trace, computed
+    /// once per `(benchmark, seed, trace_len)` and shared via `Arc`.
+    pub fn preflight(&self, benchmark: Benchmark) -> Arc<TracePreflight> {
+        if let Some(p) = self.preflights.read().expect("preflight cache poisoned").get(&benchmark) {
+            return Arc::clone(p);
+        }
+        let trace = self.trace(benchmark);
+        let mut preflights = self.preflights.write().expect("preflight cache poisoned");
+        Arc::clone(
+            preflights.entry(benchmark).or_insert_with(|| Arc::new(TracePreflight::of(&trace))),
+        )
+    }
+
+    fn record(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.precompute_hits.fetch_add(hits, Ordering::Relaxed);
+            udse_obs::metrics::counter("sim.precompute.hits").add(hits);
+        }
+        if misses > 0 {
+            self.precompute_misses.fetch_add(misses, Ordering::Relaxed);
+            udse_obs::metrics::counter("sim.precompute.misses").add(misses);
+        }
+    }
+
+    /// The memoized cache-outcome streams for one sub-config, resolving
+    /// and inserting on first use.
+    fn cache_streams(
+        &self,
+        benchmark: Benchmark,
+        pre: &TracePreflight,
+        sub: CacheSubConfig,
+    ) -> Arc<CacheStreams> {
+        let key = (benchmark, sub);
+        if let Some(s) = self.streams.read().expect("stream store poisoned").cache.get(&key) {
+            self.record(1, 0);
+            return Arc::clone(s);
+        }
+        self.record(0, 1);
+        let resolved = Arc::new(CacheStreams::resolve(pre, &sub));
+        let mut store = self.streams.write().expect("stream store poisoned");
+        store.insert_cache(key, Arc::clone(&resolved));
+        resolved
+    }
+
+    /// The memoized branch-outcome stream for one BHT sub-config.
+    fn branch_stream(
+        &self,
+        benchmark: Benchmark,
+        pre: &TracePreflight,
+        sub: BhtSubConfig,
+    ) -> Arc<BranchStream> {
+        let key = (benchmark, sub);
+        if let Some(s) = self.streams.read().expect("stream store poisoned").branch.get(&key) {
+            self.record(1, 0);
+            return Arc::clone(s);
+        }
+        self.record(0, 1);
+        let resolved = Arc::new(BranchStream::resolve(pre, &sub));
+        let mut store = self.streams.write().expect("stream store poisoned");
+        store.insert_branch(key, Arc::clone(&resolved));
+        resolved
+    }
+
+    /// Runs one simulation against resolved artifacts with the calling
+    /// thread's reusable scratch.
+    fn run(
+        &self,
+        point: &DesignPoint,
+        pre: &TracePreflight,
+        cache: &CacheStreams,
+        bht: &BranchStream,
+    ) -> Metrics {
+        let sim = Simulator::new(point.to_machine_config());
+        let result = SCRATCH.with(|s| {
+            sim.run_streamed_with(pre, cache, bht, self.warmup_insts(), &mut s.borrow_mut())
+        });
+        Metrics { bips: result.bips, watts: result.watts }
+    }
 }
 
 impl Default for SimOracle {
@@ -179,10 +381,100 @@ impl Default for SimOracle {
 
 impl Oracle for SimOracle {
     fn evaluate(&self, benchmark: Benchmark, point: &DesignPoint) -> Metrics {
-        let trace = self.trace(benchmark);
-        let result =
-            Simulator::new(point.to_machine_config()).run_with_warmup(&trace, self.warmup_insts());
-        Metrics { bips: result.bips, watts: result.watts }
+        let cfg = point.to_machine_config();
+        let pre = self.preflight(benchmark);
+        let cache = self.cache_streams(benchmark, &pre, CacheSubConfig::of(&cfg));
+        let bht = self.branch_stream(benchmark, &pre, BhtSubConfig::of(&cfg));
+        self.run(point, &pre, &cache, &bht)
+    }
+
+    /// Batched evaluation with deterministic memo accounting: a
+    /// sequential pre-pass walks the jobs in order and performs both
+    /// stream lookups per job (cache sub-key, then BHT sub-key) — the
+    /// first unresolved occurrence of a key counts the miss, every
+    /// later occurrence a hit — so `sim.precompute.hits/misses` come
+    /// out identical whatever `--jobs` width runs the batch. The
+    /// distinct pending streams then resolve in one parallel wave, are
+    /// inserted into the shared store in first-occurrence order (so
+    /// eviction is deterministic too), and the simulations fan out over
+    /// batch-local `Arc`s that keep every stream alive even if the
+    /// bounded store evicts it mid-batch.
+    fn evaluate_many(&self, jobs: &[(Benchmark, DesignPoint)]) -> Vec<Metrics> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let mut preflights: HashMap<Benchmark, Arc<TracePreflight>> = HashMap::new();
+        for (b, _) in jobs {
+            if !preflights.contains_key(b) {
+                preflights.insert(*b, self.preflight(*b));
+            }
+        }
+
+        let mut cache_ready: HashMap<(Benchmark, CacheSubConfig), Arc<CacheStreams>> =
+            HashMap::new();
+        let mut branch_ready: HashMap<(Benchmark, BhtSubConfig), Arc<BranchStream>> =
+            HashMap::new();
+        let mut cache_pending: Vec<(Benchmark, CacheSubConfig)> = Vec::new();
+        let mut branch_pending: Vec<(Benchmark, BhtSubConfig)> = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        {
+            let store = self.streams.read().expect("stream store poisoned");
+            let mut seen_cache: std::collections::HashSet<(Benchmark, CacheSubConfig)> =
+                std::collections::HashSet::new();
+            let mut seen_branch: std::collections::HashSet<(Benchmark, BhtSubConfig)> =
+                std::collections::HashSet::new();
+            for (b, p) in jobs {
+                let cfg = p.to_machine_config();
+                let ck = (*b, CacheSubConfig::of(&cfg));
+                if !seen_cache.insert(ck) {
+                    hits += 1;
+                } else if let Some(s) = store.cache.get(&ck) {
+                    hits += 1;
+                    cache_ready.insert(ck, Arc::clone(s));
+                } else {
+                    misses += 1;
+                    cache_pending.push(ck);
+                }
+                let bk = (*b, BhtSubConfig::of(&cfg));
+                if !seen_branch.insert(bk) {
+                    hits += 1;
+                } else if let Some(s) = store.branch.get(&bk) {
+                    hits += 1;
+                    branch_ready.insert(bk, Arc::clone(s));
+                } else {
+                    misses += 1;
+                    branch_pending.push(bk);
+                }
+            }
+        }
+        self.record(hits, misses);
+
+        if !cache_pending.is_empty() || !branch_pending.is_empty() {
+            let resolved_cache: Vec<Arc<CacheStreams>> =
+                udse_obs::pool::map(&cache_pending, |(b, sub)| {
+                    Arc::new(CacheStreams::resolve(&preflights[b], sub))
+                });
+            let resolved_branch: Vec<Arc<BranchStream>> =
+                udse_obs::pool::map(&branch_pending, |(b, sub)| {
+                    Arc::new(BranchStream::resolve(&preflights[b], sub))
+                });
+            let mut store = self.streams.write().expect("stream store poisoned");
+            for (key, s) in cache_pending.iter().zip(&resolved_cache) {
+                cache_ready.insert(*key, Arc::clone(s));
+                store.insert_cache(*key, Arc::clone(s));
+            }
+            for (key, s) in branch_pending.iter().zip(&resolved_branch) {
+                branch_ready.insert(*key, Arc::clone(s));
+                store.insert_branch(*key, Arc::clone(s));
+            }
+        }
+
+        udse_obs::pool::map(jobs, |(b, p)| {
+            let cfg = p.to_machine_config();
+            let ck = (*b, CacheSubConfig::of(&cfg));
+            let bk = (*b, BhtSubConfig::of(&cfg));
+            self.run(p, &preflights[b], &cache_ready[&ck], &branch_ready[&bk])
+        })
     }
 }
 
@@ -406,6 +698,66 @@ mod tests {
         let again = oracle.evaluate_many(&jobs);
         assert_eq!(again, out);
         assert_eq!(oracle.misses(), 3);
+    }
+
+    #[test]
+    fn streamed_oracle_matches_direct_simulation() {
+        let oracle = SimOracle::with_trace_len(2_000);
+        let space = DesignSpace::paper();
+        for idx in [0u64, 42, 9_999, 123_456] {
+            let p = space.decode(idx).unwrap();
+            let m = oracle.evaluate(Benchmark::Twolf, &p);
+            let direct = Simulator::new(p.to_machine_config())
+                .run_with_warmup(&oracle.trace(Benchmark::Twolf), oracle.warmup_insts());
+            assert_eq!(m, Metrics { bips: direct.bips, watts: direct.watts }, "index {idx}");
+        }
+    }
+
+    #[test]
+    fn precompute_accounting_is_deterministic_and_batch_independent() {
+        let space = DesignSpace::paper();
+        // Two designs sharing cache geometry + identical BHT (the paper
+        // space has a single BHT config), plus one distinct geometry.
+        let jobs: Vec<(Benchmark, DesignPoint)> = (0..12)
+            .map(|i| (Benchmark::ALL[i % 3], space.decode(i as u64 * 500).unwrap()))
+            .collect();
+        let a = SimOracle::with_trace_len(1_000);
+        let first = a.evaluate_many(&jobs);
+        let (h1, m1) = (a.precompute_hits(), a.precompute_misses());
+        assert_eq!(h1 + m1, 2 * jobs.len() as u64, "two lookups per job");
+        assert!(m1 > 0, "first batch must resolve streams");
+        // Same batch again: everything hits.
+        let again = a.evaluate_many(&jobs);
+        assert_eq!(again, first);
+        assert_eq!(a.precompute_misses(), m1, "no re-resolution on a warm store");
+        assert_eq!(a.precompute_hits(), h1 + 2 * jobs.len() as u64);
+        // A fresh oracle fed the same jobs one at a time produces the
+        // same accounting as the batched pre-pass.
+        let b = SimOracle::with_trace_len(1_000);
+        let sequential: Vec<Metrics> = jobs.iter().map(|(bm, p)| b.evaluate(*bm, p)).collect();
+        assert_eq!(sequential, first);
+        assert_eq!((b.precompute_hits(), b.precompute_misses()), (h1, m1));
+    }
+
+    #[test]
+    fn stream_store_eviction_is_bounded_and_lossless() {
+        let space = DesignSpace::paper();
+        // A budget of zero keeps at most the newest entry: every new
+        // sub-config evicts the previous one, so nearly every lookup
+        // misses — but results stay bitwise-identical to a warm store.
+        let cold = SimOracle::with_trace_len(1_000).with_stream_budget(0);
+        let warm = SimOracle::with_trace_len(1_000);
+        let jobs: Vec<(Benchmark, DesignPoint)> =
+            (0..8).map(|i| (Benchmark::Gzip, space.decode(i as u64 * 7_777).unwrap())).collect();
+        let from_cold = cold.evaluate_many(&jobs);
+        let from_warm = warm.evaluate_many(&jobs);
+        assert_eq!(from_cold, from_warm);
+        let store = cold.streams.read().unwrap();
+        assert!(store.fifo.len() <= 2, "zero budget keeps at most the newest entries per kind");
+        drop(store);
+        // Evicted entries re-resolve on the next batch instead of
+        // serving stale data.
+        assert_eq!(cold.evaluate_many(&jobs), from_warm);
     }
 
     #[test]

@@ -103,7 +103,20 @@ impl TrainedSuite {
             plan.jobs()[..config.train_samples].iter().map(|&(_, p)| p).collect();
         let observations = {
             let _sim = udse_obs::span::enter("simulate");
-            oracle.evaluate_plan(&plan)
+            // Throughput over the whole simulate phase — preflight,
+            // stream resolution, and the streamed runs together — so the
+            // `--min-gauge sim.instructions_per_sec` CI floor watches
+            // the decomposed oracle end to end, the way
+            // `sweep.designs_per_sec` watches the compiled predictor.
+            let insts_before = udse_obs::metrics::counter("sim.instructions").get();
+            let started = std::time::Instant::now();
+            let obs = oracle.evaluate_plan(&plan);
+            let insts = udse_obs::metrics::counter("sim.instructions").get() - insts_before;
+            let secs = started.elapsed().as_secs_f64();
+            if insts > 0 && secs > 0.0 {
+                udse_obs::metrics::gauge("sim.instructions_per_sec").set(insts as f64 / secs);
+            }
+            obs
         };
         let models = {
             let _fit = udse_obs::span::enter("fit");

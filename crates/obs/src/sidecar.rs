@@ -145,6 +145,13 @@ pub struct Summary {
     pub alloc_bytes: Option<u64>,
     /// Peak resident-set size in KiB ([`crate::cputime::peak_rss_kb`]).
     pub peak_rss_kb: Option<u64>,
+    /// Memoized-stream lookups served from the worker's stream store
+    /// (`sim.precompute.hits`); `None` for pre-decomposition sidecars
+    /// and workers that ran no simulations.
+    pub precompute_hits: Option<u64>,
+    /// Memoized-stream lookups that resolved a fresh stream
+    /// (`sim.precompute.misses`).
+    pub precompute_misses: Option<u64>,
 }
 
 /// Any one line of a sidecar stream.
@@ -207,6 +214,11 @@ impl SidecarRecord {
                 ("allocs", s.allocs.map_or(Json::Null, |v| Json::Int(v as i64))),
                 ("alloc_bytes", s.alloc_bytes.map_or(Json::Null, |v| Json::Int(v as i64))),
                 ("peak_rss_kb", s.peak_rss_kb.map_or(Json::Null, |v| Json::Int(v as i64))),
+                ("precompute_hits", s.precompute_hits.map_or(Json::Null, |v| Json::Int(v as i64))),
+                (
+                    "precompute_misses",
+                    s.precompute_misses.map_or(Json::Null, |v| Json::Int(v as i64)),
+                ),
             ]),
         }
     }
@@ -272,6 +284,8 @@ impl SidecarRecord {
                 allocs: opt_uint("allocs"),
                 alloc_bytes: opt_uint("alloc_bytes"),
                 peak_rss_kb: opt_uint("peak_rss_kb"),
+                precompute_hits: opt_uint("precompute_hits"),
+                precompute_misses: opt_uint("precompute_misses"),
             })),
             other => Err(format!("unknown rec tag {other:?}")),
         }
@@ -541,6 +555,8 @@ mod tests {
                 allocs: Some(12_345),
                 alloc_bytes: Some(1 << 20),
                 peak_rss_kb: Some(64_000),
+                precompute_hits: Some(1_800),
+                precompute_misses: Some(225),
             }),
             // Unmeasured resources round-trip as explicit nulls.
             SidecarRecord::Summary(Summary { done: 1, wall_us: 2, ..Summary::default() }),

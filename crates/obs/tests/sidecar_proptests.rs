@@ -98,6 +98,8 @@ fn arbitrary_summary(rng: &mut StdRng) -> Summary {
         allocs: opt(rng, 1 << 40),
         alloc_bytes: opt(rng, 1 << 50),
         peak_rss_kb: opt(rng, 1 << 30),
+        precompute_hits: opt(rng, 1 << 40),
+        precompute_misses: opt(rng, 1 << 40),
     }
 }
 

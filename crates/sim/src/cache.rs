@@ -30,6 +30,11 @@ pub enum AccessOutcome {
 pub struct SetAssocCache {
     sets: usize,
     assoc: usize,
+    /// `sets - 1` when the set count is a power of two (every geometry
+    /// in the paper's design space), letting the set index be a mask
+    /// instead of an integer division; 0 otherwise, selecting the
+    /// modulo fallback. Identical indices either way.
+    set_mask: usize,
     /// `tags[set * assoc + way]`: block address or `u64::MAX` when
     /// invalid, ordered most-recently-used first within each set.
     tags: Vec<u64>,
@@ -53,6 +58,7 @@ impl SetAssocCache {
         SetAssocCache {
             sets,
             assoc: assoc as usize,
+            set_mask: if sets.is_power_of_two() { sets - 1 } else { 0 },
             tags: vec![u64::MAX; sets * assoc as usize],
             accesses: 0,
             misses: 0,
@@ -67,8 +73,15 @@ impl SetAssocCache {
     /// Accesses `block`, updating LRU state; returns `true` on hit.
     /// Misses allocate the block (write-allocate at every level).
     pub fn access(&mut self, block: u64) -> bool {
+        self.access_hashed(block, mix(block))
+    }
+
+    /// [`SetAssocCache::access`] with the caller supplying `mix(block)`
+    /// — the stream resolver precomputes the design-invariant hashes
+    /// once per trace instead of once per replay.
+    pub(crate) fn access_hashed(&mut self, block: u64, hash: u64) -> bool {
         self.accesses += 1;
-        let hit = self.install(block);
+        let hit = self.install(block, hash);
         if !hit {
             self.misses += 1;
         }
@@ -78,15 +91,21 @@ impl SetAssocCache {
     /// Inserts `block` (moving it to MRU) without counting the touch in
     /// the demand access/miss statistics — the prefetch path.
     pub fn prefetch(&mut self, block: u64) {
-        let _ = self.install(block);
+        let _ = self.install(block, mix(block));
     }
 
     /// Moves `block` to MRU, inserting (and evicting LRU) on miss;
-    /// returns `true` when the block was already resident.
-    fn install(&mut self, block: u64) -> bool {
-        let set = (mix(block) as usize) % self.sets;
+    /// returns `true` when the block was already resident. `hash` must
+    /// be `mix(block)`.
+    fn install(&mut self, block: u64, hash: u64) -> bool {
+        let h = hash as usize;
+        let set = if self.set_mask != 0 { h & self.set_mask } else { h % self.sets };
         let base = set * self.assoc;
         let ways = &mut self.tags[base..base + self.assoc];
+        if ways[0] == block {
+            // MRU hit: the LRU order is already correct, no writes.
+            return true;
+        }
         if let Some(pos) = ways.iter().position(|&t| t == block) {
             ways[..=pos].rotate_right(1);
             true
@@ -119,7 +138,7 @@ impl SetAssocCache {
 
 /// Cheap 64-bit mixer decorrelating block addresses from set indices, so a
 /// strided footprint does not alias pathologically.
-fn mix(x: u64) -> u64 {
+pub(crate) fn mix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -139,7 +158,7 @@ pub struct CacheHierarchy {
 
 /// High bit distinguishing instruction blocks from data blocks within the
 /// unified L2.
-const CODE_SPACE: u64 = 1 << 48;
+pub(crate) const CODE_SPACE: u64 = 1 << 48;
 
 impl CacheHierarchy {
     /// Builds the hierarchy described by `config`.
@@ -149,18 +168,39 @@ impl CacheHierarchy {
     /// Panics on degenerate geometry; call [`MachineConfig::validate`]
     /// first for a friendly error.
     pub fn new(config: &MachineConfig) -> Self {
+        Self::with_geometry(
+            (config.il1_kb, config.il1_assoc),
+            (config.dl1_kb, config.dl1_assoc),
+            (config.l2_kb, config.l2_assoc),
+        )
+    }
+
+    /// Builds a hierarchy directly from `(size_kb, assoc)` geometry
+    /// triples — the cache sub-configuration that stream preflighting
+    /// keys on, without needing a full [`MachineConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry.
+    pub fn with_geometry(il1: (u32, u32), dl1: (u32, u32), l2: (u32, u32)) -> Self {
         CacheHierarchy {
-            il1: SetAssocCache::new(config.il1_kb, config.il1_assoc),
-            dl1: SetAssocCache::new(config.dl1_kb, config.dl1_assoc),
-            l2: SetAssocCache::new(config.l2_kb, config.l2_assoc),
+            il1: SetAssocCache::new(il1.0, il1.1),
+            dl1: SetAssocCache::new(dl1.0, dl1.1),
+            l2: SetAssocCache::new(l2.0, l2.1),
         }
     }
 
     /// Looks up a data block, touching D-L1 and (on miss) L2.
     pub fn access_data(&mut self, block: u64) -> AccessOutcome {
-        if self.dl1.access(block) {
+        self.access_data_hashed(block, mix(block))
+    }
+
+    /// [`CacheHierarchy::access_data`] with a precomputed `mix(block)`
+    /// (data blocks use the same key at both levels).
+    pub(crate) fn access_data_hashed(&mut self, block: u64, hash: u64) -> AccessOutcome {
+        if self.dl1.access_hashed(block, hash) {
             AccessOutcome::L1
-        } else if self.l2.access(block) {
+        } else if self.l2.access_hashed(block, hash) {
             AccessOutcome::L2
         } else {
             AccessOutcome::Memory
@@ -169,9 +209,20 @@ impl CacheHierarchy {
 
     /// Looks up an instruction block, touching I-L1 and (on miss) L2.
     pub fn access_code(&mut self, block: u64) -> AccessOutcome {
-        if self.il1.access(block) {
+        self.access_code_hashed(block, mix(block), mix(block | CODE_SPACE))
+    }
+
+    /// [`CacheHierarchy::access_code`] with precomputed hashes of the
+    /// I-L1 key (`block`) and the unified-L2 key (`block | CODE_SPACE`).
+    pub(crate) fn access_code_hashed(
+        &mut self,
+        block: u64,
+        l1_hash: u64,
+        l2_hash: u64,
+    ) -> AccessOutcome {
+        if self.il1.access_hashed(block, l1_hash) {
             AccessOutcome::L1
-        } else if self.l2.access(block | CODE_SPACE) {
+        } else if self.l2.access_hashed(block | CODE_SPACE, l2_hash) {
             AccessOutcome::L2
         } else {
             AccessOutcome::Memory
@@ -205,6 +256,42 @@ impl CacheHierarchy {
     /// The unified L2.
     pub fn l2(&self) -> &SetAssocCache {
         &self.l2
+    }
+}
+
+/// Reference-prediction stride prefetcher: when two consecutive
+/// demand-block deltas agree, pull the next block on the stride into the
+/// hierarchy ahead of the demand access.
+///
+/// The direct engine and the stream resolver both drive the data cache
+/// through this one implementation, so a resolved stream replays exactly
+/// the prefetch decisions the direct path would make.
+#[derive(Debug, Clone)]
+pub(crate) struct StridePrefetcher {
+    last_block: i64,
+    last_delta: i64,
+}
+
+impl StridePrefetcher {
+    pub(crate) fn new() -> Self {
+        StridePrefetcher { last_block: -1, last_delta: 0 }
+    }
+
+    /// Observes one demand access to `block`, issuing a prefetch into
+    /// `caches` when the stride is confirmed. Call before the demand
+    /// access itself, matching the engine's ordering.
+    pub(crate) fn observe(&mut self, caches: &mut CacheHierarchy, block: i64) {
+        if self.last_block >= 0 {
+            let delta = block - self.last_block;
+            if delta != 0 && delta == self.last_delta {
+                let next = block + delta;
+                if next >= 0 {
+                    caches.prefetch_data(next as u64);
+                }
+            }
+            self.last_delta = delta;
+        }
+        self.last_block = block;
     }
 }
 

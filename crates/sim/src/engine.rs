@@ -1,6 +1,6 @@
 use udse_trace::{OpClass, Trace};
 
-use crate::cache::{AccessOutcome, CacheHierarchy};
+use crate::cache::{AccessOutcome, CacheHierarchy, StridePrefetcher};
 use crate::config::MachineConfig;
 use crate::power::PowerModel;
 use crate::predictor::BhtPredictor;
@@ -9,7 +9,7 @@ use crate::result::{ActivityCounts, SimResult, StallBreakdown};
 
 /// Dependency window: matches the trace generator's maximum dependency
 /// distance.
-const DEP_WINDOW: usize = 1024;
+pub(crate) const DEP_WINDOW: usize = 1024;
 
 /// Trace-driven, dependence-scheduling simulator of the configured
 /// machine.
@@ -122,9 +122,7 @@ impl Simulator {
         let mut acts = ActivityCounts::default();
         let mut stalls = StallBreakdown::default();
         let mut final_commit: u64 = 0;
-        // Stride data-prefetch state: last block and last delta.
-        let mut pf_last_block: i64 = -1;
-        let mut pf_last_delta: i64 = 0;
+        let mut prefetcher = StridePrefetcher::new();
         // Counter snapshots at the warmup boundary; subtracted at the end.
         let mut warmup_commit: u64 = 0;
         let mut warmup_snapshot = WarmupSnapshot::default();
@@ -237,12 +235,7 @@ impl Simulator {
                 OpClass::Load => {
                     acts.loads += 1;
                     if cfg.dl1_stride_prefetch {
-                        stride_prefetch(
-                            &mut caches,
-                            &mut pf_last_block,
-                            &mut pf_last_delta,
-                            inst.data_block as i64,
-                        );
+                        prefetcher.observe(&mut caches, inst.data_block as i64);
                     }
                     let lat = match caches.access_data(inst.data_block as u64) {
                         AccessOutcome::L1 => t.dl1_latency,
@@ -254,12 +247,7 @@ impl Simulator {
                 OpClass::Store => {
                     acts.stores += 1;
                     if cfg.dl1_stride_prefetch {
-                        stride_prefetch(
-                            &mut caches,
-                            &mut pf_last_block,
-                            &mut pf_last_delta,
-                            inst.data_block as i64,
-                        );
+                        prefetcher.observe(&mut caches, inst.data_block as i64);
                     }
                     // Stores complete once the address is generated; the
                     // data drains from the store queue after commit.
@@ -343,45 +331,25 @@ impl Simulator {
     }
 }
 
-/// Reference-prediction stride prefetcher: when two consecutive
-/// demand-block deltas agree, pull the next block on the stride into the
-/// hierarchy ahead of the demand access.
-fn stride_prefetch(
-    caches: &mut CacheHierarchy,
-    last_block: &mut i64,
-    last_delta: &mut i64,
-    block: i64,
-) {
-    if *last_block >= 0 {
-        let delta = block - *last_block;
-        if delta != 0 && delta == *last_delta {
-            let next = block + delta;
-            if next >= 0 {
-                caches.prefetch_data(next as u64);
-            }
-        }
-        *last_delta = delta;
-    }
-    *last_block = block;
-}
-
 /// Counter values at the warmup boundary, subtracted from the final
-/// counts so results describe only the measured region.
+/// counts so results describe only the measured region. Shared with the
+/// streamed engine path (`stream.rs`), which captures the same fields
+/// from its own running counters at the same loop position.
 #[derive(Debug, Clone, Copy, Default)]
-struct WarmupSnapshot {
-    fx_ops: u64,
-    fp_ops: u64,
-    loads: u64,
-    stores: u64,
-    branches: u64,
-    il1_accesses: u64,
-    il1_misses: u64,
-    dl1_accesses: u64,
-    dl1_misses: u64,
-    l2_accesses: u64,
-    l2_misses: u64,
-    bht_lookups: u64,
-    mispredicts: u64,
+pub(crate) struct WarmupSnapshot {
+    pub(crate) fx_ops: u64,
+    pub(crate) fp_ops: u64,
+    pub(crate) loads: u64,
+    pub(crate) stores: u64,
+    pub(crate) branches: u64,
+    pub(crate) il1_accesses: u64,
+    pub(crate) il1_misses: u64,
+    pub(crate) dl1_accesses: u64,
+    pub(crate) dl1_misses: u64,
+    pub(crate) l2_accesses: u64,
+    pub(crate) l2_misses: u64,
+    pub(crate) bht_lookups: u64,
+    pub(crate) mispredicts: u64,
 }
 
 impl WarmupSnapshot {
@@ -403,7 +371,7 @@ impl WarmupSnapshot {
         }
     }
 
-    fn subtract_from(&self, acts: &mut ActivityCounts) {
+    pub(crate) fn subtract_from(&self, acts: &mut ActivityCounts) {
         acts.fx_ops -= self.fx_ops;
         acts.fp_ops -= self.fp_ops;
         acts.loads -= self.loads;

@@ -46,8 +46,10 @@ mod config;
 mod engine;
 mod power;
 mod predictor;
+mod preflight;
 mod resources;
 mod result;
+mod stream;
 
 pub use builder::MachineConfigBuilder;
 pub use cache::{AccessOutcome, CacheHierarchy, SetAssocCache};
@@ -55,5 +57,10 @@ pub use config::{ConfigError, DerivedTiming, MachineConfig};
 pub use engine::Simulator;
 pub use power::{PowerBreakdown, PowerModel};
 pub use predictor::BhtPredictor;
+pub use preflight::{
+    BhtSubConfig, BranchStream, CacheStreams, CacheSubConfig, TracePreflight, OUTCOME_L1,
+    OUTCOME_L2, OUTCOME_MEMORY,
+};
 pub use resources::ResourcePool;
 pub use result::{SimResult, StallBreakdown};
+pub use stream::StreamScratch;

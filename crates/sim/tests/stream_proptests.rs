@@ -1,0 +1,120 @@
+//! Property tests for the streamed engine path (satellite of the cycle
+//! oracle decomposition).
+//!
+//! The contract is bitwise identity: for any design point, simulating a
+//! trace through `run_streamed` against streams resolved for that
+//! design's cache/BHT sub-configs must produce exactly the `SimResult`
+//! the direct `run_with_warmup` path produces. These properties draw
+//! random cache geometries, prefetch flags, BHT configurations, and
+//! core knobs — far beyond the Table-1 cross-product — so the identity
+//! holds by construction, not by enumeration.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use udse_sim::{
+    BhtSubConfig, BranchStream, CacheStreams, CacheSubConfig, MachineConfig, Simulator,
+    TracePreflight,
+};
+use udse_trace::{Benchmark, Trace};
+
+fn pick<T: Copy>(rng: &mut StdRng, options: &[T]) -> T {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// A random machine configuration mixing Table-1 values with off-grid
+/// ones. Every knob that feeds the cache or branch sub-keys varies, as
+/// do core knobs (width, depth, in-order) that must *not* perturb the
+/// resolved streams.
+fn arbitrary_config(rng: &mut StdRng) -> MachineConfig {
+    let mut cfg = MachineConfig::power4_baseline();
+    cfg.il1_kb = pick(rng, &[16, 32, 64, 128, 256]);
+    cfg.dl1_kb = pick(rng, &[8, 16, 32, 64, 128]);
+    cfg.l2_kb = pick(rng, &[256, 512, 1024, 2048, 4096]);
+    cfg.il1_assoc = pick(rng, &[1, 2, 4]);
+    cfg.dl1_assoc = pick(rng, &[1, 2, 4, 8]);
+    cfg.l2_assoc = pick(rng, &[2, 4, 8]);
+    cfg.il1_next_line_prefetch = rng.gen();
+    cfg.dl1_stride_prefetch = rng.gen();
+    cfg.bht_entries = pick(rng, &[1024, 4096, 16384, 65536]);
+    cfg.bht_counter_bits = pick(rng, &[1, 2]);
+    cfg.fo4_per_stage = pick(rng, &[9, 12, 19, 24, 30]);
+    cfg.decode_width = pick(rng, &[2, 4, 8]);
+    cfg.in_order = rng.gen_bool(0.25);
+    cfg.rob_entries = pick(rng, &[64, 128, 256]);
+    cfg.gpr = pick(rng, &[60, 80, 130]);
+    cfg.fpr = pick(rng, &[56, 72, 126]);
+    cfg.spr = pick(rng, &[42, 60, 118]);
+    cfg.lsq_entries = pick(rng, &[15, 30, 45]);
+    cfg.store_queue_entries = pick(rng, &[14, 28, 42]);
+    cfg.resv_fx = pick(rng, &[10, 12, 14]);
+    cfg.resv_fp = pick(rng, &[5, 10, 20]);
+    cfg.resv_br = pick(rng, &[6, 8, 10]);
+    cfg.units_per_class = pick(rng, &[1, 2, 4]);
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Core tentpole property: streamed == direct, bitwise, for random
+    /// designs, traces, and warmup lengths.
+    #[test]
+    fn streamed_result_is_bitwise_equal_to_direct(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = arbitrary_config(&mut rng);
+        let bench = Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())];
+        let len = rng.gen_range(500usize..3_000);
+        let trace = Trace::generate(bench, len, rng.gen());
+        let warmup = rng.gen_range(0..len);
+
+        let pre = TracePreflight::of(&trace);
+        let cache = CacheStreams::resolve(&pre, &CacheSubConfig::of(&cfg));
+        let bht = BranchStream::resolve(&pre, &BhtSubConfig::of(&cfg));
+        let sim = Simulator::new(cfg);
+
+        let direct = sim.run_with_warmup(&trace, warmup);
+        let streamed = sim.run_streamed(&pre, &cache, &bht, warmup);
+        prop_assert_eq!(streamed, direct);
+    }
+
+    /// Memoization-safety property: streams resolved once serve every
+    /// design sharing the sub-key. Two configs that differ only in
+    /// core knobs (width, depth, queue sizes) must produce identical
+    /// sub-keys, and the *shared* streams must reproduce both designs'
+    /// direct results.
+    #[test]
+    fn shared_streams_serve_all_designs_with_the_same_sub_key(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = arbitrary_config(&mut rng);
+        let mut other = arbitrary_config(&mut rng);
+        // Align the sub-key fields; everything else stays random.
+        other.il1_kb = base.il1_kb;
+        other.il1_assoc = base.il1_assoc;
+        other.dl1_kb = base.dl1_kb;
+        other.dl1_assoc = base.dl1_assoc;
+        other.l2_kb = base.l2_kb;
+        other.l2_assoc = base.l2_assoc;
+        other.il1_next_line_prefetch = base.il1_next_line_prefetch;
+        other.dl1_stride_prefetch = base.dl1_stride_prefetch;
+        other.bht_entries = base.bht_entries;
+        other.bht_counter_bits = base.bht_counter_bits;
+        prop_assert_eq!(CacheSubConfig::of(&base), CacheSubConfig::of(&other));
+        prop_assert_eq!(BhtSubConfig::of(&base), BhtSubConfig::of(&other));
+
+        let bench = Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())];
+        let len = rng.gen_range(500usize..2_500);
+        let trace = Trace::generate(bench, len, rng.gen());
+        let warmup = len / 4;
+
+        let pre = TracePreflight::of(&trace);
+        let cache = CacheStreams::resolve(&pre, &CacheSubConfig::of(&base));
+        let bht = BranchStream::resolve(&pre, &BhtSubConfig::of(&base));
+        for cfg in [base, other] {
+            let sim = Simulator::new(cfg);
+            let direct = sim.run_with_warmup(&trace, warmup);
+            let streamed = sim.run_streamed(&pre, &cache, &bht, warmup);
+            prop_assert_eq!(streamed, direct);
+        }
+    }
+}

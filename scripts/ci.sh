@@ -48,8 +48,13 @@ echo "==> udse-inspect diff single-process vs merged sharded manifest"
 # The fused-sweep instrumentation must survive sharding: the merged
 # manifest has to carry both the throughput gauge and the per-design
 # allocation ratio, or the floor gate below would silently stop
-# guarding multi-process runs.
-for key in '"sweep.designs_per_sec"' '"sweep.allocs_per_design"'; do
+# guarding multi-process runs. Same for the oracle's memoization
+# counters: each worker resolves cache/branch streams in its own
+# process, so `sim.precompute.*` reaches the merged manifest only via
+# the per-worker manifests — losing them there would blind the memo
+# effectiveness columns in `udse-inspect report`.
+for key in '"sweep.designs_per_sec"' '"sweep.allocs_per_design"' \
+        '"sim.precompute.hits"' '"sim.precompute.misses"'; do
     if ! grep -qF "${key}" target/shard-smoke/merged.json; then
         echo "==> merged sharded manifest is missing ${key}" >&2
         exit 1
@@ -90,6 +95,14 @@ if grep -E '^ *[0-9]+ ' target/shard-smoke/report.txt | grep -q ' - '; then
     echo "==> report shows unmeasured ('-') resources for a live worker shard" >&2
     exit 1
 fi
+# Memo effectiveness columns: the workers' exit summaries carry their
+# sim.precompute.* counters, and the report turns them into a per-shard
+# hit-rate column. Both shards run live here, so the column must be
+# present (the '-' check above already proves it holds real numbers).
+if ! grep -qF 'memo-hit' target/shard-smoke/report.txt; then
+    echo "==> report is missing the 'memo-hit' memoization column" >&2
+    exit 1
+fi
 
 # Regression gate: re-run the fixed-seed benchmark and diff against the
 # committed baseline. Model quality gates hard (the fixed seed makes it
@@ -123,15 +136,24 @@ if [ -n "${baseline}" ]; then
     # while still catching a per-design allocation creeping in (which
     # would land at >= 1.0).
     #
-    # The --min-gauge floor is absolute, not relative to the baseline:
+    # The --min-gauge floors are absolute, not relative to the baseline:
     # quick-mode sweeps run ~13M designs/sec on the SoA walker, and a
     # collapse back to per-point spline evaluation lands near 2M. The
     # 5M floor sits far from both, so machine noise cannot trip it but
     # losing the compiled fast path always does.
-    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50 --min-gauge sweep.designs_per_sec:5000000 --tol-resource alloc.bytes:100 --tol-resource sweep.allocs_per_design:100:0.05"
+    #
+    # sim.instructions_per_sec watches the decomposed cycle oracle the
+    # same way: the quick workload simulates ~34M insts/sec with trace
+    # preflight + memoized sub-config streams, while falling back to
+    # direct per-design simulation lands near 11.5M. The 15M floor
+    # clears the collapse rate by ~30% yet stays below even a heavily
+    # loaded healthy run, so it trips only when the decomposition is
+    # actually lost.
+    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50 --min-gauge sweep.designs_per_sec:5000000 --min-gauge sim.instructions_per_sec:15000000 --tol-resource alloc.bytes:100 --tol-resource sweep.allocs_per_design:100:0.05"
     ./target/release/udse-inspect diff "${baseline}" target/bench-current.json --warn-wall \
         --tol-gauge sweep.designs_per_sec:50 \
         --min-gauge sweep.designs_per_sec:5000000 \
+        --min-gauge sim.instructions_per_sec:15000000 \
         --tol-resource alloc.bytes:100 \
         --tol-resource sweep.allocs_per_design:100:0.05
 else

@@ -6,6 +6,7 @@
 //! repro [--quick] [--verbose] [--jobs N] [--shards N] [--shard-dir <dir>]
 //!       [--csv <dir>] [--manifest <path>] [--trace <path>] <artifact>...
 //! repro plan [--quick] [--out <path>]
+//! repro query [--quick] [--jobs N] [--manifest <path>] (--file <path> | '<json>')
 //! repro worker --plan <file> --shard i/N --out <file>
 //!              [--manifest <path>] [--telemetry <path>] [--jobs W]
 //!
@@ -76,6 +77,15 @@
 //! pieces: `plan` emits the training plan document, `worker` evaluates
 //! one shard of a plan file (the parent forks these, and a failed or
 //! killed worker is reported with the exact command to retry).
+//!
+//! `query` answers a single design-space question from the command line:
+//! it trains the model suite (or reuses nothing — training is cheap at
+//! `--quick` scale), parses the canonical query JSON (inline argument or
+//! `--file <path>`), executes it on the unified query engine, and prints
+//! the canonical `QueryResult` JSON to stdout. Errors (malformed JSON,
+//! unknown fields, invalid constraints) go to stderr with a non-zero
+//! exit. `--manifest <path>` snapshots the engine's `query.*` counters
+//! (executed, cache hits/misses, designs/sec) for `udse-inspect`.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -86,7 +96,7 @@ use udse_bench::{
 use udse_core::report::format_table;
 use udse_core::space::DesignSpace;
 use udse_core::studies::TrainedSuite;
-use udse_core::{EvalPlan, Oracle, SimSpec};
+use udse_core::{EvalPlan, Oracle, Query, SimSpec};
 use udse_obs::{cputime, sidecar, span, trace, Json, Level, ResultShard, RunManifest};
 use udse_sim::MachineConfig;
 
@@ -233,6 +243,9 @@ const USAGE: &str = "usage: repro [--quick] [--verbose] [--jobs N] [--shards N] 
 
 const PLAN_USAGE: &str = "usage: repro plan [--quick] [--out <path>]";
 
+const QUERY_USAGE: &str =
+    "usage: repro query [--quick] [--jobs N] [--manifest <path>] (--file <path> | '<json>')";
+
 const WORKER_USAGE: &str = "usage: repro worker --plan <file> --shard i/N --out <file> \
      [--manifest <path>] [--telemetry <path>] [--jobs W]";
 
@@ -269,6 +282,90 @@ fn plan_main(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
     }
+}
+
+/// `repro query`: execute one canonical query JSON document against the
+/// unified query engine and print the canonical result JSON. Exit codes:
+/// 0 on success, 1 for usage/IO problems, 2 when the query itself is
+/// rejected (parse error or engine validation).
+fn query_main(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{QUERY_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let value = |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1));
+    if let Some(v) = value("--jobs") {
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => udse_obs::pool::set_max_workers(n),
+            _ => {
+                eprintln!("--jobs expects a positive integer\n{QUERY_USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // The query text is either the one positional argument or --file.
+    let mut skip_next = false;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--jobs" || a == "--manifest" || a == "--file" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with('-') {
+            positional.push(a);
+        }
+    }
+    let text = match (value("--file"), positional.as_slice()) {
+        (Some(path), []) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                udse_obs::error!("query", "cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, [inline]) => (*inline).clone(),
+        _ => {
+            eprintln!("expected exactly one query: inline JSON or --file <path>\n{QUERY_USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let query = match Query::parse(&text) {
+        Ok(q) => q,
+        Err(e) => {
+            udse_obs::error!("query", "invalid query: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ctx = Context::new(quick);
+    let started = std::time::Instant::now();
+    let engine = ctx.engine();
+    let result = match engine.execute(&query) {
+        Ok(r) => r,
+        Err(e) => {
+            udse_obs::error!("query", "{e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Pretty output already ends in a newline; `print!` avoids a blank
+    // trailing line so stdout is byte-stable for smoke-test diffs.
+    print!("{}", result.to_json().to_string_pretty());
+    if let Some(mpath) = value("--manifest") {
+        let mut manifest = RunManifest::new("repro-query");
+        manifest.set("quick", Json::Bool(quick));
+        manifest.set("seed", Json::Int(ctx.config().seed as i64));
+        manifest.set("eval_stride", Json::Int(ctx.config().eval_stride as i64));
+        manifest.record_artifact("query", started.elapsed().as_secs_f64());
+        if let Err(e) = manifest.write_to_path(std::path::Path::new(mpath.as_str())) {
+            udse_obs::error!("query", "cannot write manifest: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// `repro worker`: evaluate one deterministic contiguous shard of a plan
@@ -467,6 +564,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("plan") => return plan_main(&args[1..]),
+        Some("query") => return query_main(&args[1..]),
         Some("worker") => return worker_main(&args[1..]),
         _ => {}
     }

@@ -3,11 +3,10 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use udse_core::space::DesignSpace;
 use udse_core::studies::depth::DepthStudy;
 use udse_core::studies::pareto::{self, Characterization};
 use udse_core::studies::{StudyConfig, TrainedSuite};
-use udse_core::{CachedOracle, SimOracle};
+use udse_core::{CachedOracle, Engine, SimOracle};
 
 use crate::shard::{GroundTruth, ShardedOracle};
 
@@ -26,6 +25,7 @@ pub struct Context {
     oracle: CachedOracle<GroundTruth>,
     config: StudyConfig,
     suite: Mutex<Option<TrainedSuite>>,
+    engine: Mutex<Option<Arc<Engine>>>,
     depth: Mutex<Option<DepthStudy>>,
     characterizations: Mutex<Option<Arc<Vec<Characterization>>>>,
 }
@@ -73,6 +73,7 @@ impl Context {
             oracle: CachedOracle::new(oracle),
             config,
             suite: Mutex::new(None),
+            engine: Mutex::new(None),
             depth: Mutex::new(None),
             characterizations: Mutex::new(None),
         }
@@ -117,16 +118,28 @@ impl Context {
         slot.as_ref().expect("just trained").clone()
     }
 
+    /// Returns the query engine over the trained suite, building it on
+    /// first use. Every study driver routes its predictions through this
+    /// one engine, so the full-space sweep is memoized once and repeated
+    /// queries are LRU cache hits.
+    pub fn engine(&self) -> Arc<Engine> {
+        let suite = self.suite();
+        let mut slot = self.engine.lock().expect("engine slot poisoned");
+        if slot.is_none() {
+            *slot = Some(Arc::new(Engine::new(suite, &self.config)));
+        }
+        Arc::clone(slot.as_ref().expect("just built"))
+    }
+
     /// Returns the exploration-space characterizations of all nine
-    /// benchmarks, computing them in one fused grid walk on first use
-    /// (Figures 2–4 all consume them; see
+    /// benchmarks, slicing them out of the engine's memoized fused grid
+    /// walk on first use (Figures 2–4 all consume them; see
     /// [`pareto::characterize_all`]).
     pub fn characterizations(&self) -> Arc<Vec<Characterization>> {
-        let suite = self.suite();
+        let engine = self.engine();
         let mut slot = self.characterizations.lock().expect("characterization slot poisoned");
         if slot.is_none() {
-            let space = DesignSpace::exploration();
-            *slot = Some(Arc::new(pareto::characterize_all(&suite, &space, &self.config)));
+            *slot = Some(Arc::new(pareto::characterize_all(&engine)));
         }
         Arc::clone(slot.as_ref().expect("just computed"))
     }
@@ -134,10 +147,10 @@ impl Context {
     /// Returns the §5 depth study, computing it on first use (four
     /// figures consume it).
     pub fn depth_study(&self) -> DepthStudy {
-        let suite = self.suite();
+        let engine = self.engine();
         let mut slot = self.depth.lock().expect("depth slot poisoned");
         if slot.is_none() {
-            *slot = Some(DepthStudy::run(&suite, &self.config));
+            *slot = Some(DepthStudy::run(&engine));
         }
         slot.as_ref().expect("just computed").clone()
     }
@@ -155,6 +168,14 @@ mod tests {
         // Second call reuses the cached suite (cheap).
         let again = ctx.suite();
         assert_eq!(again.training_samples().len(), suite.training_samples().len());
+    }
+
+    #[test]
+    fn engine_is_shared_across_calls() {
+        let ctx = Context::new(true);
+        let e1 = ctx.engine();
+        let e2 = ctx.engine();
+        assert!(Arc::ptr_eq(&e1, &e2), "one engine serves every driver");
     }
 
     #[test]

@@ -9,7 +9,6 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use udse_core::report::write_csv;
-use udse_core::space::DesignSpace;
 use udse_core::studies::heterogeneity::{predicted_gains, simulated_gains, BenchmarkArchitectures};
 use udse_core::studies::pareto::{efficiency_optimum, FrontierStudy};
 use udse_core::studies::validation::ValidationStudy;
@@ -31,8 +30,8 @@ pub fn export(ctx: &Context, artifact: &str, dir: &Path) -> io::Result<Option<Pa
     let path = dir.join(format!("{artifact}.csv"));
     match artifact {
         "fig1" => {
-            let suite = ctx.suite();
-            let study = ValidationStudy::run(ctx.oracle(), &suite, ctx.config());
+            let engine = ctx.engine();
+            let study = ValidationStudy::run(ctx.oracle(), &engine, ctx.config());
             let rows: Vec<Vec<String>> = study
                 .per_benchmark
                 .iter()
@@ -55,14 +54,10 @@ pub fn export(ctx: &Context, artifact: &str, dir: &Path) -> io::Result<Option<Pa
             )?;
         }
         "fig3" => {
-            let chs = ctx.characterizations();
+            let engine = ctx.engine();
             let mut rows = Vec::new();
             for b in [Benchmark::Ammp, Benchmark::Mcf, Benchmark::Mesa, Benchmark::Jbb] {
-                let ch = chs
-                    .iter()
-                    .find(|c| c.benchmark == b)
-                    .expect("fused sweep covers every benchmark");
-                let fs = FrontierStudy::run(ctx.oracle(), ch, ctx.config());
+                let fs = FrontierStudy::run(ctx.oracle(), &engine, b, ctx.config());
                 for (p, s) in fs.predicted.iter().zip(&fs.simulated) {
                     rows.push(vec![
                         b.name().to_string(),
@@ -80,11 +75,10 @@ pub fn export(ctx: &Context, artifact: &str, dir: &Path) -> io::Result<Option<Pa
             )?;
         }
         "table2" => {
-            let suite = ctx.suite();
-            let space = DesignSpace::exploration();
+            let engine = ctx.engine();
             let mut rows = Vec::new();
             for b in Benchmark::ALL {
-                let opt = efficiency_optimum(ctx.oracle(), suite.models(b), &space, ctx.config());
+                let opt = efficiency_optimum(ctx.oracle(), &engine, b, ctx.config());
                 rows.push(vec![
                     b.name().to_string(),
                     opt.point.fo4().to_string(),
@@ -169,7 +163,7 @@ pub fn export(ctx: &Context, artifact: &str, dir: &Path) -> io::Result<Option<Pa
         }
         "fig9" => {
             let suite = ctx.suite();
-            let optima = BenchmarkArchitectures::find(&suite, ctx.config());
+            let optima = BenchmarkArchitectures::find(&ctx.engine());
             let gp = predicted_gains(&suite, &optima, 64);
             let gs = simulated_gains(ctx.oracle(), &suite, &optima, 64);
             let mut rows = Vec::new();

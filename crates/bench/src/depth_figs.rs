@@ -62,9 +62,9 @@ pub fn fig5b(ctx: &Context) -> String {
 /// Figure 6: predicted vs simulated relative efficiency for both
 /// analyses.
 pub fn fig6(ctx: &Context) -> String {
-    let suite = ctx.suite();
+    let engine = ctx.engine();
     let study = ctx.depth_study();
-    let val = DepthValidation::run(ctx.oracle(), &suite, &study);
+    let val = DepthValidation::run(ctx.oracle(), &engine, &study);
     let mut rows = Vec::new();
     for (i, &d) in val.depths.iter().enumerate() {
         rows.push(vec![
@@ -89,9 +89,9 @@ pub fn fig6(ctx: &Context) -> String {
 /// Figure 7: the decomposition behind Figure 6 — suite-average
 /// performance and power, predicted vs simulated, for both analyses.
 pub fn fig7(ctx: &Context) -> String {
-    let suite = ctx.suite();
+    let engine = ctx.engine();
     let study = ctx.depth_study();
-    let val = DepthValidation::run(ctx.oracle(), &suite, &study);
+    let val = DepthValidation::run(ctx.oracle(), &engine, &study);
     let mut rows = Vec::new();
     for (i, &d) in val.depths.iter().enumerate() {
         rows.push(vec![

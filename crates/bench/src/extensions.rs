@@ -10,6 +10,7 @@ use udse_core::search::{
 };
 use udse_core::space::{DesignPoint, DesignSpace};
 use udse_core::studies::strided_count;
+use udse_core::Query;
 use udse_regress::{residual_report, Dataset, ModelSpec, ResponseTransform, TermSpec};
 use udse_sim::Simulator;
 use udse_trace::Benchmark;
@@ -22,27 +23,23 @@ use crate::context::Context;
 /// annealing on the trained models' bips³/w surface.
 pub fn search(ctx: &Context) -> String {
     let suite = ctx.suite();
+    let engine = ctx.engine();
     let space = DesignSpace::exploration();
     let mut rows = Vec::new();
-    let compiled = suite.compile(&space);
+    // Exhaustive (strided in quick mode) reference: one unconstrained
+    // optimum query answers all nine benchmarks from a single fused,
+    // chunk-parallel walk (each entry's score is that benchmark's maximal
+    // predicted bips^3/w over the strided space).
+    let stride = ctx.config().eval_stride;
+    let exhaustive_evals = strided_count(&space, stride);
+    let optima = engine
+        .execute(&Query::optimum(None, vec![], stride))
+        .expect("unconstrained optima cannot fail");
+    let entries = optima.optima().expect("optimum query yields optima").to_vec();
     for b in Benchmark::ALL {
         let models = suite.models(b);
         let objective = |p: &DesignPoint| models.predict_efficiency(p);
-        // Exhaustive (strided in quick mode) reference: stacked compiled
-        // lanes driven by the incremental grid walker, chunk-parallel. The
-        // fold is a plain `f64::max` over the chunk maxima, which is
-        // associative, so chunk boundaries cannot change the result.
-        let stride = ctx.config().eval_stride;
-        let exhaustive_evals = strided_count(&space, stride);
-        let lanes = compiled.models(b).lanes();
-        let best_exhaustive = udse_obs::pool::map_chunks(exhaustive_evals, |range| {
-            let mut walker = lanes.walker(&space, stride);
-            let mut best = f64::NEG_INFINITY;
-            walker.walk(range, |_, m| best = best.max(m[0].bips_cubed_per_watt()));
-            best
-        })
-        .into_iter()
-        .fold(f64::NEG_INFINITY, f64::max);
+        let best_exhaustive = entries[b.id() as usize].score;
         let hc = random_restart_hill_climb(&space, 20, 7, objective);
         let sa = simulated_annealing(&space, 30_000, best_exhaustive.abs() * 0.2, 7, objective);
         let ga = genetic_search(&space, &GeneticConfig::default(), 7, objective);

@@ -1,7 +1,6 @@
 //! Figures 1–4 and Table 2: validation and pareto frontier analysis.
 
 use udse_core::report::{fmt, fmt_pct, format_table};
-use udse_core::space::DesignSpace;
 use udse_core::studies::pareto::{efficiency_optimum, Characterization, FrontierStudy};
 use udse_core::studies::validation::ValidationStudy;
 use udse_trace::Benchmark;
@@ -16,8 +15,8 @@ fn characterization(chs: &[Characterization], b: Benchmark) -> &Characterization
 /// Figure 1: error distributions (boxplot statistics) of performance and
 /// power predictions for random validation designs.
 pub fn fig1(ctx: &Context) -> String {
-    let suite = ctx.suite();
-    let study = ValidationStudy::run(ctx.oracle(), &suite, ctx.config());
+    let engine = ctx.engine();
+    let study = ValidationStudy::run(ctx.oracle(), &engine, ctx.config());
     let mut rows = Vec::new();
     for bv in &study.per_benchmark {
         rows.push(vec![
@@ -83,12 +82,11 @@ pub fn fig2(ctx: &Context) -> String {
 /// Figure 3: modeled vs simulated pareto frontiers for representative
 /// benchmarks.
 pub fn fig3(ctx: &Context) -> String {
-    let chs = ctx.characterizations();
     let mut out =
         String::from("Figure 3: pareto frontier — predicted vs simulated (delay s, power W)\n\n");
+    let engine = ctx.engine();
     for &b in &[Benchmark::Ammp, Benchmark::Mcf, Benchmark::Mesa, Benchmark::Jbb] {
-        let ch = characterization(&chs, b);
-        let fs = FrontierStudy::run(ctx.oracle(), ch, ctx.config());
+        let fs = FrontierStudy::run(ctx.oracle(), &engine, b, ctx.config());
         let rows: Vec<Vec<String>> = fs
             .designs
             .iter()
@@ -115,13 +113,12 @@ pub fn fig3(ctx: &Context) -> String {
 
 /// Figure 4: error distributions of frontier-point predictions.
 pub fn fig4(ctx: &Context) -> String {
-    let chs = ctx.characterizations();
     let mut rows = Vec::new();
     let mut all_perf = Vec::new();
     let mut all_power = Vec::new();
+    let engine = ctx.engine();
     for b in Benchmark::ALL {
-        let ch = characterization(&chs, b);
-        let fs = FrontierStudy::run(ctx.oracle(), ch, ctx.config());
+        let fs = FrontierStudy::run(ctx.oracle(), &engine, b, ctx.config());
         let (perf, power) = fs.errors();
         all_perf.push(perf.median());
         all_power.push(power.median());
@@ -147,11 +144,10 @@ pub fn fig4(ctx: &Context) -> String {
 /// Table 2: per-benchmark `bips³/w`-maximizing architectures with
 /// prediction errors.
 pub fn table2(ctx: &Context) -> String {
-    let suite = ctx.suite();
-    let space = DesignSpace::exploration();
+    let engine = ctx.engine();
     let mut rows = Vec::new();
     for b in Benchmark::ALL {
-        let opt = efficiency_optimum(ctx.oracle(), suite.models(b), &space, ctx.config());
+        let opt = efficiency_optimum(ctx.oracle(), &engine, b, ctx.config());
         let p = opt.point;
         rows.push(vec![
             b.name().to_string(),

@@ -15,7 +15,7 @@ const CLUSTER_SEED: u64 = 64;
 /// benchmarks and average predicted delay/power.
 pub fn table4(ctx: &Context) -> String {
     let suite = ctx.suite();
-    let optima = BenchmarkArchitectures::find(&suite, ctx.config());
+    let optima = BenchmarkArchitectures::find(&ctx.engine());
     let clusters = compromise_clusters(&suite, &optima, 4, CLUSTER_SEED);
     let mut rows = Vec::new();
     for (i, c) in clusters.iter().enumerate() {
@@ -67,7 +67,7 @@ pub fn table4(ctx: &Context) -> String {
 /// K=4 compromises (circles).
 pub fn fig8(ctx: &Context) -> String {
     let suite = ctx.suite();
-    let optima = BenchmarkArchitectures::find(&suite, ctx.config());
+    let optima = BenchmarkArchitectures::find(&ctx.engine());
     let sd = scatter_data(&suite, &optima, 4, CLUSTER_SEED);
     let mut rows = Vec::new();
     for (b, m) in &sd.optima_points {
@@ -99,7 +99,7 @@ pub fn fig8(ctx: &Context) -> String {
 /// cluster count.
 pub fn fig9(ctx: &Context) -> String {
     let suite = ctx.suite();
-    let optima = BenchmarkArchitectures::find(&suite, ctx.config());
+    let optima = BenchmarkArchitectures::find(&ctx.engine());
     let gp = predicted_gains(&suite, &optima, CLUSTER_SEED);
     let gs = simulated_gains(ctx.oracle(), &suite, &optima, CLUSTER_SEED);
     let (ap, asim) = (gp.averages(), gs.averages());

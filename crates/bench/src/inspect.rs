@@ -498,6 +498,29 @@ pub fn show(m: &ParsedManifest) -> String {
             out.push_str("  heap: not measured (producing binary had no counting allocator)\n");
         }
     }
+    // Query-engine counters get their own digest, but only when the run
+    // actually executed queries — most manifests carry none, and an
+    // all-zero section would suggest a broken cache rather than an
+    // unused one.
+    let qmetric = |name: &str| m.metric(name).and_then(Json::as_f64);
+    if let Some(executed) = qmetric("query.executed") {
+        out.push_str(&format!("\nquery engine:\n  executed: {executed:.0}\n"));
+        let hits = qmetric("query.cache.hits").unwrap_or(0.0);
+        let misses = qmetric("query.cache.misses").unwrap_or(0.0);
+        let lookups = (hits + misses).max(1.0);
+        out.push_str(&format!(
+            "  result cache: {hits:.0} hits / {misses:.0} misses ({:.0}% hit rate), {} held",
+            100.0 * hits / lookups,
+            udse_obs::span::fmt_bytes(qmetric("query.cache.bytes").unwrap_or(0.0) as u64),
+        ));
+        if let Some(evicted) = qmetric("query.cache.evictions") {
+            out.push_str(&format!(", {evicted:.0} evicted"));
+        }
+        out.push('\n');
+        if let Some(rate) = qmetric("query.designs_per_sec") {
+            out.push_str(&format!("  scan throughput: {rate:.0} designs/sec\n"));
+        }
+    }
     if !m.metrics.is_empty() {
         out.push_str("\nmetrics:\n");
         for (name, v) in &m.metrics {
@@ -1150,6 +1173,34 @@ mod tests {
         for needle in
             ["tool: repro", "fig1", "TOTAL", "validation.ammp.bips", "oracle.cache.hits", "all"]
         {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn show_renders_query_section_only_when_queries_ran() {
+        let without = manifest(&[("fig1", 1.0)], &[], &[("oracle.cache.hits", 12)]);
+        assert!(!show(&without).contains("query engine:"), "{}", show(&without));
+        let mut m = manifest(
+            &[("query", 0.5)],
+            &[],
+            &[
+                ("query.executed", 10),
+                ("query.cache.hits", 6),
+                ("query.cache.misses", 4),
+                ("query.cache.evictions", 1),
+            ],
+        );
+        m.metrics.push(("query.cache.bytes".into(), Json::Float(2048.0)));
+        m.metrics.push(("query.designs_per_sec".into(), Json::Float(1.5e6)));
+        let text = show(&m);
+        for needle in [
+            "query engine:",
+            "executed: 10",
+            "6 hits / 4 misses (60% hit rate)",
+            "1 evicted",
+            "scan throughput: 1500000 designs/sec",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -15,6 +15,7 @@ use udse_core::space::{DesignPoint, DesignSpace};
 use udse_core::studies::heterogeneity::BenchmarkArchitectures;
 use udse_core::studies::validation::ValidationStudy;
 use udse_core::studies::{pareto, StudyConfig, TrainedSuite};
+use udse_core::Engine;
 use udse_obs::QualityRecord;
 use udse_trace::Benchmark;
 
@@ -52,7 +53,8 @@ fn run_pipeline_on(ground_truth: GroundTruth) -> PipelineOutput {
     let oracle = CachedOracle::new(ground_truth);
     let config = test_config();
     let suite = TrainedSuite::train(&oracle, &config).expect("models fit");
-    let study = ValidationStudy::run(&oracle, &suite, &config);
+    let engine = Engine::new(suite.clone(), &config);
+    let study = ValidationStudy::run(&oracle, &engine, &config);
     let coefficients: Vec<Vec<f64>> = suite
         .all_models()
         .iter()
@@ -146,19 +148,21 @@ fn chunk_parallel_sweeps_match_sequential_bitwise() {
     }
 
     let _guard = serialized();
-    let space = DesignSpace::exploration();
     // A stride coprime to neither chunk size forces uneven chunk
     // boundaries between worker counts.
     let config = StudyConfig { eval_stride: 7, ..StudyConfig::quick() };
     udse_obs::pool::set_max_workers(1);
     let suite = TrainedSuite::train(&Smooth, &config).expect("smooth fit");
-    let models = suite.models(Benchmark::Gzip);
 
-    let char_seq = pareto::characterize(models, &space, &config);
-    let optima_seq = BenchmarkArchitectures::find(&suite, &config);
+    // Fresh engines per worker count so each memoized sweep actually
+    // runs under that count.
+    let engine_seq = Engine::new(suite.clone(), &config);
+    let char_seq = pareto::characterize(&engine_seq, Benchmark::Gzip);
+    let optima_seq = BenchmarkArchitectures::find(&engine_seq);
     udse_obs::pool::set_max_workers(4);
-    let char_par = pareto::characterize(models, &space, &config);
-    let optima_par = BenchmarkArchitectures::find(&suite, &config);
+    let engine_par = Engine::new(suite, &config);
+    let char_par = pareto::characterize(&engine_par, Benchmark::Gzip);
+    let optima_par = BenchmarkArchitectures::find(&engine_par);
     udse_obs::pool::set_max_workers(1);
 
     assert_eq!(char_seq.designs.len(), char_par.designs.len());

@@ -20,9 +20,16 @@
 //!   splines with 4 knots on strong predictors and 3 on weak ones, and
 //!   the §3.2 interaction terms.
 //! - [`pareto`] — pareto-frontier construction in the power-delay space.
+//! - [`query`] — the unified query layer: a serializable [`query::Query`]
+//!   vocabulary (point prediction, constrained optimum, Pareto slice,
+//!   top-K, what-if delta, axis sweep) executed by [`query::Engine`],
+//!   which owns the compiled suite, the memoized full-space
+//!   characterization, constraint pushdown over the fused grid walk, and
+//!   a byte-budgeted LRU of materialized results.
 //! - [`studies`] — the three case studies (validation / pareto / pipeline
 //!   depth / multiprocessor heterogeneity), each producing the data
-//!   behind the corresponding figures and tables.
+//!   behind the corresponding figures and tables; all of them are thin
+//!   clients of the query engine.
 //!
 //! # Examples
 //!
@@ -53,6 +60,7 @@ pub mod model;
 pub mod oracle;
 pub mod pareto;
 pub mod plan;
+pub mod query;
 pub mod report;
 pub mod search;
 pub mod space;
@@ -62,4 +70,5 @@ pub use model::{CompiledPaperModels, PaperModels};
 pub use oracle::{CachedOracle, Metrics, Oracle, SimOracle};
 pub use pareto::ParetoFrontier;
 pub use plan::{EvalPlan, SimSpec};
+pub use query::{Engine, Query, QueryResult};
 pub use space::{DesignPoint, DesignSpace};

@@ -269,7 +269,7 @@ pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
 /// depth. The depth value selects the space: the paper and exploration
 /// depth lists never agree at the same index (`9 + 3i` vs `12 + 3i`), so
 /// the reconstruction is unambiguous.
-fn point_from_parts(indices: [u8; 7], fo4: u32) -> Option<DesignPoint> {
+pub(crate) fn point_from_parts(indices: [u8; 7], fo4: u32) -> Option<DesignPoint> {
     for space in [DesignSpace::paper(), DesignSpace::exploration()] {
         if let Some(p) = space.point(indices) {
             if p.fo4() == fo4 {

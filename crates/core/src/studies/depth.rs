@@ -13,15 +13,14 @@
 //! suite results averaged over the per-benchmark ratios.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use udse_stats::{quantile, Boxplot, Histogram};
 use udse_trace::Benchmark;
 
 use crate::baseline::baseline_at_depth;
 use crate::oracle::Oracle;
+use crate::query::{Axis, Constraint, Engine, Query};
 use crate::space::{DesignPoint, DesignSpace};
-use crate::studies::{record_sweep, strided_count, StudyConfig, TrainedSuite};
 
 /// The Figure 5 artifact.
 #[derive(Debug, Clone)]
@@ -50,19 +49,20 @@ pub struct DepthStudy {
 }
 
 impl DepthStudy {
-    /// Runs the §5.1 analysis with the trained models.
-    pub fn run(suite: &TrainedSuite, config: &StudyConfig) -> Self {
+    /// Runs the §5.1 analysis against the query engine: the efficiency
+    /// distributions come from the engine's memoized full-space sweep and
+    /// the per-depth bound architectures from depth-constrained
+    /// suite-relative optimum queries.
+    pub fn run(engine: &Engine) -> Self {
         let _span = udse_obs::span::enter("depth_study");
         let space = DesignSpace::exploration();
         let depths: Vec<u32> = space.depths().to_vec();
         let original_points: Vec<DesignPoint> =
             depths.iter().map(|&d| baseline_at_depth(d)).collect();
 
-        // Compiled models make the 9x full-space sweep below affordable.
-        let compiled = suite.compile(&space);
-        let lanes = compiled.lanes();
-
-        // Per-benchmark reference: best predicted baseline efficiency.
+        // Per-benchmark reference: best predicted baseline efficiency,
+        // from the compiled models (the flavor the fused sweep uses).
+        let compiled = engine.compiled();
         let refs: Vec<f64> = Benchmark::ALL
             .iter()
             .map(|&b| {
@@ -81,12 +81,6 @@ impl DepthStudy {
                 .sum::<f64>()
                 / 9.0
         };
-        // Same ratio from a stacked walker visit: `metrics` arrives in
-        // [`Benchmark::ALL`] order with bitwise-identical values, so this
-        // matches `rel` exactly for the same point.
-        let rel_stacked = |metrics: &[crate::oracle::Metrics]| -> f64 {
-            metrics.iter().zip(&refs).map(|(m, &r)| m.bips_cubed_per_watt() / r).sum::<f64>() / 9.0
-        };
 
         let original_relative: Vec<f64> = original_points.iter().map(&rel).collect();
 
@@ -97,44 +91,47 @@ impl DepthStudy {
         let mut dcache_top_percentile = Vec::with_capacity(depths.len());
         let original_optimum = original_relative.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
 
-        // Single pass over the (strided) space, bucketing by depth.
-        // Chunks of the walk run in parallel and merge in range order, so
-        // every bucket's contents match a sequential pass exactly.
-        let stride = config.eval_stride;
-        let total = strided_count(&space, stride);
-        let allocs0 = crate::studies::sweep_allocs_snapshot();
-        let started = Instant::now();
-        let chunk_buckets = udse_obs::pool::map_chunks(total, |range| {
-            let _chunk = udse_obs::span::enter("chunk");
-            let mut effs: Vec<Vec<f64>> = vec![Vec::new(); depths.len()];
-            let mut pts: Vec<Vec<DesignPoint>> = vec![Vec::new(); depths.len()];
-            let mut walker = lanes.walker(&space, stride);
-            walker.walk(range, |p, metrics| {
-                let di = p.depth_idx as usize;
-                effs[di].push(rel_stacked(metrics));
-                pts[di].push(p);
-            });
-            (effs, pts)
-        });
-        record_sweep(total, started.elapsed().as_secs_f64(), allocs0);
+        // Bucket the engine's memoized sweep by depth. The sweep
+        // materializes in walk order, so every bucket's contents match
+        // the old single-pass chunk-merged walk exactly; the suite ratio
+        // per design is the same stacked-lane expression the engine's
+        // suite-relative argmax evaluates.
+        let sweep = engine.full_sweep();
+        let visited = sweep[0].len();
         let mut effs_by_depth: Vec<Vec<f64>> = vec![Vec::new(); depths.len()];
         let mut pts_by_depth: Vec<Vec<DesignPoint>> = vec![Vec::new(); depths.len()];
-        for (effs, pts) in chunk_buckets {
-            for (di, (e, p)) in effs.into_iter().zip(pts).enumerate() {
-                effs_by_depth[di].extend(e);
-                pts_by_depth[di].extend(p);
-            }
+        for i in 0..visited {
+            let p = sweep[0][i].point;
+            let rel_i = sweep
+                .iter()
+                .zip(&refs)
+                .map(|(d, &r)| d[i].predicted.bips_cubed_per_watt() / r)
+                .sum::<f64>()
+                / 9.0;
+            let di = p.depth_idx as usize;
+            effs_by_depth[di].push(rel_i);
+            pts_by_depth[di].push(p);
         }
 
-        for di in 0..depths.len() {
+        for (di, &depth) in depths.iter().enumerate() {
             let effs = &effs_by_depth[di];
             let pts = &pts_by_depth[di];
             assert!(!effs.is_empty(), "stride too large: no designs at depth index {di}");
             enhanced_boxplots.push(Boxplot::from_samples(effs));
-            let (best_idx, best_eff) =
-                effs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty");
-            bound_points.push(pts[best_idx]);
-            bound_raw.push(*best_eff);
+            // The bound architecture at this depth: a depth-constrained
+            // suite-relative optimum query. The engine's walk applies the
+            // same last-maximal-wins tie-break over the same walk order,
+            // so point and score match the in-bucket argmax bitwise.
+            let bound = engine
+                .execute(&Query::suite_optimum(
+                    refs.clone(),
+                    vec![Constraint::exactly(Axis::DepthFo4, depth as f64)],
+                    engine.stride(),
+                ))
+                .expect("per-depth bound query cannot fail");
+            let entry = bound.optima().expect("optimum query yields optima")[0].clone();
+            bound_points.push(entry.point);
+            bound_raw.push(entry.score);
             let above = effs.iter().filter(|&&e| e > original_optimum).count();
             fraction_above_original.push(above as f64 / effs.len() as f64);
             // Fig 5b: D-L1 sizes among the 95th-percentile designs.
@@ -223,8 +220,9 @@ impl DepthValidation {
     /// Simulates the original and bound designs at every depth and
     /// assembles the comparison curves. All simulations run as one
     /// parallel [`Oracle::evaluate_many`] batch up front; the curves are
-    /// assembled from the resulting lookup table.
-    pub fn run<O: Oracle + ?Sized>(oracle: &O, suite: &TrainedSuite, study: &DepthStudy) -> Self {
+    /// assembled from the resulting lookup table, with every model
+    /// prediction served by a [`Query::Point`] execution.
+    pub fn run<O: Oracle + ?Sized>(oracle: &O, engine: &Engine, study: &DepthStudy) -> Self {
         let _span = udse_obs::span::enter("depth_validation");
         // Distinct designs this validation needs: the baseline sweep plus
         // the per-depth bound architectures.
@@ -238,26 +236,28 @@ impl DepthValidation {
         let simulated: HashMap<(Benchmark, DesignPoint), crate::oracle::Metrics> =
             plan.jobs().iter().copied().zip(oracle.evaluate_plan(&plan)).collect();
         let sim = |b: Benchmark, p: &DesignPoint| simulated[&(b, *p)];
+        // Point queries use the uncompiled models — bitwise-identical to
+        // `suite.models(b).predict_metrics(p)`.
+        let predict = |b: Benchmark, p: &DesignPoint| {
+            engine
+                .execute(&Query::point(b, *p))
+                .expect("point queries cannot fail")
+                .point_metrics()
+                .expect("point query yields metrics")
+        };
 
         let suite_metrics = |points: &[DesignPoint], simulate: bool| {
             // Returns per-depth (eff_rel, bips_avg, watts_avg) using either
             // the oracle or the models.
-            let per_bench: Vec<Vec<crate::oracle::Metrics>> =
-                Benchmark::ALL
-                    .iter()
-                    .map(|&b| {
-                        points
-                            .iter()
-                            .map(|p| {
-                                if simulate {
-                                    sim(b, p)
-                                } else {
-                                    suite.models(b).predict_metrics(p)
-                                }
-                            })
-                            .collect()
-                    })
-                    .collect();
+            let per_bench: Vec<Vec<crate::oracle::Metrics>> = Benchmark::ALL
+                .iter()
+                .map(|&b| {
+                    points
+                        .iter()
+                        .map(|p| if simulate { sim(b, p) } else { predict(b, p) })
+                        .collect()
+                })
+                .collect();
             (0..points.len())
                 .map(|i| {
                     let bips = per_bench.iter().map(|v| v[i].bips).sum::<f64>() / 9.0;
@@ -273,7 +273,7 @@ impl DepthValidation {
                 if simulate {
                     sim(b, p).bips_cubed_per_watt()
                 } else {
-                    suite.models(b).predict_efficiency(p)
+                    predict(b, p).bips_cubed_per_watt()
                 }
             };
             let refs: Vec<f64> = Benchmark::ALL
@@ -363,16 +363,18 @@ impl DepthValidation {
 mod tests {
     use super::*;
     use crate::studies::tests::TinyOracle;
+    use crate::studies::{StudyConfig, TrainedSuite};
 
-    fn setup() -> (TrainedSuite, StudyConfig) {
+    fn setup() -> Engine {
         let config = StudyConfig::quick();
-        (TrainedSuite::train(&TinyOracle, &config).unwrap(), config)
+        let suite = TrainedSuite::train(&TinyOracle, &config).unwrap();
+        Engine::new(suite, &config)
     }
 
     #[test]
     fn study_produces_one_entry_per_depth() {
-        let (suite, config) = setup();
-        let study = DepthStudy::run(&suite, &config);
+        let engine = setup();
+        let study = DepthStudy::run(&engine);
         assert_eq!(study.depths, vec![12, 15, 18, 21, 24, 27, 30]);
         assert_eq!(study.enhanced_boxplots.len(), 7);
         assert_eq!(study.bound_points.len(), 7);
@@ -384,8 +386,8 @@ mod tests {
 
     #[test]
     fn bounds_dominate_originals() {
-        let (suite, config) = setup();
-        let study = DepthStudy::run(&suite, &config);
+        let engine = setup();
+        let study = DepthStudy::run(&engine);
         // The best design at a depth is at least as good as the baseline
         // at that depth.
         for i in 0..study.depths.len() {
@@ -398,8 +400,8 @@ mod tests {
 
     #[test]
     fn fractions_are_probabilities() {
-        let (suite, config) = setup();
-        let study = DepthStudy::run(&suite, &config);
+        let engine = setup();
+        let study = DepthStudy::run(&engine);
         for f in &study.fraction_above_original {
             assert!((0.0..=1.0).contains(f));
         }
@@ -407,9 +409,9 @@ mod tests {
 
     #[test]
     fn validation_curves_align_with_study() {
-        let (suite, config) = setup();
-        let study = DepthStudy::run(&suite, &config);
-        let val = DepthValidation::run(&TinyOracle, &suite, &study);
+        let engine = setup();
+        let study = DepthStudy::run(&engine);
+        let val = DepthValidation::run(&TinyOracle, &engine, &study);
         assert_eq!(val.depths, study.depths);
         // Predicted curves in the validation must match the study's own
         // predictions (same models, same points).
@@ -425,9 +427,9 @@ mod tests {
 
     #[test]
     fn depth_validation_records_quality_telemetry() {
-        let (suite, config) = setup();
-        let study = DepthStudy::run(&suite, &config);
-        let _val = DepthValidation::run(&TinyOracle, &suite, &study);
+        let engine = setup();
+        let study = DepthStudy::run(&engine);
+        let _val = DepthValidation::run(&TinyOracle, &engine, &study);
         let quality = udse_obs::quality::global().snapshot();
         for key in [
             "depth.original.eff",
@@ -445,8 +447,8 @@ mod tests {
 
     #[test]
     fn optimal_depths_are_in_range() {
-        let (suite, config) = setup();
-        let study = DepthStudy::run(&suite, &config);
+        let engine = setup();
+        let study = DepthStudy::run(&engine);
         assert!(study.depths.contains(&study.optimal_original_depth()));
         assert!(study.depths.contains(&study.optimal_bound_depth()));
     }

@@ -15,8 +15,9 @@ use udse_trace::Benchmark;
 
 use crate::baseline::baseline_point;
 use crate::oracle::{Metrics, Oracle};
+use crate::query::{Engine, Query};
 use crate::space::{DesignPoint, DesignSpace};
-use crate::studies::{predicted_efficiency_optima, StudyConfig, TrainedSuite};
+use crate::studies::TrainedSuite;
 
 /// The nine per-benchmark predicted-optimal architectures (the paper's
 /// "benchmark architectures", Table 2's design columns).
@@ -29,19 +30,21 @@ pub struct BenchmarkArchitectures {
 
 impl BenchmarkArchitectures {
     /// Finds each benchmark's predicted `bips³/w` optimum over the
-    /// exploration space. All nine argmaxes come out of *one* fused,
-    /// chunk-parallel grid walk over the stacked suite lanes with a
-    /// boundary-independent per-benchmark tie-break, so the nine optima
-    /// match sequential `max_by` scans exactly.
-    pub fn find(suite: &TrainedSuite, config: &StudyConfig) -> Self {
+    /// exploration space via one unconstrained-optimum query. All nine
+    /// argmaxes come out of *one* fused, chunk-parallel grid walk over
+    /// the stacked suite lanes with a boundary-independent per-benchmark
+    /// tie-break, so the nine optima match sequential `max_by` scans
+    /// exactly; repeat calls are LRU cache hits.
+    pub fn find(engine: &Engine) -> Self {
         let _span = udse_obs::span::enter("optima");
-        let space = DesignSpace::exploration();
-        let compiled = suite.compile(&space);
-        let optima = Benchmark::ALL
+        let result = engine
+            .execute(&Query::optimum(None, vec![], engine.stride()))
+            .expect("unconstrained suite optima cannot fail");
+        let optima = result
+            .optima()
+            .expect("optimum query yields optima")
             .iter()
-            .copied()
-            .zip(predicted_efficiency_optima(&compiled.lanes(), &space, config.eval_stride))
-            .map(|(b, (best, _))| (b, best))
+            .map(|e| (e.benchmark.expect("per-benchmark entry"), e.point))
             .collect();
         BenchmarkArchitectures { optima }
     }
@@ -269,11 +272,13 @@ pub fn scatter_data(
 mod tests {
     use super::*;
     use crate::studies::tests::TinyOracle;
+    use crate::studies::StudyConfig;
 
     fn setup() -> (TrainedSuite, BenchmarkArchitectures, StudyConfig) {
         let config = StudyConfig::quick();
         let suite = TrainedSuite::train(&TinyOracle, &config).unwrap();
-        let optima = BenchmarkArchitectures::find(&suite, &config);
+        let engine = Engine::new(suite.clone(), &config);
+        let optima = BenchmarkArchitectures::find(&engine);
         (suite, optima, config)
     }
 

@@ -7,14 +7,11 @@ pub mod heterogeneity;
 pub mod pareto;
 pub mod validation;
 
-use std::cmp::Ordering;
-use std::time::Instant;
-
 use udse_regress::RegressError;
 use udse_trace::Benchmark;
 
 use crate::model::{CompiledPaperModels, PaperModels, SuiteLanes};
-use crate::oracle::{Metrics, Oracle};
+use crate::oracle::Oracle;
 use crate::plan::EvalPlan;
 use crate::space::{DesignPoint, DesignSpace};
 
@@ -225,79 +222,6 @@ pub fn strided_point(space: &DesignSpace, stride: usize, k: u64) -> DesignPoint 
     space.decode(idx).expect("index in range")
 }
 
-/// Finds the design with the highest *predicted* `bips^3/w` efficiency
-/// over the strided exploration walk, chunk-parallel through
-/// [`udse_obs::pool::map_chunks`].
-///
-/// Ties break toward the point visited *last* in the sequential walk —
-/// the same element `Iterator::max_by` would return — enforced both
-/// inside each chunk and across the in-order chunk fold, so the winner
-/// does not depend on chunk boundaries and `--jobs 1` vs `--jobs N` runs
-/// stay bitwise-identical. Records the `sweep.designs` /
-/// `sweep.designs_per_sec` metrics.
-pub(crate) fn predicted_efficiency_optimum(
-    models: &CompiledPaperModels,
-    space: &DesignSpace,
-    stride: usize,
-) -> (DesignPoint, Metrics) {
-    let optima = predicted_efficiency_optima(&models.lanes(), space, stride);
-    optima.into_iter().next().expect("one stacked pair yields one optimum")
-}
-
-/// Finds each stacked pair's highest *predicted* `bips^3/w` design over
-/// the strided exploration walk in one fused pass: every chunk drives a
-/// [`crate::model::GridWalker`] and maintains one running best per pair,
-/// so nine per-benchmark argmaxes cost a single grid traversal.
-///
-/// Per pair the result is identical to a separate
-/// [`predicted_efficiency_optimum`] sweep: stacked predictions are
-/// bitwise-equal to the per-model path and the `>=` tie-break (last
-/// maximal element wins, as `Iterator::max_by` would) is applied both
-/// inside each chunk and across the in-order chunk fold, so the winners
-/// do not depend on chunk boundaries and `--jobs 1` vs `--jobs N` runs
-/// stay bitwise-identical. Records `pairs × walk length` under the
-/// `sweep.designs` / `sweep.designs_per_sec` metrics.
-pub(crate) fn predicted_efficiency_optima(
-    lanes: &SuiteLanes,
-    space: &DesignSpace,
-    stride: usize,
-) -> Vec<(DesignPoint, Metrics)> {
-    let total = strided_count(space, stride);
-    let pairs = lanes.pairs();
-    let allocs0 = sweep_allocs_snapshot();
-    let started = Instant::now();
-    let chunk_bests = udse_obs::pool::map_chunks(total, |range| {
-        let _chunk = udse_obs::span::enter("chunk");
-        let mut best: Vec<Option<(DesignPoint, Metrics, f64)>> = vec![None; pairs];
-        let mut walker = lanes.walker(space, stride);
-        walker.walk(range, |p, metrics| {
-            for (b, m) in best.iter_mut().zip(metrics) {
-                let eff = m.bips_cubed_per_watt();
-                // `>=` replaces: the last maximal element wins, as in a
-                // sequential `max_by` over the same walk.
-                if b.as_ref().is_none_or(|cur| eff.total_cmp(&cur.2) != Ordering::Less) {
-                    *b = Some((p, *m, eff));
-                }
-            }
-        });
-        best
-    });
-    record_sweep(total * pairs as u64, started.elapsed().as_secs_f64(), allocs0);
-    let mut best: Vec<Option<(DesignPoint, Metrics, f64)>> = vec![None; pairs];
-    for chunk in chunk_bests {
-        for (cur, next) in best.iter_mut().zip(chunk) {
-            let Some(next) = next else { continue };
-            // Chunks arrive in range order; `>=` keeps the later chunk on ties.
-            if cur.as_ref().is_none_or(|c| next.2.total_cmp(&c.2) != Ordering::Less) {
-                *cur = Some(next);
-            }
-        }
-    }
-    best.into_iter()
-        .map(|b| b.map(|(p, m, _)| (p, m)).expect("exploration space is non-empty"))
-        .collect()
-}
-
 /// Process-wide allocation count before a sweep starts, or `None` when
 /// no counting allocator is installed — pair with [`record_sweep`]'s
 /// `allocs_before` argument.
@@ -330,7 +254,7 @@ pub(crate) fn record_sweep(designs: u64, elapsed_seconds: f64, allocs_before: Op
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::oracle::Metrics;
 

@@ -1,19 +1,16 @@
 //! Pareto frontier analysis (paper §4, Figures 2–4, Table 2).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use udse_stats::ErrorSummary;
 use udse_trace::Benchmark;
 
-use crate::model::{PaperModels, SuiteLanes};
+use crate::model::SuiteLanes;
 use crate::oracle::{Metrics, Oracle};
-use crate::pareto::ParetoFrontier;
 use crate::plan::EvalPlan;
+use crate::query::{Engine, Query};
 use crate::space::{DesignPoint, DesignSpace};
-use crate::studies::{
-    predicted_efficiency_optimum, record_sweep, strided_count, StudyConfig, TrainedSuite,
-};
+use crate::studies::{strided_count, StudyConfig};
 
 /// One design with its regression-predicted delay and power.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,70 +53,27 @@ pub struct ClusterSummary {
     pub count: usize,
 }
 
-/// Exhaustively (or stride-sampled) evaluates the exploration space with
-/// the regression models — the paper's §4.1 "complete characterization".
+/// Slices one benchmark out of the engine's memoized full-space
+/// characterization — the paper's §4.1 "complete characterization".
 ///
-/// The sweep compiles the models onto the space's grid and fans the
-/// strided walk out across the work pool in contiguous chunks; chunk
-/// results concatenate in range order, so `designs` is identical to a
-/// sequential walk regardless of worker count.
-pub fn characterize(
-    models: &PaperModels,
-    space: &DesignSpace,
-    config: &StudyConfig,
-) -> Characterization {
-    let _span = udse_obs::span::enter("sweep");
-    let compiled = models.compile(space);
-    let allocs0 = crate::studies::sweep_allocs_snapshot();
-    let started = Instant::now();
-    let mut per_pair = sweep_designs(&compiled.lanes(), space, config.eval_stride);
-    let designs = per_pair.pop().expect("one compiled pair stacks to one lane pair");
-    let rate = record_sweep(designs.len() as u64, started.elapsed().as_secs_f64(), allocs0);
-    udse_obs::info!(
-        "sweep",
-        "characterized {} designs for {:?} at {:.0} designs/sec",
-        designs.len(),
-        models.benchmark(),
-        rate
-    );
+/// The underlying fused walk runs once per engine (see
+/// [`Engine::full_sweep`]) and fans out across the work pool in
+/// contiguous chunks; chunk results concatenate in range order, so
+/// `designs` is identical to a sequential walk regardless of worker
+/// count.
+pub fn characterize(engine: &Engine, benchmark: Benchmark) -> Characterization {
+    let sweep = engine.full_sweep();
+    let designs = sweep[benchmark.id() as usize].clone();
     let clusters = build_clusters(&designs);
-    Characterization { benchmark: models.benchmark(), designs, clusters }
+    Characterization { benchmark, designs, clusters }
 }
 
-/// Characterizes the space for *all nine benchmarks* in one fused grid
-/// walk: the suite's eighteen models stack into one [`SuiteLanes`] plan
-/// and a [`crate::model::GridWalker`] feeds all lanes from a single
-/// incremental index read per point. Per benchmark, `designs` is
-/// bitwise-identical to a separate [`characterize`] call — only the walk
-/// overhead is amortized (the `compiled_predict_sweep` criterion group
-/// measures the speedup).
-pub fn characterize_all(
-    suite: &TrainedSuite,
-    space: &DesignSpace,
-    config: &StudyConfig,
-) -> Vec<Characterization> {
-    let _span = udse_obs::span::enter("sweep");
-    let compiled = suite.compile(space);
-    let allocs0 = crate::studies::sweep_allocs_snapshot();
-    let started = Instant::now();
-    let designs = sweep_designs(&compiled.lanes(), space, config.eval_stride);
-    let swept: u64 = designs.iter().map(|d| d.len() as u64).sum();
-    let rate = record_sweep(swept, started.elapsed().as_secs_f64(), allocs0);
-    udse_obs::info!(
-        "sweep",
-        "characterized {} designs across {} benchmarks in one fused walk at {:.0} designs/sec",
-        swept,
-        designs.len(),
-        rate
-    );
-    designs
-        .into_iter()
-        .zip(suite.all_models())
-        .map(|(designs, models)| {
-            let clusters = build_clusters(&designs);
-            Characterization { benchmark: models.benchmark(), designs, clusters }
-        })
-        .collect()
+/// Characterizes the space for *all nine benchmarks* from the engine's
+/// one fused grid walk. Per benchmark, `designs` is bitwise-identical to
+/// a separate single-model sweep — only the walk overhead is amortized
+/// (the `compiled_predict_sweep` criterion group measures the speedup).
+pub fn characterize_all(engine: &Engine) -> Vec<Characterization> {
+    Benchmark::ALL.iter().map(|&b| characterize(engine, b)).collect()
 }
 
 /// The shared fused-sweep inner loop: walks the strided space once and
@@ -206,31 +160,28 @@ pub struct FrontierStudy {
 }
 
 impl FrontierStudy {
-    /// Constructs the predicted frontier from a characterization and
-    /// simulates every frontier design (the paper's Fig 3 overlay).
+    /// Asks the engine for the predicted Pareto slice and simulates every
+    /// frontier design (the paper's Fig 3 overlay).
     pub fn run<O: Oracle + ?Sized>(
         oracle: &O,
-        characterization: &Characterization,
+        engine: &Engine,
+        benchmark: Benchmark,
         config: &StudyConfig,
     ) -> Self {
         let _span = udse_obs::span::enter("frontier");
-        let pts: Vec<(f64, f64)> = characterization
-            .designs
-            .iter()
-            .map(|d| (d.predicted.delay_seconds(), d.predicted.watts))
-            .collect();
-        let frontier = ParetoFrontier::from_points(&pts, config.delay_bins);
-        let designs: Vec<DesignPoint> =
-            frontier.indices().iter().map(|&i| characterization.designs[i].point).collect();
-        let predicted: Vec<Metrics> =
-            frontier.indices().iter().map(|&i| characterization.designs[i].predicted).collect();
+        let slice = engine
+            .execute(&Query::pareto(benchmark, vec![], config.eval_stride, config.delay_bins))
+            .expect("unconstrained pareto slice cannot fail");
+        let rows = slice.frontier().expect("pareto query yields a frontier");
+        let designs: Vec<DesignPoint> = rows.iter().map(|r| r.point).collect();
+        let predicted: Vec<Metrics> = rows.iter().map(|r| r.predicted).collect();
         // Frontier sims are independent — run them as one parallel batch.
         let plan = EvalPlan::from_jobs(
             "pareto.frontier",
-            designs.iter().map(|p| (characterization.benchmark, *p)).collect(),
+            designs.iter().map(|p| (benchmark, *p)).collect(),
         );
         let simulated = oracle.evaluate_plan(&plan);
-        FrontierStudy { benchmark: characterization.benchmark, designs, predicted, simulated }
+        FrontierStudy { benchmark, designs, predicted, simulated }
     }
 
     /// The Figure 4 artifact: error distributions of the frontier
@@ -277,20 +228,24 @@ impl EfficiencyOptimum {
 }
 
 /// Finds the predicted `bips^3/w` optimum over the exploration space and
-/// validates it by simulation (one row of Table 2). The argmax sweep is
-/// compiled and chunk-parallel with a boundary-independent tie-break, so
-/// the chosen design matches a sequential `max_by` exactly.
+/// validates it by simulation (one row of Table 2). The engine's argmax
+/// sweep is compiled and chunk-parallel with a boundary-independent
+/// tie-break, so the chosen design matches a sequential `max_by` exactly;
+/// nine per-benchmark requests cost one fused walk plus eight cache hits.
 pub fn efficiency_optimum<O: Oracle + ?Sized>(
     oracle: &O,
-    models: &PaperModels,
-    space: &DesignSpace,
+    engine: &Engine,
+    benchmark: Benchmark,
     config: &StudyConfig,
 ) -> EfficiencyOptimum {
     let _span = udse_obs::span::enter("optimum");
-    let compiled = models.compile(space);
-    let (point, predicted) = predicted_efficiency_optimum(&compiled, space, config.eval_stride);
-    let simulated = oracle.evaluate(models.benchmark(), &point);
-    EfficiencyOptimum { benchmark: models.benchmark(), point, predicted, simulated }
+    let result = engine
+        .execute(&Query::optimum(Some(benchmark), vec![], config.eval_stride))
+        .expect("unconstrained efficiency optimum cannot fail");
+    let entry = result.optima().expect("optimum query yields optima")[0].clone();
+    let predicted = entry.predicted.expect("efficiency optimum carries predicted metrics");
+    let simulated = oracle.evaluate(benchmark, &entry.point);
+    EfficiencyOptimum { benchmark, point: entry.point, predicted, simulated }
 }
 
 #[cfg(test)]
@@ -299,16 +254,16 @@ mod tests {
     use crate::studies::tests::TinyOracle;
     use crate::studies::TrainedSuite;
 
-    fn setup() -> (TrainedSuite, StudyConfig) {
+    fn setup() -> (Engine, StudyConfig) {
         let config = StudyConfig::quick();
-        (TrainedSuite::train(&TinyOracle, &config).unwrap(), config)
+        let suite = TrainedSuite::train(&TinyOracle, &config).unwrap();
+        (Engine::new(suite, &config), config)
     }
 
     #[test]
     fn characterization_covers_all_depth_width_clusters() {
-        let (suite, config) = setup();
-        let space = DesignSpace::exploration();
-        let ch = characterize(suite.models(Benchmark::Ammp), &space, &config);
+        let (engine, _config) = setup();
+        let ch = characterize(&engine, Benchmark::Ammp);
         // 7 depths x 3 widths = 21 clusters.
         assert_eq!(ch.clusters.len(), 21);
         let total: usize = ch.clusters.iter().map(|c| c.count).sum();
@@ -320,30 +275,32 @@ mod tests {
     }
 
     #[test]
-    fn fused_characterization_matches_separate_sweeps_bitwise() {
-        let (suite, config) = setup();
+    fn engine_characterization_matches_separate_sweeps_bitwise() {
+        let (engine, config) = setup();
         let space = DesignSpace::exploration();
-        let fused = characterize_all(&suite, &space, &config);
+        let fused = characterize_all(&engine);
         assert_eq!(fused.len(), 9);
         for (b, ch) in Benchmark::ALL.iter().zip(&fused) {
             assert_eq!(ch.benchmark, *b);
-            let separate = characterize(suite.models(*b), &space, &config);
-            assert_eq!(ch.designs.len(), separate.designs.len());
-            for (f, s) in ch.designs.iter().zip(&separate.designs) {
+            // Reference: a fresh single-model compiled sweep of the same
+            // strided space, outside the engine.
+            let compiled = engine.suite().models(*b).compile(&space);
+            let mut per_pair = sweep_designs(&compiled.lanes(), &space, config.eval_stride);
+            let separate = per_pair.pop().expect("one pair");
+            assert_eq!(ch.designs.len(), separate.len());
+            for (f, s) in ch.designs.iter().zip(&separate) {
                 assert_eq!(f.point, s.point);
                 assert_eq!(f.predicted.bips.to_bits(), s.predicted.bips.to_bits());
                 assert_eq!(f.predicted.watts.to_bits(), s.predicted.watts.to_bits());
             }
-            assert_eq!(ch.clusters, separate.clusters);
+            assert_eq!(ch.clusters, build_clusters(&separate));
         }
     }
 
     #[test]
     fn frontier_predictions_are_non_dominated() {
-        let (suite, config) = setup();
-        let space = DesignSpace::exploration();
-        let ch = characterize(suite.models(Benchmark::Mcf), &space, &config);
-        let fs = FrontierStudy::run(&TinyOracle, &ch, &config);
+        let (engine, config) = setup();
+        let fs = FrontierStudy::run(&TinyOracle, &engine, Benchmark::Mcf, &config);
         assert!(!fs.designs.is_empty());
         // Monotone skyline.
         for w in fs.predicted.windows(2) {
@@ -358,10 +315,10 @@ mod tests {
 
     #[test]
     fn efficiency_optimum_is_at_least_as_good_as_random_points() {
-        let (suite, config) = setup();
+        let (engine, config) = setup();
         let space = DesignSpace::exploration();
-        let models = suite.models(Benchmark::Gzip);
-        let opt = efficiency_optimum(&TinyOracle, models, &space, &config);
+        let models = engine.suite().models(Benchmark::Gzip);
+        let opt = efficiency_optimum(&TinyOracle, &engine, Benchmark::Gzip, &config);
         // The optimum is the argmax over the strided evaluation set, so it
         // must beat every point of that same set.
         for p in crate::studies::strided_points(&space, config.eval_stride).take(200) {

@@ -9,8 +9,9 @@ use udse_trace::Benchmark;
 
 use crate::oracle::Oracle;
 use crate::plan::EvalPlan;
+use crate::query::{Engine, Query};
 use crate::space::DesignSpace;
-use crate::studies::{StudyConfig, TrainedSuite};
+use crate::studies::StudyConfig;
 
 /// Per-benchmark validation errors for one model kind.
 #[derive(Debug, Clone)]
@@ -39,22 +40,25 @@ impl ValidationStudy {
     /// Runs the validation: `config.validation_samples` UAR designs from
     /// the *sampling* space, simulated for every benchmark and compared
     /// against the trained models.
-    pub fn run<O: Oracle + ?Sized>(oracle: &O, suite: &TrainedSuite, config: &StudyConfig) -> Self {
+    pub fn run<O: Oracle + ?Sized>(oracle: &O, engine: &Engine, config: &StudyConfig) -> Self {
         let _span = udse_obs::span::enter("validation");
         // Offset seed so validation never reuses training designs.
         let points =
             DesignSpace::paper().sample_uar(config.validation_samples, config.seed ^ 0xA11D);
-        Self::run_on_points(oracle, suite, &points)
+        Self::run_on_points(oracle, engine, &points)
     }
 
-    /// Runs the validation on an explicit point set.
+    /// Runs the validation on an explicit point set. Predictions come
+    /// from [`Query::Point`] executions, which use the uncompiled models
+    /// — bitwise-identical to calling `predict_bips`/`predict_watts`
+    /// directly.
     ///
     /// # Panics
     ///
     /// Panics if `points` is empty.
     pub fn run_on_points<O: Oracle + ?Sized>(
         oracle: &O,
-        suite: &TrainedSuite,
+        engine: &Engine,
         points: &[crate::space::DesignPoint],
     ) -> Self {
         assert!(!points.is_empty(), "validation needs at least one point");
@@ -66,17 +70,22 @@ impl ValidationStudy {
         let mut all_perf_signed = Vec::new();
         let mut all_power_signed = Vec::new();
         for (bi, &b) in Benchmark::ALL.iter().enumerate() {
-            let models = suite.models(b);
+            let models = engine.suite().models(b);
             let mut obs_bips = Vec::with_capacity(points.len());
             let mut pred_bips = Vec::with_capacity(points.len());
             let mut obs_watts = Vec::with_capacity(points.len());
             let mut pred_watts = Vec::with_capacity(points.len());
             for (pi, p) in points.iter().enumerate() {
                 let m = simulated[bi * points.len() + pi];
+                let pred = engine
+                    .execute(&Query::point(b, *p))
+                    .expect("point queries cannot fail")
+                    .point_metrics()
+                    .expect("point query yields metrics");
                 obs_bips.push(m.bips);
-                pred_bips.push(models.predict_bips(p));
+                pred_bips.push(pred.bips);
                 obs_watts.push(m.watts);
-                pred_watts.push(models.predict_watts(p));
+                pred_watts.push(pred.watts);
             }
             let performance = ErrorSummary::from_pairs(&obs_bips, &pred_bips);
             let power = ErrorSummary::from_pairs(&obs_watts, &pred_watts);
@@ -126,12 +135,14 @@ impl ValidationStudy {
 mod tests {
     use super::*;
     use crate::studies::tests::TinyOracle;
+    use crate::studies::TrainedSuite;
 
     #[test]
     fn validation_on_smooth_oracle_is_accurate() {
         let config = StudyConfig::quick();
         let suite = TrainedSuite::train(&TinyOracle, &config).unwrap();
-        let study = ValidationStudy::run(&TinyOracle, &suite, &config);
+        let engine = Engine::new(suite, &config);
+        let study = ValidationStudy::run(&TinyOracle, &engine, &config);
         assert_eq!(study.per_benchmark.len(), 9);
         // The fake surface is smooth, so spline models should nail it.
         assert!(
@@ -170,6 +181,7 @@ mod tests {
     fn empty_points_panics() {
         let config = StudyConfig::quick();
         let suite = TrainedSuite::train(&TinyOracle, &config).unwrap();
-        let _ = ValidationStudy::run_on_points(&TinyOracle, &suite, &[]);
+        let engine = Engine::new(suite, &config);
+        let _ = ValidationStudy::run_on_points(&TinyOracle, &engine, &[]);
     }
 }

@@ -6,6 +6,7 @@
 use udse::core::oracle::SimOracle;
 use udse::core::studies::depth::DepthStudy;
 use udse::core::studies::{StudyConfig, TrainedSuite};
+use udse::core::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config = StudyConfig::quick();
@@ -17,7 +18,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = TrainedSuite::train(&oracle, &config)?;
 
     println!("running depth study ({} designs per depth)...", 37_500 / config.eval_stride);
-    let study = DepthStudy::run(&suite, &config);
+    let engine = Engine::new(suite, &config);
+    let study = DepthStudy::run(&engine);
 
     println!("\nefficiency relative to the original bips^3/w optimum:");
     println!(

@@ -11,6 +11,7 @@ use udse::core::studies::heterogeneity::{
     compromise_clusters, predicted_gains, BenchmarkArchitectures,
 };
 use udse::core::studies::{StudyConfig, TrainedSuite};
+use udse::core::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reduced scale so the example runs in tens of seconds.
@@ -23,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let suite = TrainedSuite::train(&oracle, &config)?;
 
     println!("locating per-benchmark bips^3/w optima...");
-    let optima = BenchmarkArchitectures::find(&suite, &config);
+    let engine = Engine::new(suite.clone(), &config);
+    let optima = BenchmarkArchitectures::find(&engine);
     for (b, p) in &optima.optima {
         println!(
             "  {:8} -> {} FO4, width {}, {} GPR, I$ {}K, D$ {}K, L2 {}K",

@@ -4,13 +4,17 @@
 # snapshots, span wall/cpu/alloc totals, and a process `resources`
 # section for `udse-inspect diff` gating (including --tol-resource).
 #
-# The run is `repro --quick fig1 fig2` with the baked-in seed (2007), so
-# the quality section (error p50/p90/max, bias, RMSE, R² per benchmark
-# and pooled) is bit-identical across runs on any machine — quality
-# drift in a diff always means a code change, never noise. fig2 runs the
-# characterization sweep, which populates the sweep.designs counter and
-# the sweep.designs_per_sec throughput gauge the CI gate watches with
-# --tol-gauge. Wall times (and the throughput gauge) DO vary by machine,
+# The run is `repro --quick fig1 fig2 table2` with the baked-in seed
+# (2007), so the quality section (error p50/p90/max, bias, RMSE, R² per
+# benchmark and pooled) is bit-identical across runs on any machine —
+# quality drift in a diff always means a code change, never noise. fig2
+# runs the characterization sweep, which populates the sweep.designs
+# counter and the sweep.designs_per_sec throughput gauge the CI gate
+# watches with --tol-gauge. table2 routes the per-benchmark optima
+# through the unified query engine, so the manifest also carries the
+# query.* counters (executed, cache hits/misses, scan throughput) the
+# gate watches the same way. Wall times (and the throughput gauges) DO
+# vary by machine,
 # which is why the CI gate (scripts/ci.sh) runs the diff with
 # --warn-wall: quality regressions beyond the default tolerance
 # (±0.02 absolute on error fractions, i.e. two percentage points) fail
@@ -32,8 +36,8 @@ out="${1:-BENCH_${shortsha}.json}"
 echo "==> cargo build --release -p udse-bench"
 cargo build --release -p udse-bench
 
-echo "==> repro --quick --manifest ${out} fig1 fig2"
-./target/release/repro --quick --manifest "${out}" fig1 fig2 >/dev/null
+echo "==> repro --quick --manifest ${out} fig1 fig2 table2"
+./target/release/repro --quick --manifest "${out}" fig1 fig2 table2 >/dev/null
 
 echo "==> udse-inspect show ${out}"
 ./target/release/udse-inspect show "${out}"

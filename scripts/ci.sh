@@ -104,6 +104,33 @@ if ! grep -qF 'memo-hit' target/shard-smoke/report.txt; then
     exit 1
 fi
 
+# Query smoke: the `repro query` subcommand must answer a constrained
+# optimum and a what-if delta from the CLI with exit 0 and byte-stable
+# stdout (two runs of the same query diff clean — the canonical wire
+# format has no timestamps or machine-dependent fields). The manifest
+# written alongside must carry the engine's counters, and
+# `udse-inspect report` must render them as the query-engine section.
+echo "==> query smoke: repro query (constrained optimum + what-if delta)"
+rm -rf target/query-smoke
+mkdir -p target/query-smoke
+opt_query='{"query_version":1,"type":"constrained_optimum","bench":null,"objective":"efficiency","constraints":[{"axis":"dl1_kb","min":null,"max":64.0},{"axis":"depth_fo4","min":18.0,"max":18.0}],"stride":500}'
+./target/release/repro query --quick --manifest target/query-smoke/opt.manifest.json \
+    "${opt_query}" > target/query-smoke/opt1.json
+./target/release/repro query --quick "${opt_query}" > target/query-smoke/opt2.json
+diff target/query-smoke/opt1.json target/query-smoke/opt2.json
+whatif_query='{"query_version":1,"type":"what_if","bench":"mcf","base":{"idx":[2,1,1,0,4,3,0],"fo4":18},"alternative":{"idx":[2,2,1,1,0,1,0],"fo4":18}}'
+./target/release/repro query --quick "${whatif_query}" > target/query-smoke/whatif.json
+grep -qF '"type": "delta"' target/query-smoke/whatif.json
+for key in '"query.executed"' '"query.cache.misses"' '"query.designs_per_sec"'; do
+    if ! grep -qF "${key}" target/query-smoke/opt.manifest.json; then
+        echo "==> query manifest is missing ${key}" >&2
+        exit 1
+    fi
+done
+echo "==> udse-inspect report renders the query-engine section"
+./target/release/udse-inspect report target/query-smoke/opt.manifest.json \
+    | grep -qF 'query engine:'
+
 # Regression gate: re-run the fixed-seed benchmark and diff against the
 # committed baseline. Model quality gates hard (the fixed seed makes it
 # machine-independent); wall time is demoted to a warning with
@@ -149,9 +176,18 @@ if [ -n "${baseline}" ]; then
     # clears the collapse rate by ~30% yet stays below even a heavily
     # loaded healthy run, so it trips only when the decomposition is
     # actually lost.
-    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50 --min-gauge sweep.designs_per_sec:5000000 --min-gauge sim.instructions_per_sec:15000000 --tol-resource alloc.bytes:100 --tol-resource sweep.allocs_per_design:100:0.05"
+    #
+    # The query-engine watches guard the unified query layer the studies
+    # now run on: query.cache.hits is a deterministic counter (table2's
+    # nine per-benchmark optima share one materialized all-benchmark
+    # scan, so a hit-count drop means the memoized-delegation path broke)
+    # and query.designs_per_sec is the engine's fused-scan throughput —
+    # both warn on a >50% fall and on going missing entirely.
+    echo "==> udse-inspect diff ${baseline} target/bench-current.json --warn-wall --tol-gauge sweep.designs_per_sec:50 --tol-gauge query.designs_per_sec:50 --tol-gauge query.cache.hits:50 --min-gauge sweep.designs_per_sec:5000000 --min-gauge sim.instructions_per_sec:15000000 --tol-resource alloc.bytes:100 --tol-resource sweep.allocs_per_design:100:0.05"
     ./target/release/udse-inspect diff "${baseline}" target/bench-current.json --warn-wall \
         --tol-gauge sweep.designs_per_sec:50 \
+        --tol-gauge query.designs_per_sec:50 \
+        --tol-gauge query.cache.hits:50 \
         --min-gauge sweep.designs_per_sec:5000000 \
         --min-gauge sim.instructions_per_sec:15000000 \
         --tol-resource alloc.bytes:100 \

@@ -9,6 +9,7 @@ use udse::core::studies::heterogeneity::{compromise_clusters, BenchmarkArchitect
 use udse::core::studies::pareto::{characterize, FrontierStudy};
 use udse::core::studies::validation::ValidationStudy;
 use udse::core::studies::{StudyConfig, TrainedSuite};
+use udse::core::Engine;
 use udse::stats::median_abs_rel_error;
 use udse::trace::Benchmark;
 
@@ -51,17 +52,18 @@ fn full_suite_studies_run_consistently() {
     let oracle = fast_oracle();
     let config = fast_config();
     let suite = TrainedSuite::train(&oracle, &config).unwrap();
+    let engine = Engine::new(suite.clone(), &config);
 
     // Validation study covers all nine benchmarks.
-    let validation = ValidationStudy::run(&oracle, &suite, &config);
+    let validation = ValidationStudy::run(&oracle, &engine, &config);
     assert_eq!(validation.per_benchmark.len(), 9);
     assert!(validation.overall_performance_median < 0.5);
     assert!(validation.overall_power_median < 0.3);
 
     // Pareto frontier for a memory-bound benchmark is non-trivial.
-    let space = DesignSpace::exploration();
-    let ch = characterize(suite.models(Benchmark::Mcf), &space, &config);
-    let fs = FrontierStudy::run(&oracle, &ch, &config);
+    let ch = characterize(&engine, Benchmark::Mcf);
+    assert_eq!(ch.benchmark, Benchmark::Mcf);
+    let fs = FrontierStudy::run(&oracle, &engine, Benchmark::Mcf, &config);
     assert!(fs.designs.len() >= 3, "frontier should have several designs");
     // Frontier endpoints: the fastest design costs more power than the
     // most frugal one.
@@ -71,14 +73,14 @@ fn full_suite_studies_run_consistently() {
     assert!(first.watts > last.watts);
 
     // Depth study produces one boxplot per depth and sane fractions.
-    let depth = DepthStudy::run(&suite, &config);
+    let depth = DepthStudy::run(&engine);
     assert_eq!(depth.enhanced_boxplots.len(), 7);
     for bp in &depth.enhanced_boxplots {
         assert!(bp.q1 <= bp.median && bp.median <= bp.q3);
     }
 
     // Heterogeneity: clusters partition the suite for every K.
-    let optima = BenchmarkArchitectures::find(&suite, &config);
+    let optima = BenchmarkArchitectures::find(&engine);
     for k in 1..=9 {
         let clusters = compromise_clusters(&suite, &optima, k, 5);
         let total: usize = clusters.iter().map(|c| c.members.len()).sum();
